@@ -1,0 +1,190 @@
+//! Host-side reference implementations used to verify the accelerator's
+//! functional results. BFS and SSSP use textbook algorithms (so agreement
+//! is meaningful); PageRank and CF mirror the canonical CSR-order float
+//! arithmetic the accelerator performs.
+
+use crate::run::{BFS_INF, CF_LEARNING_RATE, CF_REGULARIZATION, DAMPING};
+use dvm_graph::Graph;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// BFS levels from `root` (unreached = [`BFS_INF`]).
+pub fn bfs_levels(graph: &Graph, root: u32) -> Vec<u32> {
+    let mut levels = vec![BFS_INF; graph.num_vertices() as usize];
+    levels[root as usize] = 0;
+    let mut queue = VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        let next = levels[v as usize] + 1;
+        for e in graph.out_edges(v) {
+            if levels[e.dst as usize] == BFS_INF {
+                levels[e.dst as usize] = next;
+                queue.push_back(e.dst);
+            }
+        }
+    }
+    levels
+}
+
+/// PageRank after `iterations` sweeps, mirroring the accelerator's
+/// scatter/apply arithmetic in CSR order (bitwise identical).
+pub fn pagerank(graph: &Graph, iterations: u32) -> Vec<f32> {
+    let n = graph.num_vertices() as usize;
+    let mut rank = vec![1.0f32 / n as f32; n];
+    let mut acc = vec![0.0f32; n];
+    for _ in 0..iterations {
+        for v in 0..graph.num_vertices() {
+            let deg = graph.out_degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let contrib = rank[v as usize] / deg as f32;
+            for e in graph.out_edges(v) {
+                acc[e.dst as usize] += contrib;
+            }
+        }
+        for v in 0..n {
+            rank[v] = (1.0 - DAMPING) / n as f32 + DAMPING * acc[v];
+            acc[v] = 0.0;
+        }
+    }
+    rank
+}
+
+#[derive(PartialEq)]
+struct HeapItem(f32, u32);
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance.
+        other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest-path distances from `root` (unreached = infinity).
+pub fn sssp_distances(graph: &Graph, root: u32) -> Vec<f32> {
+    let mut dist = vec![f32::INFINITY; graph.num_vertices() as usize];
+    dist[root as usize] = 0.0;
+    let mut heap = BinaryHeap::from([HeapItem(0.0, root)]);
+    while let Some(HeapItem(d, v)) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for e in graph.out_edges(v) {
+            let candidate = d + e.weight;
+            if candidate < dist[e.dst as usize] {
+                dist[e.dst as usize] = candidate;
+                heap.push(HeapItem(candidate, e.dst));
+            }
+        }
+    }
+    dist
+}
+
+/// CF factor vectors after `iterations` SGD sweeps in edge order,
+/// mirroring the accelerator's update arithmetic. Returned flattened as
+/// `features` floats per vertex.
+pub fn cf_factors(graph: &Graph, iterations: u32, features: u32) -> Vec<f32> {
+    let k = features as usize;
+    let n = graph.num_vertices() as usize;
+    let mut factors = vec![0.0f32; n * k];
+    for v in 0..n {
+        for f in 0..k {
+            let seed = ((v as u64 * 31 + f as u64 * 7) % 97) as f32;
+            factors[v * k + f] = 0.05 + seed / 1000.0;
+        }
+    }
+    for _ in 0..iterations {
+        for e in graph.edges() {
+            let (u, m) = (e.src as usize, e.dst as usize);
+            let uvec: Vec<f32> = factors[u * k..u * k + k].to_vec();
+            let mvec: Vec<f32> = factors[m * k..m * k + k].to_vec();
+            let err = e.weight - uvec.iter().zip(&mvec).map(|(a, b)| a * b).sum::<f32>();
+            for f in 0..k {
+                factors[u * k + f] =
+                    uvec[f] + CF_LEARNING_RATE * (err * mvec[f] - CF_REGULARIZATION * uvec[f]);
+                factors[m * k + f] =
+                    mvec[f] + CF_LEARNING_RATE * (err * uvec[f] - CF_REGULARIZATION * mvec[f]);
+            }
+        }
+    }
+    factors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_graph::Edge;
+
+    fn chain() -> Graph {
+        Graph::from_edges(
+            4,
+            vec![
+                Edge { src: 0, dst: 1, weight: 2.0 },
+                Edge { src: 1, dst: 2, weight: 3.0 },
+                Edge { src: 0, dst: 2, weight: 10.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn bfs_chain() {
+        let levels = bfs_levels(&chain(), 0);
+        assert_eq!(levels, vec![0, 1, 1, BFS_INF]);
+    }
+
+    #[test]
+    fn sssp_prefers_shorter_path() {
+        let dist = sssp_distances(&chain(), 0);
+        assert_eq!(dist[0], 0.0);
+        assert_eq!(dist[1], 2.0);
+        assert_eq!(dist[2], 5.0, "0->1->2 beats the direct 10.0 edge");
+        assert!(dist[3].is_infinite());
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = dvm_graph::rmat(8, 8, dvm_graph::RmatParams::default(), 5);
+        let ranks = pagerank(&g, 10);
+        let total: f32 = ranks.iter().sum();
+        // Rank mass leaks through zero-degree vertices, so the sum is <= 1.
+        assert!(total > 0.2 && total <= 1.01, "total {total}");
+        assert!(ranks.iter().all(|r| *r > 0.0));
+    }
+
+    #[test]
+    fn cf_reduces_error() {
+        let g = dvm_graph::to_bipartite(
+            &dvm_graph::rmat(8, 8, dvm_graph::RmatParams::default(), 6),
+            128,
+            32,
+        );
+        let k = 8u32;
+        let before = cf_factors(&g, 0, k);
+        let after = cf_factors(&g, 4, k);
+        let rmse = |factors: &[f32]| {
+            let mut sum = 0.0f64;
+            for e in g.edges() {
+                let (u, m) = (e.src as usize, e.dst as usize);
+                let pred: f32 = (0..k as usize)
+                    .map(|f| factors[u * 8 + f] * factors[m * 8 + f])
+                    .sum();
+                sum += f64::from((e.weight - pred).powi(2));
+            }
+            (sum / g.num_edges() as f64).sqrt()
+        };
+        assert!(
+            rmse(&after) < rmse(&before),
+            "SGD must reduce rating error: {} vs {}",
+            rmse(&after),
+            rmse(&before)
+        );
+    }
+}

@@ -1,0 +1,591 @@
+//! The Graphicionado-style execution model: 8 processing engines stream
+//! the graph through the IOMMU, with per-engine cycle accounting.
+//!
+//! Timing model (see DESIGN.md §3): each pipeline stage costs one cycle
+//! (Table 2: "computation performed in each stage of a processing engine
+//! is executed in one cycle") and every memory operation adds its
+//! end-to-end latency from the shared [`MemSystem`] — validation plus
+//! data fetch, overlapped for DVM-PE+ reads. Edges are sharded across
+//! engines by destination vertex (Graphicionado's destination
+//! partitioning); source-side stages run on the source shard. The
+//! workload's execution time is the maximum engine clock.
+//!
+//! Host-side preparation (array initialization) and the accelerator's
+//! small on-chip state (frontier membership bits, scalar counters) are
+//! functional-only and untimed; all graph-data traffic is timed.
+
+use crate::layout::GraphInMemory;
+use dvm_mmu::MemSystem;
+use dvm_sim::{Cycles, Histogram};
+use dvm_types::{Fault, VirtAddr, PAGE_SIZE};
+
+/// Accelerator hardware parameters (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelConfig {
+    /// Processing engines running in parallel.
+    pub engines: u32,
+    /// Cycles per pipeline stage.
+    pub stage_cycles: Cycles,
+    /// Concurrent walks the shared IOMMU walker / DAV engine sustains.
+    /// Translation work beyond this concurrency queues, so a scheme whose
+    /// aggregate walk time exceeds the engines' own time becomes
+    /// walker-bound — the effect that makes high-miss-rate conventional
+    /// translation so expensive for an 8-engine accelerator.
+    pub walker_ports: u32,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        Self {
+            engines: 8,
+            stage_cycles: 1,
+            walker_ports: 4,
+        }
+    }
+}
+
+/// Result of one accelerator run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Execution time: the maximum engine clock, or the shared walker's
+    /// occupancy when translation is the bottleneck.
+    pub cycles: Cycles,
+    /// Per-engine clocks.
+    pub engine_cycles: Vec<Cycles>,
+    /// Edges processed (including re-relaxations).
+    pub edges_processed: u64,
+    /// Iterations (BFS/SSSP levels, PR/CF sweeps) executed.
+    pub iterations: u32,
+    /// Aggregate cycles the shared walker was busy, divided by its ports.
+    pub walker_cycles: Cycles,
+    /// Distribution of per-access end-to-end latencies.
+    pub latency_hist: Histogram,
+}
+
+/// One of the paper's four graph workloads (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Breadth-first search from a root vertex.
+    Bfs {
+        /// Search root.
+        root: u32,
+    },
+    /// PageRank, a fixed number of sweeps.
+    PageRank {
+        /// Sweeps over all edges.
+        iterations: u32,
+    },
+    /// Single-source shortest path (frontier Bellman-Ford).
+    Sssp {
+        /// Source vertex.
+        root: u32,
+        /// Convergence bound.
+        max_iterations: u32,
+    },
+    /// Collaborative filtering by SGD matrix factorization over a
+    /// bipartite rating graph.
+    Cf {
+        /// SGD sweeps.
+        iterations: u32,
+        /// Feature-vector length per vertex.
+        features: u32,
+    },
+}
+
+impl Workload {
+    /// Display name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Bfs { .. } => "BFS",
+            Workload::PageRank { .. } => "PageRank",
+            Workload::Sssp { .. } => "SSSP",
+            Workload::Cf { .. } => "CF",
+        }
+    }
+
+    /// Bytes per vertex property for this workload.
+    pub fn prop_stride(&self) -> u64 {
+        match self {
+            Workload::Cf { features, .. } => 4 * *features as u64,
+            _ => 4,
+        }
+    }
+
+    /// Paper defaults: BFS/SSSP from vertex 0, 2 PageRank sweeps, one
+    /// 32-feature CF sweep (matrix-factorization kernels typically use
+    /// ~30 latent features; the vector size also sets CF's TLB footprint).
+    pub fn default_set() -> [Workload; 4] {
+        [
+            Workload::Bfs { root: 0 },
+            Workload::PageRank { iterations: 2 },
+            Workload::Sssp {
+                root: 0,
+                max_iterations: 64,
+            },
+            Workload::Cf {
+                iterations: 1,
+                features: 32,
+            },
+        ]
+    }
+}
+
+impl core::fmt::Display for Workload {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// PageRank damping factor.
+pub const DAMPING: f32 = 0.85;
+/// CF SGD learning rate.
+pub const CF_LEARNING_RATE: f32 = 0.002;
+/// CF SGD regularization.
+pub const CF_REGULARIZATION: f32 = 0.05;
+/// Unreached BFS level.
+pub const BFS_INF: u32 = u32::MAX;
+
+struct Engines {
+    clocks: Vec<Cycles>,
+    stage: Cycles,
+    rr: usize,
+    walker_ports: u32,
+    walker_busy_at_start: Cycles,
+    latency_hist: Histogram,
+}
+
+impl Engines {
+    fn new(cfg: &AccelConfig, sys: &MemSystem<'_>) -> Self {
+        assert!(cfg.engines > 0, "need at least one engine");
+        assert!(cfg.walker_ports > 0, "need at least one walker port");
+        Self {
+            clocks: vec![0; cfg.engines as usize],
+            stage: cfg.stage_cycles,
+            rr: 0,
+            walker_ports: cfg.walker_ports,
+            walker_busy_at_start: sys.iommu.stats.walker_busy.get(),
+            latency_hist: Histogram::new("access_latency"),
+        }
+    }
+
+    /// Destination sharding: hash the vertex id so RMAT's low-id hubs do
+    /// not all land on engine 0 (Graphicionado interleaves destinations).
+    #[inline]
+    fn shard(&self, v: u32) -> usize {
+        (v.wrapping_mul(0x9E37_79B1) >> 16) as usize % self.clocks.len()
+    }
+
+    /// Streaming stages are interleaved round-robin across engines.
+    #[inline]
+    fn next_stream(&mut self) -> usize {
+        self.rr = (self.rr + 1) % self.clocks.len();
+        self.rr
+    }
+
+    #[inline]
+    fn charge(&mut self, engine: usize, mem_latency: Cycles) {
+        self.latency_hist.sample(mem_latency);
+        self.clocks[engine] += mem_latency + self.stage;
+    }
+
+    fn result(self, sys: &MemSystem<'_>, edges_processed: u64, iterations: u32) -> RunResult {
+        let walker_cycles = (sys.iommu.stats.walker_busy.get() - self.walker_busy_at_start)
+            / self.walker_ports as u64;
+        let engine_max = self.clocks.iter().copied().max().unwrap_or(0);
+        RunResult {
+            cycles: engine_max.max(walker_cycles),
+            engine_cycles: self.clocks,
+            edges_processed,
+            iterations,
+            walker_cycles,
+            latency_hist: self.latency_hist,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Untimed host/on-chip helpers (functional only).
+// ---------------------------------------------------------------------
+
+fn peek_u32(sys: &MemSystem, va: VirtAddr) -> u32 {
+    let (pa, _) = sys
+        .pt
+        .translate(sys.mem, va)
+        .unwrap_or_else(|| panic!("untimed read of unmapped {va}"));
+    sys.mem.read_u32(pa)
+}
+
+fn peek_f32(sys: &MemSystem, va: VirtAddr) -> f32 {
+    f32::from_bits(peek_u32(sys, va))
+}
+
+fn poke_u32(sys: &mut MemSystem, va: VirtAddr, value: u32) {
+    let (pa, _) = sys
+        .pt
+        .translate(sys.mem, va)
+        .unwrap_or_else(|| panic!("untimed write of unmapped {va}"));
+    sys.mem.write_u32(pa, value);
+}
+
+fn poke_f32(sys: &mut MemSystem, va: VirtAddr, value: f32) {
+    poke_u32(sys, va, value.to_bits());
+}
+
+/// Untimed read of `k` contiguous f32 lanes with a single translation
+/// (the vector is page-contained: strides divide the page size).
+fn peek_vec(sys: &MemSystem, va: VirtAddr, k: u64, out: &mut Vec<f32>) {
+    let (pa, _) = sys
+        .pt
+        .translate(sys.mem, va)
+        .unwrap_or_else(|| panic!("untimed read of unmapped {va}"));
+    out.clear();
+    for f in 0..k {
+        out.push(sys.mem.read_f32(pa + f * 4));
+    }
+}
+
+/// Untimed write of lanes `1..k` (lane 0 is written by the timed store).
+fn poke_vec_tail(sys: &mut MemSystem, va: VirtAddr, values: &[f32]) {
+    let (pa, _) = sys
+        .pt
+        .translate(sys.mem, va)
+        .unwrap_or_else(|| panic!("untimed write of unmapped {va}"));
+    for (f, v) in values.iter().enumerate().skip(1) {
+        sys.mem.write_f32(pa + f as u64 * 4, *v);
+    }
+}
+
+/// Host-side memset of a `u32` array (page-chunked, untimed).
+fn memset_u32(sys: &mut MemSystem, base: VirtAddr, count: u64, value: u32) {
+    let mut buf = Vec::with_capacity(PAGE_SIZE as usize);
+    let total = count * 4;
+    let mut done = 0u64;
+    while done < total {
+        let va = base + done;
+        let in_page = PAGE_SIZE - (va.raw() % PAGE_SIZE);
+        let n = in_page.min(total - done);
+        buf.clear();
+        // `base` is 4-aligned and pages are 4-aligned, so chunks are whole
+        // words.
+        for _ in 0..n / 4 {
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+        let (pa, _) = sys.pt.translate(sys.mem, va).expect("mapped");
+        sys.mem.write_bytes(pa, &buf);
+        done += n;
+    }
+}
+
+/// Untimed dump of the property array as `u32`s (for verification).
+pub fn dump_props_u32(sys: &MemSystem, g: &GraphInMemory) -> Vec<u32> {
+    (0..g.num_vertices)
+        .map(|v| peek_u32(sys, g.prop_entry(v)))
+        .collect()
+}
+
+/// Untimed dump of the property array as `f32`s (for verification).
+pub fn dump_props_f32(sys: &MemSystem, g: &GraphInMemory) -> Vec<f32> {
+    (0..g.num_vertices)
+        .map(|v| peek_f32(sys, g.prop_entry(v)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Timed primitives.
+// ---------------------------------------------------------------------
+
+/// Timed read of an edge record; returns `(src, dst, weight)`. One timed
+/// transaction covers the 12-byte record (it fits a 64-byte line); the
+/// weight lane is completed functionally.
+fn read_edge(
+    sys: &mut MemSystem,
+    g: &GraphInMemory,
+    i: u64,
+) -> Result<(u32, u32, f32, Cycles), Fault> {
+    let va = g.edge_entry(i);
+    let (srcdst, lat) = sys.read_u64(va)?;
+    let src = srcdst as u32;
+    let dst = (srcdst >> 32) as u32;
+    let weight = peek_f32(sys, va + 8);
+    Ok((src, dst, weight, lat))
+}
+
+// ---------------------------------------------------------------------
+// The runner.
+// ---------------------------------------------------------------------
+
+/// Execute `workload` over the in-memory graph `g` through the memory
+/// system `sys`.
+///
+/// # Errors
+///
+/// Propagates the first [`Fault`] the IOMMU raises (the paper's design
+/// raises it on the host CPU and aborts the offload).
+///
+/// # Panics
+///
+/// Panics if `g.prop_stride` does not match the workload's stride.
+pub fn run(
+    workload: &Workload,
+    g: &GraphInMemory,
+    sys: &mut MemSystem<'_>,
+    cfg: &AccelConfig,
+) -> Result<RunResult, Fault> {
+    assert_eq!(
+        g.prop_stride,
+        workload.prop_stride(),
+        "graph laid out for a different workload"
+    );
+    match *workload {
+        Workload::Bfs { root } => run_bfs(g, sys, cfg, root),
+        Workload::PageRank { iterations } => run_pagerank(g, sys, cfg, iterations),
+        Workload::Sssp {
+            root,
+            max_iterations,
+        } => run_sssp(g, sys, cfg, root, max_iterations),
+        Workload::Cf {
+            iterations,
+            features,
+        } => run_cf(g, sys, cfg, iterations, features),
+    }
+}
+
+fn run_bfs(
+    g: &GraphInMemory,
+    sys: &mut MemSystem<'_>,
+    cfg: &AccelConfig,
+    root: u32,
+) -> Result<RunResult, Fault> {
+    assert!(root < g.num_vertices, "root out of range");
+    let mut engines = Engines::new(cfg, sys);
+    memset_u32(sys, g.prop_va, g.num_vertices as u64, BFS_INF);
+    poke_u32(sys, g.prop_entry(root), 0);
+    poke_u32(sys, g.frontier_a_va, root);
+
+    let (mut cur, mut nxt) = (g.frontier_a_va, g.frontier_b_va);
+    let mut frontier_len = 1u64;
+    let mut level = 0u32;
+    let mut edges_processed = 0u64;
+
+    while frontier_len > 0 {
+        let mut next_len = 0u64;
+        for i in 0..frontier_len {
+            let (v, lat) = sys.read_u32(cur + i * 4)?;
+            let e_src = engines.shard(v);
+            engines.charge(e_src, lat);
+            let (lo, lat) = sys.read_u64(g.offset_entry(v))?;
+            engines.charge(e_src, lat);
+            let (hi, lat) = sys.read_u64(g.offset_entry(v + 1))?;
+            engines.charge(e_src, lat);
+            for j in lo..hi {
+                let (_src, dst, _w, lat) = read_edge(sys, g, j)?;
+                let e_stream = engines.next_stream();
+                engines.charge(e_stream, lat);
+                edges_processed += 1;
+                let e_dst = engines.shard(dst);
+                let (dist, lat) = sys.read_u32(g.prop_entry(dst))?;
+                engines.charge(e_dst, lat);
+                if dist == BFS_INF {
+                    let lat = sys.write_u32(g.prop_entry(dst), level + 1)?;
+                    engines.charge(e_dst, lat);
+                    let lat = sys.write_u32(nxt + next_len * 4, dst)?;
+                    engines.charge(e_dst, lat);
+                    next_len += 1;
+                }
+            }
+        }
+        core::mem::swap(&mut cur, &mut nxt);
+        frontier_len = next_len;
+        level += 1;
+    }
+    Ok(engines.result(sys, edges_processed, level))
+}
+
+fn run_pagerank(
+    g: &GraphInMemory,
+    sys: &mut MemSystem<'_>,
+    cfg: &AccelConfig,
+    iterations: u32,
+) -> Result<RunResult, Fault> {
+    let mut engines = Engines::new(cfg, sys);
+    let v_count = g.num_vertices;
+    let init = 1.0f32 / v_count as f32;
+    for v in 0..v_count {
+        poke_f32(sys, g.prop_entry(v), init);
+        poke_f32(sys, g.temp_entry(v), 0.0);
+    }
+    let mut edges_processed = 0u64;
+
+    for _ in 0..iterations {
+        // Scatter: stream every vertex's rank into its out-neighbours.
+        for v in 0..v_count {
+            let e_src = engines.shard(v);
+            let (lo, lat) = sys.read_u64(g.offset_entry(v))?;
+            engines.charge(e_src, lat);
+            let (hi, lat) = sys.read_u64(g.offset_entry(v + 1))?;
+            engines.charge(e_src, lat);
+            if hi == lo {
+                continue;
+            }
+            let (rank_bits, lat) = sys.read_u32(g.prop_entry(v))?;
+            engines.charge(e_src, lat);
+            let contrib = f32::from_bits(rank_bits) / (hi - lo) as f32;
+            for j in lo..hi {
+                let (_src, dst, _w, lat) = read_edge(sys, g, j)?;
+                let e_stream = engines.next_stream();
+                engines.charge(e_stream, lat);
+                edges_processed += 1;
+                let e_dst = engines.shard(dst);
+                let (acc_bits, lat) = sys.read_u32(g.temp_entry(dst))?;
+                engines.charge(e_dst, lat);
+                let lat =
+                    sys.write_u32(g.temp_entry(dst), (f32::from_bits(acc_bits) + contrib).to_bits())?;
+                engines.charge(e_dst, lat);
+            }
+        }
+        // Apply: fold accumulators into ranks.
+        for v in 0..v_count {
+            let e = engines.shard(v);
+            let (acc_bits, lat) = sys.read_u32(g.temp_entry(v))?;
+            engines.charge(e, lat);
+            let rank = (1.0 - DAMPING) / v_count as f32 + DAMPING * f32::from_bits(acc_bits);
+            let lat = sys.write_u32(g.prop_entry(v), rank.to_bits())?;
+            engines.charge(e, lat);
+            // Accumulator reset rides the same store functionally.
+            poke_f32(sys, g.temp_entry(v), 0.0);
+        }
+    }
+    Ok(engines.result(sys, edges_processed, iterations))
+}
+
+fn run_sssp(
+    g: &GraphInMemory,
+    sys: &mut MemSystem<'_>,
+    cfg: &AccelConfig,
+    root: u32,
+    max_iterations: u32,
+) -> Result<RunResult, Fault> {
+    assert!(root < g.num_vertices, "root out of range");
+    let mut engines = Engines::new(cfg, sys);
+    memset_u32(sys, g.prop_va, g.num_vertices as u64, f32::INFINITY.to_bits());
+    poke_f32(sys, g.prop_entry(root), 0.0);
+    poke_u32(sys, g.frontier_a_va, root);
+
+    let (mut cur, mut nxt) = (g.frontier_a_va, g.frontier_b_va);
+    let mut frontier_len = 1u64;
+    let mut iterations = 0u32;
+    let mut edges_processed = 0u64;
+    // Frontier-membership bits: small on-chip structure, untimed.
+    let mut in_next = vec![false; g.num_vertices as usize];
+
+    while frontier_len > 0 && iterations < max_iterations {
+        let mut next_len = 0u64;
+        for i in 0..frontier_len {
+            let (v, lat) = sys.read_u32(cur + i * 4)?;
+            let e_src = engines.shard(v);
+            engines.charge(e_src, lat);
+            let (dist_bits, lat) = sys.read_u32(g.prop_entry(v))?;
+            engines.charge(e_src, lat);
+            let dist_v = f32::from_bits(dist_bits);
+            let (lo, lat) = sys.read_u64(g.offset_entry(v))?;
+            engines.charge(e_src, lat);
+            let (hi, lat) = sys.read_u64(g.offset_entry(v + 1))?;
+            engines.charge(e_src, lat);
+            for j in lo..hi {
+                let (_src, dst, weight, lat) = read_edge(sys, g, j)?;
+                let e_stream = engines.next_stream();
+                engines.charge(e_stream, lat);
+                edges_processed += 1;
+                let e_dst = engines.shard(dst);
+                let (old_bits, lat) = sys.read_u32(g.prop_entry(dst))?;
+                engines.charge(e_dst, lat);
+                let candidate = dist_v + weight;
+                if candidate < f32::from_bits(old_bits) {
+                    let lat = sys.write_u32(g.prop_entry(dst), candidate.to_bits())?;
+                    engines.charge(e_dst, lat);
+                    if !in_next[dst as usize] {
+                        in_next[dst as usize] = true;
+                        let lat = sys.write_u32(nxt + next_len * 4, dst)?;
+                        engines.charge(e_dst, lat);
+                        next_len += 1;
+                    }
+                }
+            }
+        }
+        // Clear membership bits for the vertices we queued.
+        for i in 0..next_len {
+            let dst = peek_u32(sys, nxt + i * 4);
+            in_next[dst as usize] = false;
+        }
+        core::mem::swap(&mut cur, &mut nxt);
+        frontier_len = next_len;
+        iterations += 1;
+    }
+    Ok(engines.result(sys, edges_processed, iterations))
+}
+
+fn run_cf(
+    g: &GraphInMemory,
+    sys: &mut MemSystem<'_>,
+    cfg: &AccelConfig,
+    iterations: u32,
+    features: u32,
+) -> Result<RunResult, Fault> {
+    assert!(features > 0, "CF needs at least one feature");
+    let mut engines = Engines::new(cfg, sys);
+    // Deterministic small initial factors (one translation per vertex).
+    for v in 0..g.num_vertices {
+        let (pa, _) = sys
+            .pt
+            .translate(sys.mem, g.prop_entry(v))
+            .expect("prop array mapped");
+        for f in 0..features {
+            let seed = ((v as u64 * 31 + f as u64 * 7) % 97) as f32;
+            sys.mem.write_f32(pa + f as u64 * 4, 0.05 + seed / 1000.0);
+        }
+    }
+    let mut edges_processed = 0u64;
+    let k = features as u64;
+    let mut uvec: Vec<f32> = Vec::with_capacity(k as usize);
+    let mut mvec: Vec<f32> = Vec::with_capacity(k as usize);
+    let mut unew: Vec<f32> = Vec::with_capacity(k as usize);
+    let mut mnew: Vec<f32> = Vec::with_capacity(k as usize);
+
+    for _ in 0..iterations {
+        for j in 0..g.num_edges {
+            let (user, item, rating, lat) = read_edge(sys, g, j)?;
+            let e_user = engines.shard(user);
+            let e_item = engines.shard(item);
+            let e_stream = engines.next_stream();
+            engines.charge(e_stream, lat);
+            edges_processed += 1;
+            // Vector reads: one timed transaction each (the vector is one
+            // DRAM burst), remaining lanes functional with one translation.
+            let user_va = g.prop_entry(user);
+            let item_va = g.prop_entry(item);
+            let (u0, lat) = sys.read_f32(user_va)?;
+            engines.charge(e_user, lat);
+            let (m0, lat) = sys.read_f32(item_va)?;
+            engines.charge(e_item, lat);
+            peek_vec(sys, user_va, k, &mut uvec);
+            peek_vec(sys, item_va, k, &mut mvec);
+            uvec[0] = u0;
+            mvec[0] = m0;
+            let err = rating - uvec.iter().zip(&mvec).map(|(a, b)| a * b).sum::<f32>();
+            // SGD update of both factor vectors.
+            unew.clear();
+            mnew.clear();
+            for f in 0..k as usize {
+                unew.push(uvec[f] + CF_LEARNING_RATE * (err * mvec[f] - CF_REGULARIZATION * uvec[f]));
+                mnew.push(mvec[f] + CF_LEARNING_RATE * (err * uvec[f] - CF_REGULARIZATION * mvec[f]));
+            }
+            let lat = sys.write_f32(user_va, unew[0])?;
+            engines.charge(e_user, lat);
+            let lat = sys.write_f32(item_va, mnew[0])?;
+            engines.charge(e_item, lat);
+            poke_vec_tail(sys, user_va, &unew);
+            poke_vec_tail(sys, item_va, &mnew);
+        }
+    }
+    Ok(engines.result(sys, edges_processed, iterations))
+}

@@ -1,0 +1,210 @@
+//! End-to-end correctness: every workload, executed through *every*
+//! memory-management configuration, must produce results identical to the
+//! host reference implementations — the timing scheme must never change
+//! functional behaviour.
+
+use dvm_accel::{layout, reference, run, AccelConfig, Workload};
+use dvm_energy::EnergyParams;
+use dvm_graph::{rmat, to_bipartite, Graph, RmatParams};
+use dvm_mem::{Dram, DramConfig, MachineConfig};
+use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_os::{MapFlavor, Os, OsConfig};
+use dvm_types::PageSize;
+
+fn os_for(config: MmuConfig) -> Os {
+    let flavor = match config {
+        MmuConfig::Conventional { page_size } => MapFlavor::Paged(page_size),
+        _ => MapFlavor::DvmPe,
+    };
+    Os::new(OsConfig {
+        machine: MachineConfig {
+            mem_bytes: 8 << 30, // roomy: the 1G flavour pads every region
+        },
+        flavor,
+        maintain_bitmap: config == MmuConfig::DvmBitmap,
+        ..OsConfig::default()
+    })
+}
+
+fn run_workload(
+    config: MmuConfig,
+    workload: &Workload,
+    graph: &Graph,
+) -> (dvm_accel::RunResult, Vec<u32>, Vec<f32>) {
+    let mut os = os_for(config);
+    let pid = os.spawn().unwrap();
+    let g = layout::load_graph(&mut os, pid, graph, workload.prop_stride()).unwrap();
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    let mut dram = Dram::new(DramConfig::default());
+    let pt = os.process(pid).unwrap().page_table;
+    let bitmap = os.bitmap;
+    let mut sys = MemSystem {
+        iommu: &mut iommu,
+        pt: &pt,
+        bitmap: bitmap.as_ref(),
+        mem: &mut os.machine.mem,
+        dram: &mut dram,
+    };
+    let result = run(workload, &g, &mut sys, &AccelConfig::default()).unwrap();
+    let props_u32 = dvm_accel::dump_props_u32(&sys, &g);
+    let props_f32 = dvm_accel::dump_props_f32(&sys, &g);
+    (result, props_u32, props_f32)
+}
+
+fn test_graph() -> Graph {
+    rmat(9, 8, RmatParams::default(), 42)
+}
+
+fn bipartite_graph() -> Graph {
+    to_bipartite(&rmat(9, 8, RmatParams::default(), 43), 400, 80)
+}
+
+#[test]
+fn bfs_matches_reference_on_all_configs() {
+    let graph = test_graph();
+    let want = reference::bfs_levels(&graph, 0);
+    for config in MmuConfig::PAPER_SET {
+        let (_, levels, _) = run_workload(config, &Workload::Bfs { root: 0 }, &graph);
+        assert_eq!(levels, want, "config {config}");
+    }
+}
+
+#[test]
+fn pagerank_matches_reference_on_all_configs() {
+    let graph = test_graph();
+    let want = reference::pagerank(&graph, 2);
+    for config in MmuConfig::PAPER_SET {
+        let (_, _, ranks) = run_workload(config, &Workload::PageRank { iterations: 2 }, &graph);
+        assert_eq!(ranks, want, "config {config} (bitwise CSR-order match)");
+    }
+}
+
+#[test]
+fn sssp_matches_dijkstra_on_all_configs() {
+    let graph = test_graph();
+    let want = reference::sssp_distances(&graph, 0);
+    for config in [
+        MmuConfig::Ideal,
+        MmuConfig::DvmPe { preload: true },
+        MmuConfig::Conventional {
+            page_size: PageSize::Size4K,
+        },
+    ] {
+        let (_, _, dist) = run_workload(
+            config,
+            &Workload::Sssp {
+                root: 0,
+                max_iterations: 512,
+            },
+            &graph,
+        );
+        for v in 0..graph.num_vertices() as usize {
+            let (got, want_v) = (dist[v], want[v]);
+            assert!(
+                (got.is_infinite() && want_v.is_infinite())
+                    || (got - want_v).abs() <= 1e-4 * want_v.abs().max(1.0),
+                "config {config} vertex {v}: {got} vs {want_v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cf_matches_reference_sgd() {
+    let graph = bipartite_graph();
+    let workload = Workload::Cf {
+        iterations: 1,
+        features: 8,
+    };
+    let want = reference::cf_factors(&graph, 1, 8);
+    for config in [MmuConfig::Ideal, MmuConfig::DvmPe { preload: true }] {
+        let mut os = os_for(config);
+        let pid = os.spawn().unwrap();
+        let g = layout::load_graph(&mut os, pid, &graph, workload.prop_stride()).unwrap();
+        let mut iommu = Iommu::new(config, EnergyParams::default());
+        let mut dram = Dram::new(DramConfig::default());
+        let pt = os.process(pid).unwrap().page_table;
+        let mut sys = MemSystem {
+            iommu: &mut iommu,
+            pt: &pt,
+            bitmap: None,
+            mem: &mut os.machine.mem,
+            dram: &mut dram,
+        };
+        run(&workload, &g, &mut sys, &AccelConfig::default()).unwrap();
+        // Dump all 8 features per vertex.
+        let mut got = Vec::new();
+        for v in 0..g.num_vertices {
+            for f in 0..8u64 {
+                let (pa, _) = sys.pt.translate(sys.mem, g.prop_entry(v) + f * 4).unwrap();
+                got.push(sys.mem.read_f32(pa));
+            }
+        }
+        assert_eq!(got, want, "config {config}");
+    }
+}
+
+#[test]
+fn identical_work_across_configs() {
+    // The access stream (edges processed, iterations) must be independent
+    // of the MMU scheme; only the timing differs.
+    let graph = test_graph();
+    let workload = Workload::Bfs { root: 0 };
+    let mut baseline = None;
+    for config in MmuConfig::PAPER_SET {
+        let (result, _, _) = run_workload(config, &workload, &graph);
+        let key = (result.edges_processed, result.iterations);
+        match &baseline {
+            None => baseline = Some(key),
+            Some(want) => assert_eq!(&key, want, "config {config}"),
+        }
+    }
+}
+
+#[test]
+fn dvm_pe_is_faster_than_4k_and_slower_than_ideal() {
+    // The DVM advantage needs a working set well beyond the 512 KiB reach
+    // of the 128-entry 4K TLB (paper Figure 2); scale 17 gives a ~14 MiB
+    // footprint.
+    let graph = rmat(17, 8, RmatParams::default(), 7);
+    let workload = Workload::PageRank { iterations: 1 };
+    let (ideal, _, _) = run_workload(MmuConfig::Ideal, &workload, &graph);
+    let (pe_plus, _, _) = run_workload(MmuConfig::DvmPe { preload: true }, &workload, &graph);
+    let (four_k, _, _) = run_workload(
+        MmuConfig::Conventional {
+            page_size: PageSize::Size4K,
+        },
+        &workload,
+        &graph,
+    );
+    assert!(ideal.cycles <= pe_plus.cycles);
+    assert!(
+        pe_plus.cycles < four_k.cycles,
+        "DVM-PE+ {} vs 4K {}",
+        pe_plus.cycles,
+        four_k.cycles
+    );
+}
+
+#[test]
+fn engines_share_work() {
+    let graph = test_graph();
+    let (result, _, _) = run_workload(MmuConfig::Ideal, &Workload::PageRank { iterations: 1 }, &graph);
+    assert_eq!(result.engine_cycles.len(), 8);
+    let min = *result.engine_cycles.iter().min().unwrap();
+    let max = *result.engine_cycles.iter().max().unwrap();
+    assert!(min > 0, "every engine did work");
+    assert!(max < min * 5, "load imbalance too extreme: {min}..{max}");
+}
+
+#[test]
+fn deterministic_cycles() {
+    let graph = test_graph();
+    let workload = Workload::Sssp {
+        root: 0,
+        max_iterations: 64,
+    };
+    let (a, _, _) = run_workload(MmuConfig::DvmPe { preload: false }, &workload, &graph);
+    let (b, _, _) = run_workload(MmuConfig::DvmPe { preload: false }, &workload, &graph);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,105 @@
+//! Property tests: workload correctness over randomly generated graphs —
+//! the accelerator's functional results must match the host references
+//! for any R-MAT seed and root, not just the fixed test graphs.
+
+use dvm_accel::{layout, reference, run, AccelConfig, Workload};
+use dvm_energy::EnergyParams;
+use dvm_graph::{rmat, RmatParams};
+use dvm_mem::{Dram, DramConfig, MachineConfig};
+use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_os::{Os, OsConfig};
+use proptest::prelude::*;
+
+fn run_and_dump(
+    workload: &Workload,
+    graph: &dvm_graph::Graph,
+) -> (Vec<u32>, Vec<f32>, dvm_accel::RunResult) {
+    let mut os = Os::new(OsConfig {
+        machine: MachineConfig { mem_bytes: 256 << 20 },
+        ..OsConfig::default()
+    });
+    let pid = os.spawn().unwrap();
+    let g = layout::load_graph(&mut os, pid, graph, workload.prop_stride()).unwrap();
+    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+    let mut dram = Dram::new(DramConfig::default());
+    let pt = os.process(pid).unwrap().page_table;
+    let mut sys = MemSystem {
+        iommu: &mut iommu,
+        pt: &pt,
+        bitmap: None,
+        mem: &mut os.machine.mem,
+        dram: &mut dram,
+    };
+    let result = run(workload, &g, &mut sys, &AccelConfig::default()).unwrap();
+    (
+        dvm_accel::dump_props_u32(&sys, &g),
+        dvm_accel::dump_props_f32(&sys, &g),
+        result,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bfs_matches_reference_for_any_seed(seed in 0u64..10_000, root_pick in 0u32..256) {
+        let graph = rmat(8, 4, RmatParams::default(), seed);
+        let root = root_pick % graph.num_vertices();
+        let (levels, _, result) = run_and_dump(&Workload::Bfs { root }, &graph);
+        prop_assert_eq!(levels, reference::bfs_levels(&graph, root));
+        prop_assert!(result.cycles > 0);
+    }
+
+    #[test]
+    fn pagerank_matches_reference_bitwise_for_any_seed(seed in 0u64..10_000) {
+        let graph = rmat(8, 4, RmatParams::default(), seed);
+        let (_, ranks, _) = run_and_dump(&Workload::PageRank { iterations: 2 }, &graph);
+        prop_assert_eq!(ranks, reference::pagerank(&graph, 2));
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra_for_any_seed(seed in 0u64..10_000) {
+        let graph = rmat(8, 4, RmatParams::default(), seed);
+        let (_, dist, _) = run_and_dump(
+            &Workload::Sssp { root: 0, max_iterations: 256 },
+            &graph,
+        );
+        let want = reference::sssp_distances(&graph, 0);
+        for v in 0..graph.num_vertices() as usize {
+            let (got, want_v) = (dist[v], want[v]);
+            prop_assert!(
+                (got.is_infinite() && want_v.is_infinite())
+                    || (got - want_v).abs() <= 1e-4 * want_v.abs().max(1.0),
+                "seed {} vertex {}: {} vs {}", seed, v, got, want_v
+            );
+        }
+    }
+
+    #[test]
+    fn engine_count_does_not_change_results(seed in 0u64..1000, engines in 1u32..16) {
+        // Timing shards across engines, but the functional result is
+        // engine-count-invariant.
+        let graph = rmat(7, 4, RmatParams::default(), seed);
+        let workload = Workload::Bfs { root: 0 };
+        let mut os = Os::new(OsConfig {
+            machine: MachineConfig { mem_bytes: 128 << 20 },
+            ..OsConfig::default()
+        });
+        let pid = os.spawn().unwrap();
+        let g = layout::load_graph(&mut os, pid, &graph, workload.prop_stride()).unwrap();
+        let mut iommu = Iommu::new(MmuConfig::Ideal, EnergyParams::default());
+        let mut dram = Dram::new(DramConfig::default());
+        let pt = os.process(pid).unwrap().page_table;
+        let mut sys = MemSystem {
+            iommu: &mut iommu,
+            pt: &pt,
+            bitmap: None,
+            mem: &mut os.machine.mem,
+            dram: &mut dram,
+        };
+        let cfg = AccelConfig { engines, ..AccelConfig::default() };
+        run(&workload, &g, &mut sys, &cfg).unwrap();
+        let levels = dvm_accel::dump_props_u32(&sys, &g);
+        prop_assert_eq!(levels, reference::bfs_levels(&graph, 0));
+    }
+}

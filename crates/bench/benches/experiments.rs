@@ -1,0 +1,267 @@
+//! Criterion end-to-end benchmarks: a miniature of every experiment in
+//! the paper runs under `cargo bench`, so the full evaluation code path
+//! is continuously exercised, plus ablations of DVM's design choices
+//! (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvm_core::{
+    evaluate_cpu, page_table_study, run_graph_experiment, CpuModelConfig, CpuScheme, CpuWorkload,
+    ExperimentConfig, MachineConfig, MmuConfig, Os, OsConfig, PageSize, ShbenchConfig, Workload,
+};
+use dvm_graph::{rmat, RmatParams};
+use dvm_os::{shbench, MapFlavor};
+use dvm_types::Permission;
+
+/// One small graph shared by the figure miniatures.
+fn small_graph() -> dvm_graph::Graph {
+    rmat(13, 8, RmatParams::default(), 7)
+}
+
+fn fig2_miniature(c: &mut Criterion) {
+    let graph = small_graph();
+    c.bench_function("fig2_tlb_miss_rates", |b| {
+        b.iter(|| {
+            let report = run_graph_experiment(
+                &Workload::Bfs { root: 0 },
+                &graph,
+                &ExperimentConfig::for_mmu(MmuConfig::Conventional {
+                    page_size: PageSize::Size4K,
+                }),
+            )
+            .unwrap();
+            std::hint::black_box(report.tlb_miss_rate())
+        })
+    });
+}
+
+fn table1_miniature(c: &mut Criterion) {
+    let graph = small_graph();
+    c.bench_function("table1_page_table_study", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                page_table_study(&graph, &Workload::PageRank { iterations: 1 }).unwrap(),
+            )
+        })
+    });
+}
+
+fn fig8_fig9_miniature(c: &mut Criterion) {
+    let graph = small_graph();
+    let mut group = c.benchmark_group("fig8_fig9_schemes");
+    group.sample_size(10);
+    for mmu in MmuConfig::PAPER_SET {
+        group.bench_function(mmu.name(), |b| {
+            b.iter(|| {
+                let report = run_graph_experiment(
+                    &Workload::Bfs { root: 0 },
+                    &graph,
+                    &ExperimentConfig::for_mmu(mmu),
+                )
+                .unwrap();
+                std::hint::black_box((report.cycles, report.mm_energy_pj))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table4_miniature(c: &mut Criterion) {
+    c.bench_function("table4_shbench", |b| {
+        b.iter(|| {
+            let mut os = Os::new(OsConfig {
+                machine: MachineConfig { mem_bytes: 512 << 20 },
+                ..OsConfig::default()
+            });
+            let result = shbench::run(&mut os, ShbenchConfig::experiment2()).unwrap();
+            std::hint::black_box(result.identity_percent())
+        })
+    });
+}
+
+fn fig10_miniature(c: &mut Criterion) {
+    let config = CpuModelConfig {
+        accesses: 50_000,
+        footprint_div: 8,
+        machine_bytes: 2 << 30,
+        ..CpuModelConfig::default()
+    };
+    let mut group = c.benchmark_group("fig10_cpu_schemes");
+    group.sample_size(10);
+    for scheme in CpuScheme::ALL {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let report = evaluate_cpu(CpuWorkload::Canneal, scheme, &config).unwrap();
+                std::hint::black_box(report.overhead_percent())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: AVC caching of L1 PTEs on/off == DVM-PE walks vs a PWC-style
+/// structure (the paper's argument for why the AVC works at all).
+fn ablate_avc(c: &mut Criterion) {
+    use dvm_mem::{BuddyAllocator, PhysMem};
+    use dvm_mmu::{PtCache, PtCacheConfig, PtcLookup};
+    use dvm_pagetable::PageTable;
+    use dvm_sim::DetRng;
+    use dvm_types::VirtAddr;
+
+    let span: u64 = 32 << 20;
+    let base = VirtAddr::new(1 << 30);
+    let mut mem = PhysMem::new(1 << 18);
+    let mut alloc = BuddyAllocator::new(1 << 18);
+    let mut pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+    pt.map_identity_leaves(
+        &mut mem,
+        &mut alloc,
+        base,
+        span,
+        Permission::ReadWrite,
+        PageSize::Size4K,
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("ablate_avc_l1_caching");
+    for (name, cfg) in [
+        ("cache_l1_avc", PtCacheConfig::paper_avc()),
+        ("bypass_l1_pwc", PtCacheConfig::paper_pwc()),
+    ] {
+        group.bench_function(name, |b| {
+            let mut cache = PtCache::new(cfg);
+            let mut rng = DetRng::new(9);
+            let mut mem_refs = 0u64;
+            b.iter(|| {
+                let va = base + rng.below(span);
+                let walk = pt.walk(&mem, va);
+                for step in walk.steps() {
+                    if cache.access(step.pte_pa, step.level) != PtcLookup::Hit {
+                        mem_refs += 1;
+                    }
+                }
+                std::hint::black_box(mem_refs)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: eager identity mapping vs forced demand paging at mmap time.
+fn ablate_eager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_eager_identity");
+    for (name, identity) in [("identity", true), ("demand_paged", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut os = Os::new(OsConfig {
+                    machine: MachineConfig { mem_bytes: 256 << 20 },
+                    flavor: MapFlavor::DvmPe,
+                    identity_enabled: identity,
+                    ..OsConfig::default()
+                });
+                let pid = os.spawn().unwrap();
+                for _ in 0..16 {
+                    os.mmap(pid, 1 << 20, Permission::ReadWrite).unwrap();
+                }
+                std::hint::black_box(os.stats.identity_maps)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig2_miniature,
+    table1_miniature,
+    fig8_fig9_miniature,
+    table4_miniature,
+    fig10_miniature,
+    ablate_avc,
+    ablate_eager,
+    ablate_pe_fields,
+    virt_miniature
+);
+criterion_main!(benches);
+
+/// Ablation: Permission-Entry field count (16 new-format fields vs the
+/// paper's spare-bits alternatives with 8 or 4) — coarser fields force
+/// more leaf fallbacks and larger tables.
+fn ablate_pe_fields(c: &mut Criterion) {
+    use dvm_mem::{BuddyAllocator, PhysMem};
+    use dvm_pagetable::PageTable;
+    use dvm_types::VirtAddr;
+
+    let mut group = c.benchmark_group("ablate_pe_fields");
+    for fields in [16u32, 8, 4] {
+        group.bench_function(format!("{fields}_fields"), |b| {
+            b.iter(|| {
+                let mut mem = PhysMem::new(1 << 18);
+                let mut alloc = BuddyAllocator::new(1 << 18);
+                let mut pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+                // 32 regions of 128 KiB at 2 MiB strides.
+                for i in 0..32u64 {
+                    pt.map_identity_pe_granular(
+                        &mut mem,
+                        &mut alloc,
+                        VirtAddr::new((64 << 20) + i * (2 << 20)),
+                        128 << 10,
+                        Permission::ReadWrite,
+                        fields,
+                    )
+                    .unwrap();
+                }
+                std::hint::black_box(pt.size_report(&mem).total_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Extension miniature: nested translation under the four §5 schemes.
+fn virt_miniature(c: &mut Criterion) {
+    use dvm_mem::{BuddyAllocator, Dram, DramConfig, PhysMem};
+    use dvm_mmu::{NestedScheme, NestedWalker};
+    use dvm_pagetable::PageTable;
+    use dvm_sim::DetRng;
+    use dvm_types::VirtAddr;
+
+    let mut group = c.benchmark_group("virt_nested_translation");
+    group.sample_size(10);
+    for scheme in NestedScheme::ALL {
+        group.bench_function(scheme.name(), |b| {
+            let mut mem = PhysMem::new(1 << 18);
+            let mut alloc = BuddyAllocator::new(1 << 18);
+            let base = VirtAddr::new(1 << 30);
+            let span: u64 = 32 << 20;
+            let mut guest_pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+            guest_pt
+                .map_identity_pe(&mut mem, &mut alloc, base, span, Permission::ReadWrite)
+                .unwrap();
+            let mut host_pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+            host_pt
+                .map_identity_pe(
+                    &mut mem,
+                    &mut alloc,
+                    VirtAddr::new(0),
+                    64 << 20,
+                    Permission::ReadWrite,
+                )
+                .unwrap();
+            host_pt
+                .map_identity_pe(&mut mem, &mut alloc, base, span, Permission::ReadWrite)
+                .unwrap();
+            let mut dram = Dram::new(DramConfig::default());
+            let mut walker = NestedWalker::new(scheme);
+            let mut rng = DetRng::new(13);
+            b.iter(|| {
+                let gva = base + rng.below(span / 64) * 64;
+                std::hint::black_box(
+                    walker
+                        .translate(gva, &guest_pt, &host_pt, &mem, &mut dram)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}

@@ -1,0 +1,140 @@
+//! Criterion micro-benchmarks of the hardware-critical structures the
+//! paper argues about: TLB lookups (FA vs SA), AVC-backed PE walks vs
+//! conventional 4K walks, the DVM-BM bitmap, and the buddy allocator's
+//! eager contiguous allocation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dvm_mem::{BuddyAllocator, PhysMem};
+use dvm_mmu::{Associativity, PtCache, PtCacheConfig, Tlb, TlbConfig, TlbEntry};
+use dvm_pagetable::{PageTable, PermBitmap};
+use dvm_sim::DetRng;
+use dvm_types::{PageSize, Permission, PhysAddr, VirtAddr};
+
+fn tlb_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_lookup");
+    for (name, assoc) in [
+        ("fully_associative", Associativity::Full),
+        ("4way", Associativity::SetAssociative { ways: 4 }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut tlb = Tlb::new(TlbConfig {
+                entries: 128,
+                assoc,
+                page_size: PageSize::Size4K,
+            });
+            for vpn in 0..128 {
+                tlb.insert(TlbEntry {
+                    vpn,
+                    pfn: vpn,
+                    perms: Permission::ReadWrite,
+                });
+            }
+            let mut rng = DetRng::new(1);
+            b.iter(|| {
+                let vpn = rng.below(192); // 2/3 hits
+                std::hint::black_box(tlb.lookup(VirtAddr::new(vpn << 12)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn avc_probe(c: &mut Criterion) {
+    c.bench_function("avc_probe", |b| {
+        let mut avc = PtCache::new(PtCacheConfig::paper_avc());
+        let mut rng = DetRng::new(2);
+        b.iter(|| {
+            let pa = PhysAddr::new(rng.below(64) * 64);
+            std::hint::black_box(avc.access(pa, 2))
+        });
+    });
+}
+
+fn page_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_walk");
+    // 64 MiB identity region, PE tables vs 4K leaf tables.
+    let span: u64 = 64 << 20;
+    let base = VirtAddr::new(1 << 30);
+
+    let mut mem_pe = PhysMem::new(1 << 19);
+    let mut alloc_pe = BuddyAllocator::new(1 << 19);
+    let mut pt_pe = PageTable::new(&mut mem_pe, &mut alloc_pe).unwrap();
+    pt_pe
+        .map_identity_pe(&mut mem_pe, &mut alloc_pe, base, span, Permission::ReadWrite)
+        .unwrap();
+
+    let mut mem_4k = PhysMem::new(1 << 19);
+    let mut alloc_4k = BuddyAllocator::new(1 << 19);
+    let mut pt_4k = PageTable::new(&mut mem_4k, &mut alloc_4k).unwrap();
+    pt_4k
+        .map_identity_leaves(
+            &mut mem_4k,
+            &mut alloc_4k,
+            base,
+            span,
+            Permission::ReadWrite,
+            PageSize::Size4K,
+        )
+        .unwrap();
+
+    let mut rng = DetRng::new(3);
+    group.bench_function("pe_tables", |b| {
+        b.iter(|| {
+            let va = base + rng.below(span);
+            std::hint::black_box(pt_pe.walk(&mem_pe, va))
+        })
+    });
+    let mut rng = DetRng::new(3);
+    group.bench_function("4k_leaf_tables", |b| {
+        b.iter(|| {
+            let va = base + rng.below(span);
+            std::hint::black_box(pt_4k.walk(&mem_4k, va))
+        })
+    });
+    group.finish();
+}
+
+fn buddy_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buddy");
+    group.bench_function("eager_contiguous_1MiB", |b| {
+        b.iter_batched(
+            || BuddyAllocator::new(1 << 18),
+            |mut buddy| {
+                // 1 MiB = 256 frames, with trim (300 frames requested).
+                let r = buddy.alloc_frames(300).unwrap();
+                buddy.free_frames(r);
+                buddy
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("single_frame", |b| {
+        b.iter_batched(
+            || BuddyAllocator::new(1 << 18),
+            |mut buddy| {
+                let f = buddy.alloc_frame().unwrap();
+                buddy.free_frames(dvm_mem::FrameRange { start: f, count: 1 });
+                buddy
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bitmap_dav(c: &mut Criterion) {
+    c.bench_function("bitmap_perms_lookup", |b| {
+        let mut mem = PhysMem::new(1 << 16);
+        let mut alloc = BuddyAllocator::new(1 << 16);
+        let bitmap = PermBitmap::new(&mut mem, &mut alloc, 1 << 30).unwrap();
+        bitmap.set_range(&mut mem, 0, 1 << 16, Permission::ReadWrite);
+        let mut rng = DetRng::new(4);
+        b.iter(|| {
+            let vpn = rng.below(1 << 16);
+            std::hint::black_box(bitmap.perms_of(&mem, vpn))
+        });
+    });
+}
+
+criterion_group!(benches, tlb_lookup, avc_probe, page_walks, buddy_alloc, bitmap_dav);
+criterion_main!(benches);

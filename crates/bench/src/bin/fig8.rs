@@ -1,0 +1,49 @@
+//! Figure 8: accelerator execution time under each memory-management
+//! scheme, normalized to the Ideal (direct physical access) run.
+//!
+//! ```text
+//! cargo run --release -p dvm-bench --bin fig8 [--scale quick|paper|full]
+//! ```
+
+use dvm_bench::{geomean, pair_label, paper_pairs, HarnessArgs};
+use dvm_core::{run_paper_configs, MmuConfig};
+use dvm_sim::Table;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Figure 8: execution time normalized to Ideal, scale = {}\n",
+        args.scale.name()
+    );
+    let names: Vec<&str> = MmuConfig::PAPER_SET.iter().map(|c| c.name()).collect();
+    let mut header = vec!["workload/graph"];
+    header.extend(names.iter().take(6)); // Ideal (==1.0) omitted as in the figure
+    let mut table = Table::new(&header);
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); 6];
+
+    for (workload, dataset) in paper_pairs() {
+        if !args.wants(dataset) {
+            continue;
+        }
+        let graph = dataset.generate(args.scale.divisor(dataset));
+        let reports = run_paper_configs(&workload, &graph).expect("experiment failed");
+        let ideal = reports[6].cycles.max(1) as f64;
+        let mut row = vec![pair_label(&workload, dataset)];
+        for (i, report) in reports.iter().take(6).enumerate() {
+            let normalized = report.cycles as f64 / ideal;
+            per_config[i].push(normalized);
+            row.push(format!("{normalized:.3}"));
+        }
+        table.row(&row);
+        eprint!(".");
+    }
+    eprintln!();
+    let mut avg_row = vec!["geomean".to_string()];
+    for values in &per_config {
+        avg_row.push(format!("{:.3}", geomean(values)));
+    }
+    table.row(&avg_row);
+    println!("{table}");
+    println!("paper: 4K/2M ~2.2x/2.1x, DVM-BM ~1.23x, DVM-PE ~1.035x,");
+    println!("DVM-PE+ ~1.017x, 1G near-ideal for these footprints.");
+}

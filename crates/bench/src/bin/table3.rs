@@ -1,0 +1,47 @@
+//! Table 3: the evaluation datasets — published properties and the
+//! synthetic stand-ins generated at the selected scale.
+//!
+//! ```text
+//! cargo run --release -p dvm-bench --bin table3 [--scale quick|paper|full]
+//! ```
+
+use dvm_bench::HarnessArgs;
+use dvm_core::Dataset;
+use dvm_sim::Table;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Table 3: graph datasets (published vs generated stand-ins), scale = {}\n",
+        args.scale.name()
+    );
+    let mut table = Table::new(&[
+        "graph",
+        "paper |V|",
+        "paper |E|",
+        "paper heap",
+        "gen div",
+        "gen |V|",
+        "gen |E|",
+        "gen heap (MB)",
+    ]);
+    for dataset in Dataset::ALL {
+        if !args.wants(dataset) {
+            continue;
+        }
+        let spec = dataset.spec();
+        let div = args.scale.divisor(dataset);
+        let graph = dataset.generate(div);
+        table.row(&[
+            dataset.short_name().into(),
+            format!("{:.2}M", spec.vertices as f64 / 1e6),
+            format!("{:.2}M", spec.edges as f64 / 1e6),
+            format!("{:.2} GB", spec.heap_mib as f64 / 1024.0),
+            format!("1/{div}"),
+            format!("{:.2}M", graph.num_vertices() as f64 / 1e6),
+            format!("{:.2}M", graph.num_edges() as f64 / 1e6),
+            format!("{}", graph.footprint_bytes() >> 20),
+        ]);
+    }
+    println!("{table}");
+}

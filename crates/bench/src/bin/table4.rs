@@ -1,0 +1,47 @@
+//! Table 4: percentage of system memory successfully allocated with
+//! identity mapping under shbench churn, for 16/32/64 GiB machines.
+//!
+//! ```text
+//! cargo run --release -p dvm-bench --bin table4 [--scale quick|paper|full]
+//! ```
+//!
+//! `quick` uses 4/8/16 GiB machines; `paper`/`full` the published
+//! 16/32/64 GiB.
+
+use dvm_bench::{HarnessArgs, Scale};
+use dvm_core::{MachineConfig, Os, OsConfig, ShbenchConfig};
+use dvm_os::shbench;
+use dvm_sim::Table;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let gib: &[u64] = match args.scale {
+        Scale::Quick => &[4, 8, 16],
+        _ => &[16, 32, 64],
+    };
+    println!(
+        "Table 4: % of memory identity-mapped at first failure (shbench), scale = {}\n",
+        args.scale.name()
+    );
+    let mut table = Table::new(&["system memory", "expt 1 (small)", "expt 2 (large)", "expt 3 (4x large)"]);
+    for &g in gib {
+        let mut row = vec![format!("{g} GB")];
+        for config in [
+            ShbenchConfig::experiment1(),
+            ShbenchConfig::experiment2(),
+            ShbenchConfig::experiment3(),
+        ] {
+            let mut os = Os::new(OsConfig {
+                machine: MachineConfig { mem_bytes: g << 30 },
+                ..OsConfig::default()
+            });
+            let result = shbench::run(&mut os, config).expect("shbench failed");
+            row.push(format!("{:.0}%", result.identity_percent()));
+            eprint!(".");
+        }
+        table.row(&row);
+    }
+    eprintln!();
+    println!("{table}");
+    println!("paper: 95-97% across all cells.");
+}

@@ -1,0 +1,191 @@
+//! Shared plumbing for the benchmark harness binaries that regenerate
+//! every table and figure of the paper (see DESIGN.md §5 for the index).
+//!
+//! Each binary accepts:
+//!
+//! ```text
+//! --scale quick|paper|full   dataset sizing (default: quick)
+//! --datasets FR,Wiki,...     restrict to some inputs
+//! ```
+//!
+//! * `quick` — minutes on a laptop; dataset stand-ins shrunk 8x further
+//!   than `paper`. Shapes hold because footprints still exceed TLB reach.
+//! * `paper` — stand-ins sized so vertex counts approach the published
+//!   datasets (tens of minutes for Figure 8/9).
+//! * `full`  — unscaled Table 3 sizes (hours; needs ~16 GiB of host RAM).
+
+use dvm_core::{Dataset, Workload};
+use std::fmt::Write as _;
+
+/// Dataset scaling selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 8x smaller than `paper`; default.
+    Quick,
+    /// Near-published sizes.
+    Paper,
+    /// Exactly the published sizes.
+    Full,
+}
+
+impl Scale {
+    /// Human name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+            Scale::Full => "full",
+        }
+    }
+
+    /// The `scale_div` to pass to [`Dataset::generate`]. The `paper`
+    /// divisors are tuned per dataset so (a) every vertex set comfortably
+    /// exceeds the 512 KiB reach of the 128-entry 4K TLB, and (b) most
+    /// footprints exceed the 256 MiB reach of the 2M TLB — the property
+    /// behind the paper's "2M pages barely help" observation — while edge
+    /// counts stay tractable.
+    pub fn divisor(&self, dataset: Dataset) -> u32 {
+        let paper = match dataset {
+            Dataset::Flickr => 1,
+            Dataset::Wikipedia => 4,
+            Dataset::LiveJournal => 4,
+            Dataset::Rmat24 => 8,
+            Dataset::Netflix => 4,
+            Dataset::Bip1 => 2,
+            Dataset::Bip2 => 8,
+        };
+        match self {
+            Scale::Full => 1,
+            Scale::Paper => paper,
+            Scale::Quick => paper * 4,
+        }
+    }
+}
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Dataset filter (None = all).
+    pub datasets: Option<Vec<String>>,
+}
+
+impl HarnessArgs {
+    /// Parse `std::env::args`; exits with usage help on `--help` or bad
+    /// input.
+    pub fn parse() -> Self {
+        let mut scale = Scale::Quick;
+        let mut datasets = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    scale = match v.as_str() {
+                        "quick" => Scale::Quick,
+                        "paper" => Scale::Paper,
+                        "full" => Scale::Full,
+                        other => {
+                            eprintln!("unknown scale '{other}' (quick|paper|full)");
+                            std::process::exit(2);
+                        }
+                    };
+                }
+                "--datasets" => {
+                    let v = args.next().unwrap_or_default();
+                    datasets = Some(v.split(',').map(|s| s.to_string()).collect());
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--scale quick|paper|full] [--datasets FR,Wiki,...]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument '{other}'");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Self { scale, datasets }
+    }
+
+    /// `true` if `dataset` passed the filter.
+    pub fn wants(&self, dataset: Dataset) -> bool {
+        self.datasets
+            .as_ref()
+            .map_or(true, |list| list.iter().any(|n| n == dataset.short_name()))
+    }
+}
+
+/// The 15 (workload, dataset) pairs of Figures 2, 8 and 9, in the paper's
+/// order: BFS/PageRank/SSSP over {FR, Wiki, LJ, S24}, CF over
+/// {NF, Bip1, Bip2}.
+pub fn paper_pairs() -> Vec<(Workload, Dataset)> {
+    let mut pairs = Vec::new();
+    let graph_workloads = [
+        Workload::Bfs { root: 0 },
+        Workload::PageRank { iterations: 1 },
+        Workload::Sssp {
+            root: 0,
+            max_iterations: 64,
+        },
+    ];
+    for workload in graph_workloads {
+        for dataset in Dataset::GRAPH_SET {
+            pairs.push((workload, dataset));
+        }
+    }
+    for dataset in Dataset::CF_SET {
+        pairs.push((
+            Workload::Cf {
+                iterations: 1,
+                features: 32,
+            },
+            dataset,
+        ));
+    }
+    pairs
+}
+
+/// Label like "BFS/FR" used in figure rows.
+pub fn pair_label(workload: &Workload, dataset: Dataset) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{}/{}", workload.name(), dataset.short_name());
+    s
+}
+
+/// Geometric mean (the right average for normalized ratios).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_pairs_in_paper_order() {
+        let pairs = paper_pairs();
+        assert_eq!(pairs.len(), 15);
+        assert_eq!(pair_label(&pairs[0].0, pairs[0].1), "BFS/FR");
+        assert_eq!(pair_label(&pairs[14].0, pairs[14].1), "CF/Bip2");
+    }
+
+    #[test]
+    fn divisors_shrink_with_quick() {
+        for ds in Dataset::ALL {
+            assert_eq!(Scale::Full.divisor(ds), 1);
+            assert_eq!(Scale::Quick.divisor(ds), Scale::Paper.divisor(ds) * 4);
+        }
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

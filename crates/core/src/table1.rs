@@ -1,0 +1,104 @@
+//! The page-table size study (paper Table 1): for a given workload heap,
+//! compare conventional 4 KiB page tables against Permission-Entry
+//! tables.
+
+use dvm_accel::{layout, Workload};
+use dvm_graph::Graph;
+use dvm_mem::MachineConfig;
+use dvm_os::{MapFlavor, Os, OsConfig};
+use dvm_pagetable::SizeReport;
+use dvm_types::{DvmError, PageSize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct PageTableStudy {
+    /// Conventional 4 KiB page-table size report.
+    pub conventional: SizeReport,
+    /// Permission-Entry page-table size report.
+    pub with_pes: SizeReport,
+    /// Heap bytes mapped.
+    pub heap_bytes: u64,
+}
+
+impl PageTableStudy {
+    /// Conventional table size in KiB ("Page Tables (in KB)").
+    pub fn conventional_kb(&self) -> u64 {
+        self.conventional.total_kb()
+    }
+
+    /// Fraction of conventional table bytes in L1 PTE pages
+    /// ("% occupied by L1PTEs").
+    pub fn l1_fraction(&self) -> f64 {
+        self.conventional.l1_fraction()
+    }
+
+    /// PE table size in KiB ("Page Tables with PEs (in KB)").
+    pub fn pe_kb(&self) -> u64 {
+        self.with_pes.total_kb()
+    }
+}
+
+/// Build the workload's heap twice — once with 4 KiB leaf tables, once
+/// with Permission Entries — and measure both page tables.
+///
+/// # Errors
+///
+/// Propagates OS allocation failures.
+pub fn page_table_study(graph: &Graph, workload: &Workload) -> Result<PageTableStudy, DvmError> {
+    let mut reports = Vec::with_capacity(2);
+    let mut heap_bytes = 0;
+    for flavor in [MapFlavor::Paged(PageSize::Size4K), MapFlavor::DvmPe] {
+        let mem_bytes = (graph.footprint_bytes() * 2)
+            .next_multiple_of(1 << 30)
+            .max(1 << 30);
+        let mut os = Os::new(OsConfig {
+            machine: MachineConfig { mem_bytes },
+            flavor,
+            ..OsConfig::default()
+        });
+        let pid = os.spawn()?;
+        let g = layout::load_graph(&mut os, pid, graph, workload.prop_stride())?;
+        heap_bytes = g.heap_bytes();
+        let report = os
+            .process(pid)?
+            .page_table
+            .size_report(&os.machine.mem);
+        reports.push(report);
+    }
+    Ok(PageTableStudy {
+        conventional: reports[0],
+        with_pes: reports[1],
+        heap_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_graph::{rmat, RmatParams};
+
+    #[test]
+    fn pes_shrink_tables_dramatically() {
+        // A ~45 MiB heap: big enough that L1 tables dominate (the paper's
+        // full-size rows are produced by the table1 harness binary).
+        let graph = rmat(18, 12, RmatParams::default(), 2);
+        let study =
+            page_table_study(&graph, &Workload::PageRank { iterations: 1 }).unwrap();
+        // Paper Table 1: L1 PTEs dominate conventional table bytes, and
+        // PEs shrink the table by an order of magnitude.
+        assert!(
+            study.l1_fraction() > 0.8,
+            "L1 fraction {:.3}",
+            study.l1_fraction()
+        );
+        assert!(
+            study.pe_kb() * 5 < study.conventional_kb(),
+            "PE {} KB vs conventional {} KB",
+            study.pe_kb(),
+            study.conventional_kb()
+        );
+        // PE tables have essentially no L1 pages.
+        assert_eq!(study.with_pes.table_frames[0], 0);
+        assert!(study.with_pes.total_pes() > 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Compressed sparse row (CSR) graph representation, matching the layout
+//! Graphicionado streams: an edge array of `(srcid, dstid, weight)`
+//! 3-tuples sorted by source, plus an offset array indexing each vertex's
+//! out-edges (§6.1).
+
+/// One directed edge as stored in the accelerator's edge list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source vertex id.
+    pub src: u32,
+    /// Destination vertex id.
+    pub dst: u32,
+    /// Edge weight (1.0 for unweighted workloads; a rating for CF).
+    pub weight: f32,
+}
+
+/// A directed graph in CSR form.
+///
+/// # Examples
+///
+/// ```
+/// use dvm_graph::{Edge, Graph};
+/// let g = Graph::from_edges(3, vec![
+///     Edge { src: 0, dst: 1, weight: 1.0 },
+///     Edge { src: 0, dst: 2, weight: 2.0 },
+///     Edge { src: 2, dst: 0, weight: 3.0 },
+/// ]);
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.out_edges(0).len(), 2);
+/// assert_eq!(g.out_edges(1).len(), 0);
+/// assert_eq!(g.out_edges(2)[0].dst, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    num_vertices: u32,
+    /// `offsets[v]..offsets[v+1]` indexes `edges` for vertex `v`.
+    offsets: Vec<u64>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Build a CSR graph from an edge list (any order; sorted internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a vertex `>= num_vertices`.
+    pub fn from_edges(num_vertices: u32, mut edges: Vec<Edge>) -> Self {
+        for e in &edges {
+            assert!(
+                e.src < num_vertices && e.dst < num_vertices,
+                "edge ({}, {}) beyond {num_vertices} vertices",
+                e.src,
+                e.dst
+            );
+        }
+        edges.sort_by_key(|e| (e.src, e.dst));
+        let mut offsets = vec![0u64; num_vertices as usize + 1];
+        for e in &edges {
+            offsets[e.src as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        Self {
+            num_vertices,
+            offsets,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Out-edges of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn out_edges(&self, v: u32) -> &[Edge] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn out_degree(&self, v: u32) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The full edge array in CSR order (what the accelerator streams).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The offset array (`num_vertices + 1` entries).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Reverse all edges (used to build pull-based vertex programs).
+    pub fn transpose(&self) -> Graph {
+        let edges = self
+            .edges
+            .iter()
+            .map(|e| Edge {
+                src: e.dst,
+                dst: e.src,
+                weight: e.weight,
+            })
+            .collect();
+        Graph::from_edges(self.num_vertices, edges)
+    }
+
+    /// Approximate bytes the accelerator-resident data occupies: edge list
+    /// (12 B/edge), offsets (8 B/vertex) and one 4-byte property plus one
+    /// 4-byte temporary per vertex. Used for dataset heap-size reporting.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.num_edges() * 12 + (self.num_vertices as u64 + 1) * 8 + self.num_vertices as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        Graph::from_edges(
+            4,
+            vec![
+                Edge { src: 0, dst: 1, weight: 1.0 },
+                Edge { src: 0, dst: 2, weight: 1.0 },
+                Edge { src: 1, dst: 3, weight: 1.0 },
+                Edge { src: 2, dst: 3, weight: 1.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn csr_offsets_are_prefix_sums() {
+        let g = diamond();
+        assert_eq!(g.offsets(), &[0, 2, 3, 4, 4]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn edges_sorted_by_source() {
+        let g = Graph::from_edges(
+            3,
+            vec![
+                Edge { src: 2, dst: 0, weight: 1.0 },
+                Edge { src: 0, dst: 1, weight: 1.0 },
+            ],
+        );
+        assert_eq!(g.edges()[0].src, 0);
+        assert_eq!(g.edges()[1].src, 2);
+    }
+
+    #[test]
+    fn transpose_reverses() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        assert_eq!(t.out_degree(3), 2);
+        assert_eq!(t.out_degree(0), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(5, vec![]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_edges(4).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn rejects_out_of_range_edges() {
+        Graph::from_edges(2, vec![Edge { src: 0, dst: 5, weight: 1.0 }]);
+    }
+
+    #[test]
+    fn footprint_scales_with_size() {
+        let g = diamond();
+        assert_eq!(g.footprint_bytes(), 4 * 12 + 5 * 8 + 4 * 8);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the graph substrate: CSR equivalence with a naive
+//! adjacency representation, and generator invariants.
+
+use dvm_graph::{rmat, to_bipartite, Edge, Graph, RmatParams};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn edge_strategy(n: u32) -> impl Strategy<Value = Edge> {
+    (0..n, 0..n, 1.0f32..64.0).prop_map(|(src, dst, weight)| Edge { src, dst, weight })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_matches_naive_adjacency(
+        edges in proptest::collection::vec(edge_strategy(64), 0..400)
+    ) {
+        let graph = Graph::from_edges(64, edges.clone());
+        // Naive model: multiset of (dst, weight-bits) per source.
+        let mut model: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
+        for e in &edges {
+            model.entry(e.src).or_default().push((e.dst, e.weight.to_bits()));
+        }
+        prop_assert_eq!(graph.num_edges(), edges.len() as u64);
+        for v in 0..64u32 {
+            let mut got: Vec<(u32, u32)> = graph
+                .out_edges(v)
+                .iter()
+                .map(|e| (e.dst, e.weight.to_bits()))
+                .collect();
+            got.sort_unstable();
+            let mut want = model.remove(&v).unwrap_or_default();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "vertex {}", v);
+            prop_assert_eq!(graph.out_degree(v), graph.out_edges(v).len() as u64);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(
+        edges in proptest::collection::vec(edge_strategy(32), 0..200)
+    ) {
+        let graph = Graph::from_edges(32, edges);
+        prop_assert_eq!(graph.transpose().transpose(), graph);
+    }
+
+    #[test]
+    fn offsets_are_monotone_and_bounded(
+        edges in proptest::collection::vec(edge_strategy(100), 0..300)
+    ) {
+        let graph = Graph::from_edges(100, edges);
+        let offsets = graph.offsets();
+        prop_assert_eq!(offsets.len(), 101);
+        prop_assert_eq!(offsets[0], 0);
+        prop_assert_eq!(*offsets.last().unwrap(), graph.num_edges());
+        for w in offsets.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn rmat_size_contract(scale in 4u32..10, ef in 1u32..8, seed in 0u64..1000) {
+        let g = rmat(scale, ef, RmatParams::default(), seed);
+        prop_assert_eq!(g.num_vertices(), 1 << scale);
+        prop_assert_eq!(g.num_edges(), (ef as u64) << scale);
+    }
+
+    #[test]
+    fn bipartite_partitions_strictly(
+        seed in 0u64..200, users in 10u32..200, items in 5u32..50
+    ) {
+        let base = rmat(7, 4, RmatParams::default(), seed);
+        let b = to_bipartite(&base, users, items);
+        prop_assert_eq!(b.num_vertices(), users + items);
+        prop_assert_eq!(b.num_edges(), base.num_edges());
+        for e in b.edges() {
+            prop_assert!(e.src < users);
+            prop_assert!(e.dst >= users && e.dst < users + items);
+            prop_assert!((1.0..=5.0).contains(&e.weight));
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! A binary buddy frame allocator with eager contiguous allocation.
+//!
+//! This is the reproduction's stand-in for the Linux buddy allocator plus
+//! the eager-paging modifications of Karakostas et al. that the paper
+//! builds on (§4.3.1): an allocation of `n` frames grabs the smallest
+//! power-of-two block that fits, then immediately frees the tail so only
+//! `n` frames stay allocated. Blocks are naturally aligned, which is what
+//! lets the OS later map identity regions with 2 MB / 1 GB leaf entries.
+//!
+//! Determinism: free blocks are kept in ordered sets and allocation always
+//! takes the lowest-addressed suitable block, so allocation sequences are
+//! reproducible run-to-run.
+
+use dvm_types::DvmError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A contiguous range of physical frames returned by the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameRange {
+    /// First frame number.
+    pub start: u64,
+    /// Number of frames.
+    pub count: u64,
+}
+
+impl FrameRange {
+    /// One-past-the-end frame number.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.start + self.count
+    }
+
+    /// `true` if `frame` lies inside this range.
+    #[inline]
+    pub fn contains(&self, frame: u64) -> bool {
+        (self.start..self.end()).contains(&frame)
+    }
+}
+
+/// Point-in-time allocator statistics (for fragmentation studies, Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuddyStats {
+    /// Total frames managed.
+    pub total_frames: u64,
+    /// Frames currently free.
+    pub free_frames: u64,
+    /// Frames currently allocated.
+    pub allocated_frames: u64,
+    /// Size (in frames) of the largest free block.
+    pub largest_free_block: u64,
+    /// Number of distinct free blocks (higher = more fragmented).
+    pub free_block_count: u64,
+}
+
+/// Binary buddy allocator over 4 KiB frames.
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    total_frames: u64,
+    max_order: u32,
+    /// `free_lists[k]` holds start frames of free blocks of `2^k` frames.
+    free_lists: Vec<BTreeSet<u64>>,
+    /// Allocated ranges (`start -> count`), for validation and splitting on
+    /// partial frees (the eager-allocation tail trim).
+    allocated: BTreeMap<u64, u64>,
+    free_frames: u64,
+}
+
+impl BuddyAllocator {
+    /// Create an allocator managing frames `[0, total_frames)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_frames` is zero.
+    pub fn new(total_frames: u64) -> Self {
+        assert!(total_frames > 0, "allocator must manage at least one frame");
+        let max_order = 63 - total_frames.next_power_of_two().leading_zeros();
+        let mut this = Self {
+            total_frames,
+            max_order,
+            free_lists: vec![BTreeSet::new(); max_order as usize + 1],
+            allocated: BTreeMap::new(),
+            free_frames: 0,
+        };
+        // Carve the (possibly non-power-of-two) span into maximal aligned
+        // blocks.
+        this.insert_free_span(0, total_frames);
+        this.free_frames = total_frames;
+        this
+    }
+
+    /// Total frames managed.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Frames currently free.
+    pub fn free_frames_count(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Allocate `count` contiguous frames (eager contiguous allocation).
+    ///
+    /// Grabs the smallest power-of-two buddy block that fits and immediately
+    /// returns the tail beyond `count` to the free lists, per the paper's
+    /// eager-paging policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DvmError::OutOfMemory`] if no contiguous block of the
+    /// required order is free, and [`DvmError::InvalidArgument`] if
+    /// `count == 0`.
+    pub fn alloc_frames(&mut self, count: u64) -> Result<FrameRange, DvmError> {
+        if count == 0 {
+            return Err(DvmError::InvalidArgument("cannot allocate zero frames"));
+        }
+        let order = order_for(count);
+        let start = self.take_block(order).ok_or(DvmError::OutOfMemory {
+            requested: count * dvm_types::PAGE_SIZE,
+        })?;
+        // Trim: return frames beyond `count` immediately.
+        let block_frames = 1u64 << order;
+        if block_frames > count {
+            self.insert_free_span(start + count, block_frames - count);
+            self.free_frames += block_frames - count;
+        }
+        self.free_frames -= block_frames;
+        let range = FrameRange { start, count };
+        self.allocated.insert(start, count);
+        Ok(range)
+    }
+
+    /// Allocate a single frame (demand paging path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DvmError::OutOfMemory`] when memory is exhausted.
+    pub fn alloc_frame(&mut self) -> Result<u64, DvmError> {
+        Ok(self.alloc_frames(1)?.start)
+    }
+
+    /// Allocate `count` contiguous frames with `align`-frame start
+    /// alignment by *first-fit over coalesced free runs*, spanning buddy
+    /// blocks if needed. Slower than [`Self::alloc_frames`] but succeeds
+    /// whenever a suitable contiguous run exists at all — the fallback an
+    /// identity-mapping OS uses when the power-of-two path fails (a 10 MB
+    /// request should not require a free 16 MB buddy block).
+    ///
+    /// # Errors
+    ///
+    /// [`DvmError::OutOfMemory`] if no aligned contiguous run of `count`
+    /// frames exists; [`DvmError::InvalidArgument`] if `count == 0` or
+    /// `align` is not a power of two.
+    pub fn alloc_frames_first_fit(
+        &mut self,
+        count: u64,
+        align: u64,
+    ) -> Result<FrameRange, DvmError> {
+        if count == 0 {
+            return Err(DvmError::InvalidArgument("cannot allocate zero frames"));
+        }
+        if align == 0 || !align.is_power_of_two() {
+            return Err(DvmError::InvalidArgument("alignment must be a power of two"));
+        }
+        // Coalesce the free lists into address-ordered runs.
+        let mut blocks: Vec<(u64, u64)> = Vec::new();
+        for (order, list) in self.free_lists.iter().enumerate() {
+            for &start in list {
+                blocks.push((start, 1u64 << order));
+            }
+        }
+        blocks.sort_unstable();
+        let mut run_start = 0u64;
+        let mut run_len = 0u64;
+        let mut chosen: Option<u64> = None;
+        for (start, len) in blocks {
+            if run_len > 0 && start == run_start + run_len {
+                run_len += len;
+            } else {
+                run_start = start;
+                run_len = len;
+            }
+            let aligned = run_start.next_multiple_of(align);
+            if aligned + count <= run_start + run_len {
+                chosen = Some(aligned);
+                break;
+            }
+        }
+        let start = chosen.ok_or(DvmError::OutOfMemory {
+            requested: count * dvm_types::PAGE_SIZE,
+        })?;
+        self.carve_free_range(start, count);
+        self.free_frames -= count;
+        self.allocated.insert(start, count);
+        Ok(FrameRange { start, count })
+    }
+
+    /// Remove the (known-free) frame range `[start, start+count)` from the
+    /// free lists, re-inserting the uncovered parts of any overlapped
+    /// blocks.
+    fn carve_free_range(&mut self, start: u64, count: u64) {
+        let end = start + count;
+        for order in 0..=self.max_order {
+            let len = 1u64 << order;
+            // Blocks of this order overlapping [start, end) begin in
+            // [start - len + 1, end).
+            let lo = start.saturating_sub(len - 1);
+            let overlapping: Vec<u64> = self.free_lists[order as usize]
+                .range(lo..end)
+                .copied()
+                .collect();
+            for bstart in overlapping {
+                let bend = bstart + len;
+                if bend <= start {
+                    continue;
+                }
+                self.free_lists[order as usize].remove(&bstart);
+                if bstart < start {
+                    self.insert_free_span(bstart, start - bstart);
+                }
+                if bend > end {
+                    self.insert_free_span(end, bend - end);
+                }
+            }
+        }
+    }
+
+    /// Try to allocate one *specific* frame (the swap-in path wants a
+    /// page's original identity frame back). Returns `false` if the frame
+    /// is currently allocated or out of range.
+    pub fn alloc_specific_frame(&mut self, frame: u64) -> bool {
+        if frame >= self.total_frames {
+            return false;
+        }
+        // Find the free block containing `frame`.
+        for order in 0..=self.max_order {
+            let start = frame & !((1u64 << order) - 1);
+            if start + (1u64 << order) > self.total_frames
+                || !self.free_lists[order as usize].remove(&start)
+            {
+                continue;
+            }
+            // Split down, freeing the halves that do not contain `frame`.
+            let mut cur_order = order;
+            let mut cur_start = start;
+            while cur_order > 0 {
+                cur_order -= 1;
+                let half = 1u64 << cur_order;
+                if frame < cur_start + half {
+                    self.put_block(cur_start + half, cur_order);
+                } else {
+                    self.put_block(cur_start, cur_order);
+                    cur_start += half;
+                }
+            }
+            debug_assert_eq!(cur_start, frame);
+            self.free_frames -= 1;
+            self.allocated.insert(frame, 1);
+            return true;
+        }
+        false
+    }
+
+    /// Free a previously allocated range (whole allocations only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range was not returned by [`Self::alloc_frames`] (or
+    /// remaining after [`Self::free_subrange`]); catching double frees and
+    /// wild frees loudly is deliberate — they are simulator bugs.
+    pub fn free_frames(&mut self, range: FrameRange) {
+        match self.allocated.get(&range.start) {
+            Some(&count) if count == range.count => {
+                self.allocated.remove(&range.start);
+            }
+            other => panic!(
+                "free of untracked range {range:?} (allocator has {other:?} at that start)"
+            ),
+        }
+        self.release_span(range.start, range.count);
+    }
+
+    /// Free a sub-range of an existing allocation, splitting the tracked
+    /// allocation bookkeeping. Used by the OS when unmapping part of a
+    /// region and by copy-on-write teardown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-range is not fully inside one tracked allocation.
+    pub fn free_subrange(&mut self, range: FrameRange) {
+        let (&astart, &acount) = self
+            .allocated
+            .range(..=range.start)
+            .next_back()
+            .unwrap_or_else(|| panic!("free_subrange of untracked range {range:?}"));
+        assert!(
+            range.start >= astart && range.end() <= astart + acount,
+            "free_subrange {range:?} escapes allocation [{astart}, {})",
+            astart + acount
+        );
+        self.allocated.remove(&astart);
+        if range.start > astart {
+            self.allocated.insert(astart, range.start - astart);
+        }
+        if range.end() < astart + acount {
+            self.allocated
+                .insert(range.end(), astart + acount - range.end());
+        }
+        self.release_span(range.start, range.count);
+    }
+
+    /// `true` if every frame of `range` is currently allocated.
+    pub fn is_allocated(&self, range: FrameRange) -> bool {
+        let mut cursor = range.start;
+        while cursor < range.end() {
+            match self.allocated.range(..=cursor).next_back() {
+                Some((&astart, &acount)) if cursor < astart + acount => {
+                    cursor = astart + acount;
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Snapshot of fragmentation statistics.
+    pub fn stats(&self) -> BuddyStats {
+        let mut largest = 0u64;
+        let mut blocks = 0u64;
+        for (order, list) in self.free_lists.iter().enumerate() {
+            if !list.is_empty() {
+                largest = largest.max(1u64 << order);
+                blocks += list.len() as u64;
+            }
+        }
+        BuddyStats {
+            total_frames: self.total_frames,
+            free_frames: self.free_frames,
+            allocated_frames: self.total_frames - self.free_frames,
+            largest_free_block: largest,
+            free_block_count: blocks,
+        }
+    }
+
+    /// Take one block of exactly `order`, splitting larger blocks if needed.
+    fn take_block(&mut self, order: u32) -> Option<u64> {
+        if order > self.max_order {
+            return None;
+        }
+        // Find the smallest order >= requested with a free block.
+        let mut have = order;
+        while have <= self.max_order && self.free_lists[have as usize].is_empty() {
+            have += 1;
+        }
+        if have > self.max_order {
+            return None;
+        }
+        let start = *self.free_lists[have as usize].iter().next()?;
+        self.free_lists[have as usize].remove(&start);
+        // Split down to the requested order, freeing the upper halves.
+        while have > order {
+            have -= 1;
+            let buddy = start + (1u64 << have);
+            self.free_lists[have as usize].insert(buddy);
+        }
+        Some(start)
+    }
+
+    /// Free one naturally aligned block of `order`, merging with buddies.
+    fn put_block(&mut self, mut start: u64, mut order: u32) {
+        debug_assert!(start % (1u64 << order) == 0, "unaligned block free");
+        loop {
+            if order >= self.max_order {
+                break;
+            }
+            let buddy = start ^ (1u64 << order);
+            // The buddy may extend past the end of memory on non-power-of-two
+            // machines; then it can never be free.
+            if buddy + (1u64 << order) > self.total_frames
+                || !self.free_lists[order as usize].remove(&buddy)
+            {
+                break;
+            }
+            start = start.min(buddy);
+            order += 1;
+        }
+        self.free_lists[order as usize].insert(start);
+    }
+
+    /// Insert an arbitrary span as maximal aligned free blocks (no merge
+    /// needed at construction; merge handled by `put_block` later).
+    fn insert_free_span(&mut self, mut start: u64, mut count: u64) {
+        while count > 0 {
+            let align_order = if start == 0 {
+                self.max_order
+            } else {
+                start.trailing_zeros().min(self.max_order)
+            };
+            let size_order = 63 - count.leading_zeros();
+            let order = align_order.min(size_order).min(self.max_order);
+            self.free_lists[order as usize].insert(start);
+            start += 1u64 << order;
+            count -= 1u64 << order;
+        }
+    }
+
+    /// Release a span back to the free lists with buddy merging, block by
+    /// aligned block.
+    fn release_span(&mut self, mut start: u64, mut count: u64) {
+        self.free_frames += count;
+        while count > 0 {
+            let align_order = if start == 0 {
+                self.max_order
+            } else {
+                start.trailing_zeros().min(self.max_order)
+            };
+            let size_order = 63 - count.leading_zeros();
+            let order = align_order.min(size_order);
+            self.put_block(start, order);
+            start += 1u64 << order;
+            count -= 1u64 << order;
+        }
+    }
+}
+
+/// Smallest order whose block holds `count` frames (`ceil(log2(count))`).
+fn order_for(count: u64) -> u32 {
+    debug_assert!(count > 0);
+    64 - (count - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_for_counts() {
+        assert_eq!(order_for(1), 0);
+        assert_eq!(order_for(2), 1);
+        assert_eq!(order_for(3), 2);
+        assert_eq!(order_for(4), 2);
+        assert_eq!(order_for(5), 3);
+        assert_eq!(order_for(512), 9);
+        assert_eq!(order_for(513), 10);
+    }
+
+    #[test]
+    fn alloc_free_restores_everything() {
+        let mut b = BuddyAllocator::new(1024);
+        let r1 = b.alloc_frames(10).unwrap();
+        let r2 = b.alloc_frames(100).unwrap();
+        assert_eq!(b.free_frames_count(), 1024 - 110);
+        b.free_frames(r1);
+        b.free_frames(r2);
+        let stats = b.stats();
+        assert_eq!(stats.free_frames, 1024);
+        assert_eq!(stats.largest_free_block, 1024);
+        assert_eq!(stats.free_block_count, 1);
+    }
+
+    #[test]
+    fn blocks_are_naturally_aligned() {
+        let mut b = BuddyAllocator::new(4096);
+        for want in [1u64, 2, 4, 16, 64, 512] {
+            let r = b.alloc_frames(want).unwrap();
+            assert_eq!(r.start % want.next_power_of_two(), 0, "count {want}");
+        }
+    }
+
+    #[test]
+    fn trim_returns_tail_immediately() {
+        let mut b = BuddyAllocator::new(64);
+        // 5 frames round to an 8-block; tail of 3 must be free again.
+        let r = b.alloc_frames(5).unwrap();
+        assert_eq!(b.free_frames_count(), 64 - 5);
+        // The 3 trimmed frames are free again: a 1-frame alloc lands right
+        // after the allocation (lowest-address-first policy), a 2-frame
+        // alloc takes the aligned pair behind it.
+        let r1 = b.alloc_frames(1).unwrap();
+        assert_eq!(r1.start, r.end());
+        let r2 = b.alloc_frames(2).unwrap();
+        assert_eq!(r2.start, r.end() + 1);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut b = BuddyAllocator::new(16);
+        let _r = b.alloc_frames(16).unwrap();
+        assert!(matches!(
+            b.alloc_frames(1),
+            Err(DvmError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_allocs() {
+        let mut b = BuddyAllocator::new(16);
+        let ranges: Vec<_> = (0..16).map(|_| b.alloc_frames(1).unwrap()).collect();
+        // Free every other frame: 8 free frames but max block = 1.
+        for r in ranges.iter().step_by(2) {
+            b.free_frames(*r);
+        }
+        assert_eq!(b.free_frames_count(), 8);
+        assert!(b.alloc_frames(2).is_err());
+        assert_eq!(b.stats().largest_free_block, 1);
+    }
+
+    #[test]
+    fn merging_recreates_large_blocks() {
+        let mut b = BuddyAllocator::new(16);
+        let ranges: Vec<_> = (0..16).map(|_| b.alloc_frames(1).unwrap()).collect();
+        for r in ranges {
+            b.free_frames(r);
+        }
+        assert_eq!(b.stats().largest_free_block, 16);
+    }
+
+    #[test]
+    fn non_power_of_two_total() {
+        let mut b = BuddyAllocator::new(100);
+        assert_eq!(b.free_frames_count(), 100);
+        let mut got = 0;
+        while let Ok(r) = b.alloc_frames(1) {
+            assert!(r.start < 100);
+            got += 1;
+        }
+        assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn free_subrange_splits_bookkeeping() {
+        let mut b = BuddyAllocator::new(64);
+        let r = b.alloc_frames(16).unwrap();
+        b.free_subrange(FrameRange {
+            start: r.start + 4,
+            count: 4,
+        });
+        assert_eq!(b.free_frames_count(), 64 - 12);
+        assert!(b.is_allocated(FrameRange {
+            start: r.start,
+            count: 4
+        }));
+        assert!(!b.is_allocated(FrameRange {
+            start: r.start + 4,
+            count: 4
+        }));
+        assert!(b.is_allocated(FrameRange {
+            start: r.start + 8,
+            count: 8
+        }));
+        // Remaining pieces can be freed as wholes.
+        b.free_frames(FrameRange {
+            start: r.start,
+            count: 4,
+        });
+        b.free_frames(FrameRange {
+            start: r.start + 8,
+            count: 8,
+        });
+        assert_eq!(b.free_frames_count(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked range")]
+    fn double_free_panics() {
+        let mut b = BuddyAllocator::new(16);
+        let r = b.alloc_frames(2).unwrap();
+        b.free_frames(r);
+        b.free_frames(r);
+    }
+
+    #[test]
+    fn first_fit_spans_buddy_blocks() {
+        let mut b = BuddyAllocator::new(64);
+        // Fragment: allocate everything as singles, free a 10-frame run
+        // crossing several buddy boundaries (frames 3..13).
+        let all: Vec<_> = (0..64).map(|_| b.alloc_frames(1).unwrap()).collect();
+        for r in &all[3..13] {
+            b.free_frames(*r);
+        }
+        // No order-3 (8-frame) aligned block exists, so pow2 fails...
+        assert!(b.alloc_frames(8).is_err());
+        // ...but first-fit finds the run.
+        let r = b.alloc_frames_first_fit(8, 1).unwrap();
+        assert_eq!(r.start, 3);
+        assert_eq!(b.free_frames_count(), 2);
+        b.free_frames(r);
+        assert_eq!(b.free_frames_count(), 10);
+    }
+
+    #[test]
+    fn first_fit_respects_alignment() {
+        let mut b = BuddyAllocator::new(128);
+        let head = b.alloc_frames(3).unwrap(); // frames 0..3 busy
+        let r = b.alloc_frames_first_fit(8, 8).unwrap();
+        assert_eq!(r.start % 8, 0);
+        assert!(r.start >= head.end());
+        b.free_frames(r);
+        b.free_frames(head);
+        assert_eq!(b.stats().largest_free_block, 128);
+    }
+
+    #[test]
+    fn first_fit_accounting_is_exact() {
+        let mut b = BuddyAllocator::new(256);
+        let r1 = b.alloc_frames_first_fit(100, 1).unwrap();
+        assert_eq!(b.free_frames_count(), 156);
+        let r2 = b.alloc_frames_first_fit(156, 1).unwrap();
+        assert_eq!(b.free_frames_count(), 0);
+        assert!(b.alloc_frames_first_fit(1, 1).is_err());
+        b.free_frames(r1);
+        b.free_frames(r2);
+        assert_eq!(b.stats().largest_free_block, 256);
+        assert_eq!(b.stats().free_block_count, 1);
+    }
+
+    #[test]
+    fn alloc_specific_frame_claims_and_respects_busy() {
+        let mut b = BuddyAllocator::new(64);
+        assert!(b.alloc_specific_frame(37), "free frame claimable");
+        assert_eq!(b.free_frames_count(), 63);
+        assert!(!b.alloc_specific_frame(37), "already allocated");
+        // Neighbours are still allocatable, and 37 is skipped.
+        let mut got = Vec::new();
+        for _ in 0..63 {
+            got.push(b.alloc_frames(1).unwrap().start);
+        }
+        assert!(!got.contains(&37));
+        assert!(b.alloc_frames(1).is_err());
+        // Free 37 and everything merges back.
+        b.free_frames(FrameRange { start: 37, count: 1 });
+        for f in got {
+            b.free_frames(FrameRange { start: f, count: 1 });
+        }
+        assert_eq!(b.stats().largest_free_block, 64);
+    }
+
+    #[test]
+    fn alloc_specific_frame_out_of_range() {
+        let mut b = BuddyAllocator::new(16);
+        assert!(!b.alloc_specific_frame(16));
+        assert!(!b.alloc_specific_frame(u64::MAX));
+    }
+
+    #[test]
+    fn deterministic_lowest_first() {
+        let mut a = BuddyAllocator::new(256);
+        let mut b = BuddyAllocator::new(256);
+        for n in [3u64, 9, 1, 30, 2] {
+            assert_eq!(a.alloc_frames(n).unwrap(), b.alloc_frames(n).unwrap());
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Sparse, byte-addressable simulated physical memory.
+//!
+//! Frames are materialized lazily on first write, so a simulated 32 GiB
+//! machine costs host memory proportional to the bytes actually touched.
+//! Reads from never-written frames observe zeros, matching an OS that
+//! hands out zeroed pages.
+
+use dvm_types::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
+
+const FRAME_BYTES: usize = PAGE_SIZE as usize;
+
+type Frame = Box<[u8; FRAME_BYTES]>;
+
+/// Byte-addressable physical memory backed by lazily allocated 4 KiB frames.
+///
+/// # Examples
+///
+/// ```
+/// use dvm_mem::PhysMem;
+/// use dvm_types::PhysAddr;
+/// let mut mem = PhysMem::new(16);
+/// assert_eq!(mem.read_u32(PhysAddr::new(0x40)), 0); // zero page
+/// mem.write_u32(PhysAddr::new(0x40), 7);
+/// assert_eq!(mem.read_u32(PhysAddr::new(0x40)), 7);
+/// ```
+#[derive(Debug)]
+pub struct PhysMem {
+    frames: Vec<Option<Frame>>,
+    resident: u64,
+}
+
+impl PhysMem {
+    /// Create memory with `total_frames` 4 KiB frames, all zero.
+    pub fn new(total_frames: u64) -> Self {
+        Self {
+            frames: (0..total_frames).map(|_| None).collect(),
+            resident: 0,
+        }
+    }
+
+    /// Number of frames this memory can hold.
+    pub fn total_frames(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Number of frames actually materialized (host-memory footprint).
+    pub fn resident_frames(&self) -> u64 {
+        self.resident
+    }
+
+    #[inline]
+    fn frame_of(&self, pa: PhysAddr) -> (usize, usize) {
+        let frame = (pa.raw() >> PAGE_SHIFT) as usize;
+        let offset = (pa.raw() & (PAGE_SIZE - 1)) as usize;
+        assert!(
+            frame < self.frames.len(),
+            "physical access beyond memory: {pa}"
+        );
+        (frame, offset)
+    }
+
+    #[inline]
+    fn frame_mut(&mut self, index: usize) -> &mut [u8; FRAME_BYTES] {
+        if self.frames[index].is_none() {
+            self.frames[index] = Some(Box::new([0u8; FRAME_BYTES]));
+            self.resident += 1;
+        }
+        self.frames[index].as_deref_mut().unwrap()
+    }
+
+    /// Read `buf.len()` bytes starting at `pa`, crossing frames as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond physical memory.
+    pub fn read_bytes(&self, pa: PhysAddr, buf: &mut [u8]) {
+        let mut addr = pa;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let (frame, offset) = self.frame_of(addr);
+            let n = (FRAME_BYTES - offset).min(buf.len() - done);
+            match &self.frames[frame] {
+                Some(data) => buf[done..done + n].copy_from_slice(&data[offset..offset + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+            addr += n as u64;
+        }
+    }
+
+    /// Write `buf` starting at `pa`, crossing frames as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond physical memory.
+    pub fn write_bytes(&mut self, pa: PhysAddr, buf: &[u8]) {
+        let mut addr = pa;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let (frame, offset) = self.frame_of(addr);
+            let n = (FRAME_BYTES - offset).min(buf.len() - done);
+            self.frame_mut(frame)[offset..offset + n].copy_from_slice(&buf[done..done + n]);
+            done += n;
+            addr += n as u64;
+        }
+    }
+
+    /// Fill `len` bytes at `pa` with zero (releases nothing; keeps frames).
+    pub fn zero_bytes(&mut self, pa: PhysAddr, len: u64) {
+        let mut addr = pa;
+        let mut left = len;
+        while left > 0 {
+            let (frame, offset) = self.frame_of(addr);
+            let n = ((FRAME_BYTES - offset) as u64).min(left);
+            if self.frames[frame].is_some() {
+                self.frame_mut(frame)[offset..offset + n as usize].fill(0);
+            }
+            left -= n;
+            addr += n;
+        }
+    }
+
+    /// Copy one whole frame to another (copy-on-write resolution).
+    pub fn copy_frame(&mut self, src_frame: u64, dst_frame: u64) {
+        let src = self.frames[src_frame as usize].as_deref().copied();
+        match src {
+            Some(data) => {
+                *self.frame_mut(dst_frame as usize) = data;
+            }
+            None => {
+                // Source never materialized: destination reads as zero too.
+                if self.frames[dst_frame as usize].is_some() {
+                    self.frame_mut(dst_frame as usize).fill(0);
+                }
+            }
+        }
+    }
+
+    /// Drop the backing storage of a frame (frees host memory; the frame
+    /// reads as zero afterwards). Called when the allocator reclaims frames.
+    pub fn discard_frame(&mut self, frame: u64) {
+        if self.frames[frame as usize].take().is_some() {
+            self.resident -= 1;
+        }
+    }
+}
+
+macro_rules! typed_access {
+    ($read:ident, $write:ident, $ty:ty) => {
+        impl PhysMem {
+            /// Read a little-endian value; unwritten memory reads as zero.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the access extends beyond physical memory.
+            #[inline]
+            pub fn $read(&self, pa: PhysAddr) -> $ty {
+                const N: usize = core::mem::size_of::<$ty>();
+                let mut buf = [0u8; N];
+                // Fast path: within one frame.
+                let (frame, offset) = self.frame_of(pa);
+                if offset + N <= FRAME_BYTES {
+                    if let Some(data) = &self.frames[frame] {
+                        buf.copy_from_slice(&data[offset..offset + N]);
+                    }
+                } else {
+                    self.read_bytes(pa, &mut buf);
+                }
+                <$ty>::from_le_bytes(buf)
+            }
+
+            /// Write a little-endian value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the access extends beyond physical memory.
+            #[inline]
+            pub fn $write(&mut self, pa: PhysAddr, value: $ty) {
+                let buf = value.to_le_bytes();
+                let (frame, offset) = self.frame_of(pa);
+                if offset + buf.len() <= FRAME_BYTES {
+                    self.frame_mut(frame)[offset..offset + buf.len()].copy_from_slice(&buf);
+                } else {
+                    self.write_bytes(pa, &buf);
+                }
+            }
+        }
+    };
+}
+
+typed_access!(read_u8, write_u8, u8);
+typed_access!(read_u16, write_u16, u16);
+typed_access!(read_u32, write_u32, u32);
+typed_access!(read_u64, write_u64, u64);
+
+impl PhysMem {
+    /// Read an `f32` stored little-endian at `pa`.
+    #[inline]
+    pub fn read_f32(&self, pa: PhysAddr) -> f32 {
+        f32::from_bits(self.read_u32(pa))
+    }
+
+    /// Write an `f32` little-endian at `pa`.
+    #[inline]
+    pub fn write_f32(&mut self, pa: PhysAddr, value: f32) {
+        self.write_u32(pa, value.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_first_write() {
+        let mem = PhysMem::new(4);
+        assert_eq!(mem.read_u64(PhysAddr::new(0)), 0);
+        assert_eq!(mem.resident_frames(), 0);
+    }
+
+    #[test]
+    fn typed_roundtrips() {
+        let mut mem = PhysMem::new(4);
+        mem.write_u8(PhysAddr::new(1), 0xab);
+        mem.write_u16(PhysAddr::new(2), 0xcdef);
+        mem.write_u32(PhysAddr::new(8), 0x1234_5678);
+        mem.write_u64(PhysAddr::new(16), u64::MAX - 1);
+        mem.write_f32(PhysAddr::new(32), 1.5);
+        assert_eq!(mem.read_u8(PhysAddr::new(1)), 0xab);
+        assert_eq!(mem.read_u16(PhysAddr::new(2)), 0xcdef);
+        assert_eq!(mem.read_u32(PhysAddr::new(8)), 0x1234_5678);
+        assert_eq!(mem.read_u64(PhysAddr::new(16)), u64::MAX - 1);
+        assert_eq!(mem.read_f32(PhysAddr::new(32)), 1.5);
+    }
+
+    #[test]
+    fn cross_frame_access() {
+        let mut mem = PhysMem::new(4);
+        let pa = PhysAddr::new(PAGE_SIZE - 3);
+        mem.write_u64(pa, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(pa), 0x0102_0304_0506_0708);
+        assert_eq!(mem.resident_frames(), 2);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut mem = PhysMem::new(8);
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        mem.write_bytes(PhysAddr::new(100), &data);
+        let mut back = vec![0u8; data.len()];
+        mem.read_bytes(PhysAddr::new(100), &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn copy_frame_duplicates_content() {
+        let mut mem = PhysMem::new(4);
+        mem.write_u64(PhysAddr::from_frame(1), 99);
+        mem.copy_frame(1, 3);
+        assert_eq!(mem.read_u64(PhysAddr::from_frame(3)), 99);
+        // Copying an unmaterialized frame zeroes the destination.
+        mem.copy_frame(2, 3);
+        assert_eq!(mem.read_u64(PhysAddr::from_frame(3)), 0);
+    }
+
+    #[test]
+    fn discard_frame_zeroes_and_frees() {
+        let mut mem = PhysMem::new(2);
+        mem.write_u64(PhysAddr::new(0), 5);
+        assert_eq!(mem.resident_frames(), 1);
+        mem.discard_frame(0);
+        assert_eq!(mem.resident_frames(), 0);
+        assert_eq!(mem.read_u64(PhysAddr::new(0)), 0);
+    }
+
+    #[test]
+    fn zero_bytes_clears_range() {
+        let mut mem = PhysMem::new(4);
+        mem.write_bytes(PhysAddr::new(10), &[1u8; 64]);
+        mem.zero_bytes(PhysAddr::new(12), 4);
+        assert_eq!(mem.read_u16(PhysAddr::new(10)), 0x0101);
+        assert_eq!(mem.read_u32(PhysAddr::new(12)), 0);
+        assert_eq!(mem.read_u8(PhysAddr::new(16)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond memory")]
+    fn out_of_range_panics() {
+        let mem = PhysMem::new(1);
+        let _ = mem.read_u8(PhysAddr::new(PAGE_SIZE));
+    }
+}

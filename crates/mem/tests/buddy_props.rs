@@ -1,0 +1,99 @@
+//! Property-based tests for the buddy allocator: live allocations never
+//! overlap, accounting is exact, and freeing everything restores one
+//! maximal block.
+
+use dvm_mem::{BuddyAllocator, FrameRange};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u64),
+    /// Free the i-th live allocation (mod len).
+    Free(usize),
+    /// Trim the tail half of the i-th live allocation.
+    Trim(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..64).prop_map(Op::Alloc),
+        (0usize..32).prop_map(Op::Free),
+        (0usize..32).prop_map(Op::Trim),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocations_never_overlap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let total = 1024u64;
+        let mut buddy = BuddyAllocator::new(total);
+        let mut live: Vec<FrameRange> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(n) => {
+                    if let Ok(r) = buddy.alloc_frames(n) {
+                        prop_assert_eq!(r.count, n);
+                        prop_assert!(r.end() <= total);
+                        for other in &live {
+                            prop_assert!(
+                                r.end() <= other.start || other.end() <= r.start,
+                                "overlap: {:?} vs {:?}", r, other
+                            );
+                        }
+                        live.push(r);
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let r = live.remove(i % live.len());
+                        buddy.free_frames(r);
+                    }
+                }
+                Op::Trim(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let r = live[idx];
+                        if r.count >= 2 {
+                            let keep = r.count / 2;
+                            let tail = FrameRange { start: r.start + keep, count: r.count - keep };
+                            buddy.free_subrange(tail);
+                            live[idx] = FrameRange { start: r.start, count: keep };
+                        }
+                    }
+                }
+            }
+            // Accounting invariant holds after every operation.
+            let live_frames: u64 = live.iter().map(|r| r.count).sum();
+            prop_assert_eq!(buddy.free_frames_count(), total - live_frames);
+        }
+
+        // Freeing everything restores a single maximal block.
+        for r in live.drain(..) {
+            buddy.free_frames(r);
+        }
+        let stats = buddy.stats();
+        prop_assert_eq!(stats.free_frames, total);
+        prop_assert_eq!(stats.largest_free_block, total);
+        prop_assert_eq!(stats.free_block_count, 1);
+    }
+
+    #[test]
+    fn alloc_is_aligned_to_pow2(n in 1u64..512) {
+        let mut buddy = BuddyAllocator::new(2048);
+        let r = buddy.alloc_frames(n).unwrap();
+        prop_assert_eq!(r.start % n.next_power_of_two(), 0);
+    }
+
+    #[test]
+    fn non_pow2_capacity_fully_usable(total in 1u64..700) {
+        let mut buddy = BuddyAllocator::new(total);
+        let mut got = 0u64;
+        while buddy.alloc_frames(1).is_ok() {
+            got += 1;
+        }
+        prop_assert_eq!(got, total);
+    }
+}

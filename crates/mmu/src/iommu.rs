@@ -1,0 +1,583 @@
+//! The IOMMU model: conventional translation, Devirtualized Access
+//! Validation (DAV) in its bitmap and Permission-Entry variants, and the
+//! ideal no-translation baseline — the seven configurations of the paper's
+//! Figure 8.
+//!
+//! | name | structures | behaviour |
+//! |---|---|---|
+//! | `4K/2M/1G,TLB+PWC` | 128-entry FA TLB + 1 KiB PWC | translate, then access |
+//! | `DVM-BM` | 128-entry bitmap cache + flat bitmap + FA TLB fallback | 1-step DAV; full translation on `00` |
+//! | `DVM-PE` | 1 KiB AVC only | PE page-walk validation, then access |
+//! | `DVM-PE+` | 1 KiB AVC | like DVM-PE, but reads overlap DAV with a preload |
+//! | `Ideal` | none | direct physical access |
+
+use crate::ptcache::{PtCache, PtCacheConfig, PtcLookup};
+use crate::tlb::{Associativity, Tlb, TlbConfig, TlbEntry};
+use dvm_energy::{EnergyAccount, EnergyParams, MmEvent};
+use dvm_mem::{Dram, PhysMem};
+use dvm_pagetable::{PageTable, PermBitmap, Walk, WalkOutcome};
+use dvm_sim::{Counter, Cycles, RatioStat};
+use dvm_types::{AccessKind, Fault, FaultKind, PageSize, Permission, PhysAddr, VirtAddr};
+use core::fmt;
+
+/// Memory-management scheme simulated by the IOMMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmuConfig {
+    /// Conventional VM: TLB + page-walk cache at the given page size.
+    Conventional {
+        /// Uniform page size of the configuration.
+        page_size: PageSize,
+    },
+    /// DVM with the flat permission bitmap (Border-Control-style DAV).
+    DvmBitmap,
+    /// DVM with Permission Entries and the Access Validation Cache.
+    DvmPe {
+        /// Allow reads to overlap DAV with a preload (DVM-PE+).
+        preload: bool,
+    },
+    /// Direct physical access without translation or protection.
+    Ideal,
+}
+
+impl MmuConfig {
+    /// The seven configurations evaluated in Figures 8 and 9, in the
+    /// paper's order.
+    pub const PAPER_SET: [MmuConfig; 7] = [
+        MmuConfig::Conventional { page_size: PageSize::Size4K },
+        MmuConfig::Conventional { page_size: PageSize::Size2M },
+        MmuConfig::Conventional { page_size: PageSize::Size1G },
+        MmuConfig::DvmBitmap,
+        MmuConfig::DvmPe { preload: false },
+        MmuConfig::DvmPe { preload: true },
+        MmuConfig::Ideal,
+    ];
+
+    /// The paper's display name for this configuration.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MmuConfig::Conventional { page_size: PageSize::Size4K } => "4K,TLB+PWC",
+            MmuConfig::Conventional { page_size: PageSize::Size2M } => "2M,TLB+PWC",
+            MmuConfig::Conventional { page_size: PageSize::Size1G } => "1G,TLB+PWC",
+            MmuConfig::DvmBitmap => "DVM-BM",
+            MmuConfig::DvmPe { preload: false } => "DVM-PE",
+            MmuConfig::DvmPe { preload: true } => "DVM-PE+",
+            MmuConfig::Ideal => "Ideal",
+        }
+    }
+
+    /// Page size the OS should use when building page tables for this
+    /// configuration (DVM variants use PE tables; `None` means no table
+    /// needed at all).
+    pub fn required_leaf_size(&self) -> Option<PageSize> {
+        match self {
+            MmuConfig::Conventional { page_size } => Some(*page_size),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MmuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Outcome of translation / access validation for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Validation {
+    /// Physical address to access.
+    pub pa: PhysAddr,
+    /// Cycles spent in translation / validation.
+    pub latency: Cycles,
+    /// `true` if the data fetch may proceed in parallel with validation
+    /// (DVM-PE+ reads whose prediction PA==VA was correct).
+    pub overlap: bool,
+    /// `true` if a preload was launched and squashed (mispredict): the
+    /// wasted DRAM transaction has been charged to the energy account and
+    /// the caller should count the extra DRAM traffic.
+    pub squashed_preload: bool,
+}
+
+/// Event counters exposed by the IOMMU.
+#[derive(Debug, Clone)]
+pub struct IommuStats {
+    /// Total accesses validated/translated.
+    pub accesses: Counter,
+    /// Page-table walks performed.
+    pub walks: Counter,
+    /// DRAM accesses issued by the walker (and bitmap fetches).
+    pub walk_mem_refs: Counter,
+    /// Accesses validated as identity (DAV fast path).
+    pub identity_validations: Counter,
+    /// Accesses that needed a conventional translation under DVM.
+    pub fallback_translations: Counter,
+    /// DVM-PE+ reads whose preload overlapped successfully.
+    pub preload_overlaps: Counter,
+    /// DVM-PE+ preloads squashed on mispredict.
+    pub preload_squashes: Counter,
+    /// Faults raised to the host CPU.
+    pub faults: Counter,
+    /// Total cycles the shared page-walker / DAV engine was busy
+    /// (probes + memory fetches). The accelerator model treats the walker
+    /// as a shared resource with a configurable number of ports.
+    pub walker_busy: Counter,
+}
+
+impl IommuStats {
+    fn new() -> Self {
+        Self {
+            accesses: Counter::new("accesses"),
+            walks: Counter::new("walks"),
+            walk_mem_refs: Counter::new("walk_mem_refs"),
+            identity_validations: Counter::new("identity_validations"),
+            fallback_translations: Counter::new("fallback_translations"),
+            preload_overlaps: Counter::new("preload_overlaps"),
+            preload_squashes: Counter::new("preload_squashes"),
+            faults: Counter::new("faults"),
+            walker_busy: Counter::new("walker_busy"),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.accesses.reset();
+        self.walks.reset();
+        self.walk_mem_refs.reset();
+        self.identity_validations.reset();
+        self.fallback_translations.reset();
+        self.preload_overlaps.reset();
+        self.preload_squashes.reset();
+        self.faults.reset();
+        self.walker_busy.reset();
+    }
+}
+
+/// The IOMMU servicing accelerator memory accesses (paper Figure 1).
+#[derive(Debug, Clone)]
+pub struct Iommu {
+    config: MmuConfig,
+    tlb: Option<Tlb>,
+    ptc: Option<PtCache>,
+    bitmap_cache: Option<PtCache>,
+    /// Dynamic-energy account for MM events.
+    pub energy: EnergyAccount,
+    /// Event counters.
+    pub stats: IommuStats,
+}
+
+impl Iommu {
+    /// Build an IOMMU for the given scheme with the paper's structure
+    /// sizes (Table 2).
+    pub fn new(config: MmuConfig, energy_params: EnergyParams) -> Self {
+        let (tlb, ptc, bitmap_cache) = match config {
+            MmuConfig::Conventional { page_size } => (
+                Some(Tlb::new(TlbConfig::paper_accelerator(page_size))),
+                Some(PtCache::new(PtCacheConfig::paper_pwc())),
+                None,
+            ),
+            MmuConfig::DvmBitmap => (
+                // Fallback translation TLB, probed in parallel with the
+                // bitmap cache so the 00 fallback is not serialized.
+                Some(Tlb::new(TlbConfig::paper_accelerator(PageSize::Size4K))),
+                None,
+                // 128-entry bitmap cache of 64 B bitmap blocks (each block
+                // holds the 2-bit fields of 256 pages).
+                Some(PtCache::new(PtCacheConfig {
+                    pte_entries: 128,
+                    ways: 4,
+                    block_bytes: 64,
+                    cache_l1: true,
+                })),
+            ),
+            MmuConfig::DvmPe { .. } => {
+                (None, Some(PtCache::new(PtCacheConfig::paper_avc())), None)
+            }
+            MmuConfig::Ideal => (None, None, None),
+        };
+        Self {
+            config,
+            tlb,
+            ptc,
+            bitmap_cache,
+            energy: EnergyAccount::new(energy_params),
+            stats: IommuStats::new(),
+        }
+    }
+
+    /// The configured scheme.
+    pub fn config(&self) -> MmuConfig {
+        self.config
+    }
+
+    /// Translation TLB statistics, if this configuration has a TLB.
+    pub fn tlb_stats(&self) -> Option<&RatioStat> {
+        self.tlb.as_ref().map(|t| t.stats())
+    }
+
+    /// PWC/AVC statistics, if present.
+    pub fn ptc_stats(&self) -> Option<&RatioStat> {
+        self.ptc.as_ref().map(|c| c.stats())
+    }
+
+    /// Bitmap-cache statistics (DVM-BM only).
+    pub fn bitmap_cache_stats(&self) -> Option<&RatioStat> {
+        self.bitmap_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Reset all statistics and energy counts (cached state is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.energy.reset();
+        if let Some(t) = &mut self.tlb {
+            t.reset_stats();
+        }
+        if let Some(c) = &mut self.ptc {
+            c.reset_stats();
+        }
+        if let Some(b) = &mut self.bitmap_cache {
+            b.reset_stats();
+        }
+    }
+
+    /// Flush all cached translation state (context switch).
+    pub fn flush(&mut self) {
+        if let Some(t) = &mut self.tlb {
+            t.flush();
+        }
+        if let Some(c) = &mut self.ptc {
+            c.flush();
+        }
+        if let Some(b) = &mut self.bitmap_cache {
+            b.flush();
+        }
+    }
+
+    /// Validate/translate one access.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Fault`] the IOMMU would raise on the host CPU when the
+    /// access is to unmapped memory or lacks permissions.
+    pub fn access(
+        &mut self,
+        va: VirtAddr,
+        kind: AccessKind,
+        pt: &PageTable,
+        bitmap: Option<&PermBitmap>,
+        mem: &PhysMem,
+        dram: &mut Dram,
+    ) -> Result<Validation, Fault> {
+        self.stats.accesses.inc();
+        match self.config {
+            MmuConfig::Ideal => Ok(Validation {
+                pa: va.to_identity_pa(),
+                latency: 0,
+                overlap: false,
+                squashed_preload: false,
+            }),
+            MmuConfig::Conventional { page_size } => {
+                self.conventional_access(va, kind, page_size, pt, mem, dram)
+            }
+            MmuConfig::DvmPe { preload } => self.dvm_pe_access(va, kind, preload, pt, mem, dram),
+            MmuConfig::DvmBitmap => {
+                let bitmap = bitmap.expect("DVM-BM requires a permission bitmap");
+                self.dvm_bm_access(va, kind, bitmap, pt, mem, dram)
+            }
+        }
+    }
+
+    fn tlb_energy_event(&self) -> MmEvent {
+        match self.tlb.as_ref().map(|t| t.config().assoc) {
+            Some(Associativity::Full) => MmEvent::FaTlbLookup,
+            _ => MmEvent::SaTlbLookup,
+        }
+    }
+
+    fn fault(&mut self, va: VirtAddr, kind: AccessKind, fk: FaultKind) -> Fault {
+        self.stats.faults.inc();
+        Fault {
+            va,
+            access: kind,
+            kind: fk,
+        }
+    }
+
+    fn check(
+        &mut self,
+        perms: Permission,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<(), Fault> {
+        if !perms.is_mapped() {
+            return Err(self.fault(va, kind, FaultKind::NotMapped));
+        }
+        if !perms.allows(kind) {
+            return Err(self.fault(va, kind, FaultKind::Protection));
+        }
+        Ok(())
+    }
+
+    /// Replay a functional walk through the PWC/AVC. Cache probes are
+    /// pipelined in the walker (back-to-back walks stream through them),
+    /// so the returned stall latency counts only the memory fetches; the
+    /// per-probe cycles are charged to the shared walker's occupancy.
+    fn timed_walk(
+        &mut self,
+        pt: &PageTable,
+        mem: &PhysMem,
+        dram: &mut Dram,
+        va: VirtAddr,
+    ) -> (Walk, Cycles) {
+        self.stats.walks.inc();
+        let walk = pt.walk(mem, va);
+        let mut stall: Cycles = 0;
+        let mut busy: Cycles = 0;
+        for step in walk.steps() {
+            match &mut self.ptc {
+                Some(ptc) => match ptc.access(step.pte_pa, step.level) {
+                    PtcLookup::Hit => {
+                        busy += 1;
+                        self.energy.record(MmEvent::PtcLookup);
+                    }
+                    PtcLookup::Miss => {
+                        busy += 1;
+                        self.energy.record(MmEvent::PtcLookup);
+                        let fetch = dram.access(step.pte_pa, AccessKind::Read);
+                        stall += fetch;
+                        busy += fetch;
+                        self.energy.record(MmEvent::WalkerDram);
+                        self.stats.walk_mem_refs.inc();
+                    }
+                    PtcLookup::Bypass => {
+                        let fetch = dram.access(step.pte_pa, AccessKind::Read);
+                        stall += fetch;
+                        busy += fetch;
+                        self.energy.record(MmEvent::WalkerDram);
+                        self.stats.walk_mem_refs.inc();
+                    }
+                },
+                None => {
+                    let fetch = dram.access(step.pte_pa, AccessKind::Read);
+                    stall += fetch;
+                    busy += fetch;
+                    self.energy.record(MmEvent::WalkerDram);
+                    self.stats.walk_mem_refs.inc();
+                }
+            }
+        }
+        self.stats.walker_busy.add(busy);
+        (walk, stall)
+    }
+
+    fn conventional_access(
+        &mut self,
+        va: VirtAddr,
+        kind: AccessKind,
+        page_size: PageSize,
+        pt: &PageTable,
+        mem: &PhysMem,
+        dram: &mut Dram,
+    ) -> Result<Validation, Fault> {
+        self.energy.record(self.tlb_energy_event());
+        let hit = self.tlb.as_mut().expect("conventional has TLB").lookup(va);
+        if let Some(entry) = hit {
+            self.check(entry.perms, va, kind)?;
+            let pa = PhysAddr::new((entry.pfn << page_size.shift()) | va.page_offset(page_size));
+            return Ok(Validation {
+                pa,
+                latency: 1,
+                overlap: false,
+                squashed_preload: false,
+            });
+        }
+        let (walk, walk_stall) = self.timed_walk(pt, mem, dram, va);
+        let latency = 1 + walk_stall;
+        match walk.outcome {
+            WalkOutcome::Leaf { pa, perms, page } => {
+                self.check(perms, va, kind)?;
+                debug_assert_eq!(
+                    page, page_size,
+                    "conventional tables must be uniform (OS layout invariant)"
+                );
+                self.tlb.as_mut().expect("tlb").insert(TlbEntry {
+                    vpn: va.vpn(page_size),
+                    pfn: pa.raw() >> page_size.shift(),
+                    perms,
+                });
+                Ok(Validation {
+                    pa,
+                    latency,
+                    overlap: false,
+                    squashed_preload: false,
+                })
+            }
+            // Defensive: hardware that understands PEs treats them as
+            // identity validations even in conventional mode.
+            WalkOutcome::PermissionEntry { perms, .. } => {
+                self.check(perms, va, kind)?;
+                self.stats.identity_validations.inc();
+                Ok(Validation {
+                    pa: va.to_identity_pa(),
+                    latency,
+                    overlap: false,
+                    squashed_preload: false,
+                })
+            }
+            WalkOutcome::NotMapped { .. } => Err(self.fault(va, kind, FaultKind::NotMapped)),
+        }
+    }
+
+    fn dvm_pe_access(
+        &mut self,
+        va: VirtAddr,
+        kind: AccessKind,
+        preload: bool,
+        pt: &PageTable,
+        mem: &PhysMem,
+        dram: &mut Dram,
+    ) -> Result<Validation, Fault> {
+        let (walk, walk_stall) = self.timed_walk(pt, mem, dram, va);
+        let validation_latency = 1 + walk_stall;
+        let predicted = preload && kind == AccessKind::Read;
+        match walk.outcome {
+            WalkOutcome::PermissionEntry { perms, .. } => {
+                self.check(perms, va, kind).inspect_err(|_| {
+                    // A predicted preload to VA==PA was launched; DAV
+                    // failed, so it is squashed.
+                    if predicted {
+                        self.stats.preload_squashes.inc();
+                        self.energy.record(MmEvent::PreloadSquash);
+                    }
+                })?;
+                self.stats.identity_validations.inc();
+                if predicted {
+                    self.stats.preload_overlaps.inc();
+                }
+                Ok(Validation {
+                    pa: va.to_identity_pa(),
+                    latency: validation_latency,
+                    overlap: predicted,
+                    squashed_preload: false,
+                })
+            }
+            WalkOutcome::Leaf { pa, perms, .. } => {
+                // Non-identity fallback: the leaf PTE already gives the
+                // translation, so the fallback costs no extra walk (§4.1.1).
+                self.stats.fallback_translations.inc();
+                let identity = pa.raw() == va.raw();
+                let squashed = predicted && !identity;
+                if squashed {
+                    self.stats.preload_squashes.inc();
+                    self.energy.record(MmEvent::PreloadSquash);
+                }
+                self.check(perms, va, kind)?;
+                if predicted && identity {
+                    self.stats.preload_overlaps.inc();
+                }
+                Ok(Validation {
+                    pa,
+                    latency: validation_latency,
+                    overlap: predicted && identity,
+                    squashed_preload: squashed,
+                })
+            }
+            WalkOutcome::NotMapped { .. } => {
+                if predicted {
+                    self.stats.preload_squashes.inc();
+                    self.energy.record(MmEvent::PreloadSquash);
+                }
+                Err(self.fault(va, kind, FaultKind::NotMapped))
+            }
+        }
+    }
+
+    fn dvm_bm_access(
+        &mut self,
+        va: VirtAddr,
+        kind: AccessKind,
+        bitmap: &PermBitmap,
+        pt: &PageTable,
+        mem: &PhysMem,
+        dram: &mut Dram,
+    ) -> Result<Validation, Fault> {
+        let vpn = va.vpn(PageSize::Size4K);
+        // The bitmap cache and the fallback FA TLB are probed in parallel
+        // on every access (so the 00 path is not serialized); both
+        // lookups burn energy every time — the reason DVM-BM saves far
+        // less energy than DVM-PE (paper Figure 9).
+        self.energy.record(MmEvent::BitmapCacheLookup);
+        let tlb_event = self.tlb_energy_event();
+        self.energy.record(tlb_event);
+        let tlb_hit = self.tlb.as_mut().expect("fallback TLB").lookup(va);
+        let word_pa = bitmap.entry_pa(vpn);
+        let cache = self.bitmap_cache.as_mut().expect("DVM-BM has a bitmap cache");
+        let (hit, dav_latency) = match cache.access(word_pa, 2) {
+            PtcLookup::Hit => (true, 1),
+            _ => {
+                let fetch = dram.access(word_pa, AccessKind::Read);
+                self.energy.record(MmEvent::WalkerDram);
+                self.stats.walk_mem_refs.inc();
+                self.stats.walker_busy.add(fetch);
+                (false, 1 + fetch)
+            }
+        };
+        let _ = hit;
+        let perms = bitmap.perms_of(mem, vpn);
+        if perms.is_mapped() {
+            // 1-step DAV success: identity access.
+            if !perms.allows(kind) {
+                return Err(self.fault(va, kind, FaultKind::Protection));
+            }
+            self.stats.identity_validations.inc();
+            return Ok(Validation {
+                pa: va.to_identity_pa(),
+                latency: dav_latency,
+                overlap: false,
+                squashed_preload: false,
+            });
+        }
+        // 00: not identity mapped; full translation, expedited by the TLB
+        // that was already probed in parallel.
+        self.stats.fallback_translations.inc();
+        if let Some(entry) = tlb_hit {
+            self.check(entry.perms, va, kind)?;
+            let pa = PhysAddr::from_frame(entry.pfn) + va.page_offset(PageSize::Size4K);
+            return Ok(Validation {
+                pa,
+                latency: dav_latency,
+                overlap: false,
+                squashed_preload: false,
+            });
+        }
+        let (walk, walk_stall) = self.timed_walk(pt, mem, dram, va);
+        let latency = dav_latency + 1 + walk_stall;
+        match walk.outcome {
+            WalkOutcome::Leaf { pa, perms, page } => {
+                self.check(perms, va, kind)?;
+                debug_assert_eq!(page, PageSize::Size4K, "DVM-BM fallback uses 4K tables");
+                self.tlb.as_mut().expect("tlb").insert(TlbEntry {
+                    vpn,
+                    pfn: pa.frame(),
+                    perms,
+                });
+                Ok(Validation {
+                    pa,
+                    latency,
+                    overlap: false,
+                    squashed_preload: false,
+                })
+            }
+            WalkOutcome::PermissionEntry { perms, .. } => {
+                // Stale bitmap relative to the page table; trust the table.
+                self.check(perms, va, kind)?;
+                self.stats.identity_validations.inc();
+                Ok(Validation {
+                    pa: va.to_identity_pa(),
+                    latency,
+                    overlap: false,
+                    squashed_preload: false,
+                })
+            }
+            WalkOutcome::NotMapped { .. } => Err(self.fault(va, kind, FaultKind::NotMapped)),
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Translation lookaside buffer models.
+//!
+//! The paper's conventional-VM baselines use a 128-entry fully associative
+//! TLB with 1-cycle lookup (Table 2); §6.3.1 also discusses set-associative
+//! organizations (Intel uses 4-way), which we support for ablations. All
+//! entries in one TLB instance translate a single page size — the OS layout
+//! guarantees uniform page size per configuration (see `dvm-os`).
+
+use dvm_sim::RatioStat;
+use dvm_types::{PageSize, Permission, VirtAddr};
+use std::collections::HashMap;
+
+/// TLB organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Associativity {
+    /// Fully associative (CAM): any entry anywhere.
+    Full,
+    /// Set associative with the given number of ways.
+    SetAssociative {
+        /// Ways per set.
+        ways: u32,
+    },
+}
+
+/// TLB configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: u32,
+    /// Organization.
+    pub assoc: Associativity,
+    /// Page size all entries translate.
+    pub page_size: PageSize,
+}
+
+impl TlbConfig {
+    /// The paper's accelerator TLB: 128-entry fully associative (Table 2).
+    pub fn paper_accelerator(page_size: PageSize) -> Self {
+        Self {
+            entries: 128,
+            assoc: Associativity::Full,
+            page_size,
+        }
+    }
+}
+
+/// One cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page number (at the TLB's page size).
+    pub vpn: u64,
+    /// Physical frame number (at the TLB's page size).
+    pub pfn: u64,
+    /// Page permissions.
+    pub perms: Permission,
+}
+
+#[derive(Debug, Clone)]
+enum Store {
+    /// vpn -> (entry, last-use tick); O(1) lookup, O(n) eviction scan.
+    Full(HashMap<u64, (TlbEntry, u64)>),
+    /// Per-set ways: (entry, last-use tick).
+    Sets(Vec<Vec<(TlbEntry, u64)>>),
+}
+
+/// An LRU TLB.
+///
+/// # Examples
+///
+/// ```
+/// use dvm_mmu::{Tlb, TlbConfig, TlbEntry};
+/// use dvm_types::{PageSize, Permission, VirtAddr};
+///
+/// let mut tlb = Tlb::new(TlbConfig::paper_accelerator(PageSize::Size4K));
+/// let va = VirtAddr::new(0x1234_5000);
+/// assert!(tlb.lookup(va).is_none());
+/// tlb.insert(TlbEntry { vpn: va.vpn(PageSize::Size4K), pfn: 99, perms: Permission::ReadWrite });
+/// assert_eq!(tlb.lookup(va).unwrap().pfn, 99);
+/// assert_eq!(tlb.stats().hits(), 1);
+/// assert_eq!(tlb.stats().misses(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    store: Store,
+    tick: u64,
+    stats: RatioStat,
+}
+
+impl Tlb {
+    /// Build a TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries == 0`, or if set-associative and `ways` is zero
+    /// or does not divide `entries`.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.entries > 0, "TLB needs entries");
+        let store = match config.assoc {
+            Associativity::Full => Store::Full(HashMap::with_capacity(config.entries as usize)),
+            Associativity::SetAssociative { ways } => {
+                assert!(ways > 0 && config.entries % ways == 0, "ways must divide entries");
+                let sets = (config.entries / ways) as usize;
+                Store::Sets(vec![Vec::with_capacity(ways as usize); sets])
+            }
+        };
+        Self {
+            config,
+            store,
+            tick: 0,
+            stats: RatioStat::new("tlb"),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TlbConfig {
+        self.config
+    }
+
+    /// Page size this TLB translates.
+    pub fn page_size(&self) -> PageSize {
+        self.config.page_size
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> &RatioStat {
+        &self.stats
+    }
+
+    /// Look up the translation for `va`; records a hit or miss.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
+        let vpn = va.vpn(self.config.page_size);
+        self.tick += 1;
+        let tick = self.tick;
+        let found = match &mut self.store {
+            Store::Full(map) => map.get_mut(&vpn).map(|slot| {
+                slot.1 = tick;
+                slot.0
+            }),
+            Store::Sets(sets) => {
+                let nsets = sets.len() as u64;
+                let set = &mut sets[(vpn % nsets) as usize];
+                set.iter_mut().find(|(e, _)| e.vpn == vpn).map(|slot| {
+                    slot.1 = tick;
+                    slot.0
+                })
+            }
+        };
+        if found.is_some() {
+            self.stats.hit();
+        } else {
+            self.stats.miss();
+        }
+        found
+    }
+
+    /// Insert a translation, evicting the LRU entry (of the relevant set)
+    /// if full. Re-inserting an existing vpn replaces it.
+    pub fn insert(&mut self, entry: TlbEntry) {
+        self.tick += 1;
+        let tick = self.tick;
+        match &mut self.store {
+            Store::Full(map) => {
+                if map.len() as u32 >= self.config.entries && !map.contains_key(&entry.vpn) {
+                    if let Some((&victim, _)) =
+                        map.iter().min_by_key(|(_, (_, last_use))| *last_use)
+                    {
+                        map.remove(&victim);
+                    }
+                }
+                map.insert(entry.vpn, (entry, tick));
+            }
+            Store::Sets(sets) => {
+                let nsets = sets.len() as u64;
+                let ways = match self.config.assoc {
+                    Associativity::SetAssociative { ways } => ways as usize,
+                    Associativity::Full => unreachable!(),
+                };
+                let set = &mut sets[(entry.vpn % nsets) as usize];
+                if let Some(slot) = set.iter_mut().find(|(e, _)| e.vpn == entry.vpn) {
+                    *slot = (entry, tick);
+                    return;
+                }
+                if set.len() >= ways {
+                    let lru = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, last_use))| *last_use)
+                        .map(|(i, _)| i)
+                        .expect("non-empty set");
+                    set.swap_remove(lru);
+                }
+                set.push((entry, tick));
+            }
+        }
+    }
+
+    /// Zero the hit/miss statistics (cached entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Drop all entries (context switch / shootdown).
+    pub fn flush(&mut self) {
+        match &mut self.store {
+            Store::Full(map) => map.clear(),
+            Store::Sets(sets) => sets.iter_mut().for_each(Vec::clear),
+        }
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        match &self.store {
+            Store::Full(map) => map.len(),
+            Store::Sets(sets) => sets.iter().map(Vec::len).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(vpn: u64) -> TlbEntry {
+        TlbEntry {
+            vpn,
+            pfn: vpn + 1000,
+            perms: Permission::ReadWrite,
+        }
+    }
+
+    fn va_of(vpn: u64, ps: PageSize) -> VirtAddr {
+        VirtAddr::new(vpn << ps.shift())
+    }
+
+    #[test]
+    fn full_assoc_lru_eviction() {
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 4,
+            assoc: Associativity::Full,
+            page_size: PageSize::Size4K,
+        });
+        for vpn in 0..4 {
+            tlb.insert(entry(vpn));
+        }
+        // Touch 0 so 1 becomes LRU.
+        assert!(tlb.lookup(va_of(0, PageSize::Size4K)).is_some());
+        tlb.insert(entry(99));
+        assert!(tlb.lookup(va_of(0, PageSize::Size4K)).is_some());
+        assert!(tlb.lookup(va_of(1, PageSize::Size4K)).is_none(), "1 was LRU");
+        assert!(tlb.lookup(va_of(99, PageSize::Size4K)).is_some());
+        assert_eq!(tlb.occupancy(), 4);
+    }
+
+    #[test]
+    fn set_assoc_conflicts_within_set() {
+        // 4 entries, 2 ways -> 2 sets; vpns 0,2,4 all map to set 0.
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 4,
+            assoc: Associativity::SetAssociative { ways: 2 },
+            page_size: PageSize::Size4K,
+        });
+        tlb.insert(entry(0));
+        tlb.insert(entry(2));
+        tlb.insert(entry(4)); // evicts 0 (LRU in set 0)
+        assert!(tlb.lookup(va_of(0, PageSize::Size4K)).is_none());
+        assert!(tlb.lookup(va_of(2, PageSize::Size4K)).is_some());
+        assert!(tlb.lookup(va_of(4, PageSize::Size4K)).is_some());
+        // Set 1 untouched: odd vpn misses but has room.
+        assert!(tlb.lookup(va_of(1, PageSize::Size4K)).is_none());
+    }
+
+    #[test]
+    fn page_size_affects_vpn_extraction() {
+        let mut tlb = Tlb::new(TlbConfig::paper_accelerator(PageSize::Size2M));
+        let va = VirtAddr::new(5 << 21 | 0x12345);
+        tlb.insert(TlbEntry {
+            vpn: 5,
+            pfn: 7,
+            perms: Permission::ReadOnly,
+        });
+        let hit = tlb.lookup(va).unwrap();
+        assert_eq!(hit.pfn, 7);
+        // A different 2M page misses.
+        assert!(tlb.lookup(VirtAddr::new(6 << 21)).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 2,
+            assoc: Associativity::SetAssociative { ways: 2 },
+            page_size: PageSize::Size4K,
+        });
+        tlb.insert(entry(0));
+        tlb.insert(TlbEntry {
+            vpn: 0,
+            pfn: 5,
+            perms: Permission::ReadOnly,
+        });
+        assert_eq!(tlb.occupancy(), 1);
+        assert_eq!(tlb.lookup(va_of(0, PageSize::Size4K)).unwrap().pfn, 5);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut tlb = Tlb::new(TlbConfig::paper_accelerator(PageSize::Size4K));
+        tlb.insert(entry(1));
+        tlb.flush();
+        assert_eq!(tlb.occupancy(), 0);
+        assert!(tlb.lookup(va_of(1, PageSize::Size4K)).is_none());
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut tlb = Tlb::new(TlbConfig::paper_accelerator(PageSize::Size4K));
+        tlb.insert(entry(1));
+        let _ = tlb.lookup(va_of(1, PageSize::Size4K));
+        let _ = tlb.lookup(va_of(2, PageSize::Size4K));
+        let _ = tlb.lookup(va_of(2, PageSize::Size4K));
+        assert_eq!(tlb.stats().hits(), 1);
+        assert_eq!(tlb.stats().misses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must divide")]
+    fn bad_ways_rejected() {
+        Tlb::new(TlbConfig {
+            entries: 5,
+            assoc: Associativity::SetAssociative { ways: 2 },
+            page_size: PageSize::Size4K,
+        });
+    }
+}

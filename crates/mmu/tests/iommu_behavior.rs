@@ -1,0 +1,170 @@
+//! Scheme-specific IOMMU behaviour: energy attribution, walker occupancy,
+//! DVM-BM's parallel TLB probe, flush semantics, and preload accounting.
+
+use dvm_energy::{EnergyParams, MmEvent};
+use dvm_mem::{BuddyAllocator, Dram, DramConfig, PhysMem};
+use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_pagetable::{PageTable, PermBitmap};
+use dvm_types::{AccessKind, PageSize, Permission, VirtAddr};
+
+struct Rig {
+    mem: PhysMem,
+    pt: PageTable,
+    bitmap: Option<PermBitmap>,
+    dram: Dram,
+}
+
+fn rig(config: MmuConfig, span: u64) -> Rig {
+    let mut mem = PhysMem::new(1 << 18);
+    let mut alloc = BuddyAllocator::new(1 << 18);
+    let mut pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+    let base = VirtAddr::new(64 << 20);
+    let bitmap = if config == MmuConfig::DvmBitmap {
+        Some(PermBitmap::new(&mut mem, &mut alloc, 1 << 30).unwrap())
+    } else {
+        None
+    };
+    match config {
+        MmuConfig::Conventional { page_size } => pt
+            .map_identity_leaves(&mut mem, &mut alloc, base, span, Permission::ReadWrite, page_size)
+            .unwrap(),
+        _ => pt
+            .map_identity_pe(&mut mem, &mut alloc, base, span, Permission::ReadWrite)
+            .unwrap(),
+    }
+    if let Some(bm) = &bitmap {
+        bm.set_bytes(&mut mem, base, span, Permission::ReadWrite);
+    }
+    Rig {
+        mem,
+        pt,
+        bitmap,
+        dram: Dram::new(DramConfig::default()),
+    }
+}
+
+fn sweep(iommu: &mut Iommu, rig: &mut Rig, accesses: u64, stride: u64) {
+    let base = VirtAddr::new(64 << 20);
+    let mut sys = MemSystem {
+        iommu,
+        pt: &rig.pt,
+        bitmap: rig.bitmap.as_ref(),
+        mem: &mut rig.mem,
+        dram: &mut rig.dram,
+    };
+    for i in 0..accesses {
+        sys.access(base + (i * stride) % (32 << 20), AccessKind::Read)
+            .unwrap();
+    }
+}
+
+#[test]
+fn conventional_charges_fa_tlb_energy_per_access() {
+    let config = MmuConfig::Conventional { page_size: PageSize::Size4K };
+    let mut rig = rig(config, 32 << 20);
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    sweep(&mut iommu, &mut rig, 1000, 64);
+    assert_eq!(iommu.energy.count(MmEvent::FaTlbLookup), 1000);
+    assert!(iommu.energy.count(MmEvent::PtcLookup) > 0);
+}
+
+#[test]
+fn dvm_pe_never_touches_a_tlb() {
+    let config = MmuConfig::DvmPe { preload: false };
+    let mut rig = rig(config, 32 << 20);
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    sweep(&mut iommu, &mut rig, 1000, 4096);
+    assert_eq!(iommu.energy.count(MmEvent::FaTlbLookup), 0);
+    assert_eq!(iommu.energy.count(MmEvent::SaTlbLookup), 0);
+    assert!(iommu.energy.count(MmEvent::PtcLookup) >= 1000);
+    assert!(iommu.tlb_stats().is_none());
+}
+
+#[test]
+fn dvm_bm_probes_tlb_in_parallel_every_access() {
+    let config = MmuConfig::DvmBitmap;
+    let mut rig = rig(config, 32 << 20);
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    sweep(&mut iommu, &mut rig, 500, 4096);
+    // Both the bitmap cache and the fallback FA TLB burn energy on every
+    // access — the reason DVM-BM saves less energy than DVM-PE.
+    assert_eq!(iommu.energy.count(MmEvent::BitmapCacheLookup), 500);
+    assert_eq!(iommu.energy.count(MmEvent::FaTlbLookup), 500);
+    assert_eq!(iommu.stats.identity_validations.get(), 500);
+    assert_eq!(iommu.stats.fallback_translations.get(), 0);
+}
+
+#[test]
+fn walker_occupancy_orders_schemes() {
+    // 4K walks keep the shared walker far busier than PE validation.
+    let span = 32 << 20;
+    let mut busy = Vec::new();
+    for config in [
+        MmuConfig::Conventional { page_size: PageSize::Size4K },
+        MmuConfig::DvmPe { preload: false },
+        MmuConfig::Ideal,
+    ] {
+        let mut r = rig(config, span);
+        let mut iommu = Iommu::new(config, EnergyParams::default());
+        // Random-ish strided sweep touching many pages.
+        sweep(&mut iommu, &mut r, 4000, 81 * 4096);
+        busy.push(iommu.stats.walker_busy.get());
+    }
+    assert!(busy[0] > busy[1] * 3, "4K {} vs PE {}", busy[0], busy[1]);
+    assert_eq!(busy[2], 0, "ideal never walks");
+}
+
+#[test]
+fn flush_forgets_cached_state() {
+    let config = MmuConfig::Conventional { page_size: PageSize::Size4K };
+    let mut rig = rig(config, 1 << 20);
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    sweep(&mut iommu, &mut rig, 10, 64);
+    let misses_before = iommu.tlb_stats().unwrap().misses();
+    iommu.flush();
+    sweep(&mut iommu, &mut rig, 10, 64);
+    assert!(
+        iommu.tlb_stats().unwrap().misses() > misses_before,
+        "post-flush accesses must re-miss"
+    );
+}
+
+#[test]
+fn preload_counters_balance() {
+    let config = MmuConfig::DvmPe { preload: true };
+    let mut rig = rig(config, 1 << 20);
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    let base = VirtAddr::new(64 << 20);
+    let mut sys = MemSystem {
+        iommu: &mut iommu,
+        pt: &rig.pt,
+        bitmap: None,
+        mem: &mut rig.mem,
+        dram: &mut rig.dram,
+    };
+    for i in 0..100u64 {
+        sys.read_u32(base + i * 4).unwrap();
+    }
+    for i in 0..50u64 {
+        sys.write_u32(base + i * 4, 1).unwrap();
+    }
+    // Every read overlapped (identity), writes never preload.
+    assert_eq!(iommu.stats.preload_overlaps.get(), 100);
+    assert_eq!(iommu.stats.preload_squashes.get(), 0);
+    assert_eq!(iommu.stats.accesses.get(), 150);
+}
+
+#[test]
+fn reset_stats_keeps_cached_state() {
+    let config = MmuConfig::Conventional { page_size: PageSize::Size2M };
+    let mut rig = rig(config, 4 << 20);
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    sweep(&mut iommu, &mut rig, 100, 4096);
+    iommu.reset_stats();
+    assert_eq!(iommu.stats.accesses.get(), 0);
+    assert_eq!(iommu.energy.total_pj(), 0.0);
+    // The TLB is still warm: a re-sweep hits everywhere.
+    sweep(&mut iommu, &mut rig, 100, 4096);
+    assert_eq!(iommu.tlb_stats().unwrap().misses(), 0);
+    assert_eq!(iommu.tlb_stats().unwrap().hits(), 100);
+}

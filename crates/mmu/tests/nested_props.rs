@@ -1,0 +1,135 @@
+//! Property tests for the nested-translation model (§5 extension): every
+//! scheme must resolve the same final system physical address for any
+//! mapped guest address, and the cost ordering (2D >= 1D >= validation
+//! only) must hold pointwise.
+
+use dvm_mem::{BuddyAllocator, Dram, DramConfig, PhysMem};
+use dvm_mmu::{NestedScheme, NestedWalker};
+use dvm_pagetable::PageTable;
+use dvm_types::{PageSize, Permission, VirtAddr};
+use proptest::prelude::*;
+
+const GUEST_BASE: u64 = 1 << 30;
+const GUEST_SPAN: u64 = 16 << 20;
+
+struct Rig {
+    mem: PhysMem,
+    dram: Dram,
+    guest_pt: PageTable,
+    host_pt: PageTable,
+}
+
+fn build_rig(scheme: NestedScheme) -> Rig {
+    let mut mem = PhysMem::new(1 << 19);
+    let mut alloc = BuddyAllocator::new(1 << 19);
+    let base = VirtAddr::new(GUEST_BASE);
+    let guest_identity = matches!(scheme, NestedScheme::GuestDvm | NestedScheme::FullDvm);
+    let host_identity = matches!(scheme, NestedScheme::HostDvm | NestedScheme::FullDvm);
+
+    let mut guest_pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+    if guest_identity {
+        guest_pt
+            .map_identity_pe(&mut mem, &mut alloc, base, GUEST_SPAN, Permission::ReadWrite)
+            .unwrap();
+    } else {
+        guest_pt
+            .map_identity_leaves(
+                &mut mem,
+                &mut alloc,
+                base,
+                GUEST_SPAN,
+                Permission::ReadWrite,
+                PageSize::Size4K,
+            )
+            .unwrap();
+    }
+    let mut host_pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+    host_pt
+        .map_identity_pe(
+            &mut mem,
+            &mut alloc,
+            VirtAddr::new(0),
+            64 << 20,
+            Permission::ReadWrite,
+        )
+        .unwrap();
+    if host_identity {
+        host_pt
+            .map_identity_pe(&mut mem, &mut alloc, base, GUEST_SPAN, Permission::ReadWrite)
+            .unwrap();
+    } else {
+        host_pt
+            .map_identity_leaves(
+                &mut mem,
+                &mut alloc,
+                base,
+                GUEST_SPAN,
+                Permission::ReadWrite,
+                PageSize::Size2M,
+            )
+            .unwrap();
+    }
+    Rig {
+        mem,
+        dram: Dram::new(DramConfig::default()),
+        guest_pt,
+        host_pt,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_schemes_agree_on_the_final_spa(offsets in proptest::collection::vec(0u64..GUEST_SPAN, 1..40)) {
+        // Our test rigs are identity end-to-end, so every scheme must map
+        // gVA -> sPA == gVA; the *functional* result is scheme-invariant.
+        for scheme in NestedScheme::ALL {
+            let mut rig = build_rig(scheme);
+            let mut walker = NestedWalker::new(scheme);
+            for &off in &offsets {
+                let gva = VirtAddr::new(GUEST_BASE + (off & !63));
+                let t = walker
+                    .translate(gva, &rig.guest_pt, &rig.host_pt, &rig.mem, &mut rig.dram)
+                    .unwrap();
+                prop_assert_eq!(t.spa.raw(), gva.raw(), "{} at {:#x}", scheme, gva.raw());
+            }
+        }
+    }
+
+    #[test]
+    fn cost_ordering_holds_pointwise(off in 0u64..GUEST_SPAN) {
+        let gva = VirtAddr::new(GUEST_BASE + (off & !63));
+        let mut reads = Vec::new();
+        for scheme in NestedScheme::ALL {
+            let mut rig = build_rig(scheme);
+            let mut walker = NestedWalker::new(scheme);
+            let t = walker
+                .translate(gva, &rig.guest_pt, &rig.host_pt, &rig.mem, &mut rig.dram)
+                .unwrap();
+            reads.push(t.entry_reads);
+        }
+        // [TwoDimensional, HostDvm, GuestDvm, FullDvm]
+        prop_assert!(reads[0] > reads[1], "2D {} vs host {}", reads[0], reads[1]);
+        prop_assert!(reads[0] > reads[2], "2D {} vs guest {}", reads[0], reads[2]);
+        prop_assert!(reads[3] <= reads[1] && reads[3] <= reads[2],
+            "full {} vs host {} / guest {}", reads[3], reads[1], reads[2]);
+    }
+
+    #[test]
+    fn stats_accumulate_consistently(n in 1u32..30) {
+        let mut rig = build_rig(NestedScheme::FullDvm);
+        let mut walker = NestedWalker::new(NestedScheme::FullDvm);
+        let mut total_reads = 0u64;
+        for i in 0..n {
+            let gva = VirtAddr::new(GUEST_BASE + (i as u64 * 8192) % GUEST_SPAN);
+            let t = walker
+                .translate(gva, &rig.guest_pt, &rig.host_pt, &rig.mem, &mut rig.dram)
+                .unwrap();
+            total_reads += t.entry_reads as u64;
+        }
+        prop_assert_eq!(walker.stats.translations.get(), n as u64);
+        prop_assert_eq!(walker.stats.entry_reads.get(), total_reads);
+        prop_assert!(walker.stats.mem_refs.get() <= total_reads);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property test: the fully associative TLB behaves exactly like a
+//! reference LRU model, and the set-associative TLB respects per-set
+//! capacity bounds.
+
+use dvm_mmu::{Associativity, Tlb, TlbConfig, TlbEntry};
+use dvm_types::{PageSize, Permission, VirtAddr};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64),
+    Insert(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..48).prop_map(Op::Lookup),
+            (0u64..48).prop_map(Op::Insert),
+        ],
+        1..300,
+    )
+}
+
+/// Reference model: vector ordered by recency (front = most recent).
+#[derive(Default)]
+struct LruModel {
+    entries: Vec<u64>,
+    capacity: usize,
+}
+
+impl LruModel {
+    fn lookup(&mut self, vpn: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&v| v == vpn) {
+            let e = self.entries.remove(pos);
+            self.entries.insert(0, e);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, vpn: u64) {
+        if let Some(pos) = self.entries.iter().position(|&v| v == vpn) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.pop();
+        }
+        self.entries.insert(0, vpn);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fully_associative_tlb_is_lru(ops in ops()) {
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 16,
+            assoc: Associativity::Full,
+            page_size: PageSize::Size4K,
+        });
+        let mut model = LruModel { entries: Vec::new(), capacity: 16 };
+        for op in ops {
+            match op {
+                Op::Lookup(vpn) => {
+                    let got = tlb.lookup(VirtAddr::new(vpn << 12)).is_some();
+                    let want = model.lookup(vpn);
+                    prop_assert_eq!(got, want, "lookup {}", vpn);
+                }
+                Op::Insert(vpn) => {
+                    tlb.insert(TlbEntry { vpn, pfn: vpn, perms: Permission::ReadWrite });
+                    model.insert(vpn);
+                }
+            }
+            prop_assert_eq!(tlb.occupancy(), model.entries.len());
+        }
+    }
+
+    #[test]
+    fn set_associative_respects_capacity_and_correctness(ops in ops()) {
+        let ways = 4u32;
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 16,
+            assoc: Associativity::SetAssociative { ways },
+            page_size: PageSize::Size4K,
+        });
+        let mut present: std::collections::HashSet<u64> = Default::default();
+        for op in ops {
+            match op {
+                Op::Lookup(vpn) => {
+                    let got = tlb.lookup(VirtAddr::new(vpn << 12)).is_some();
+                    if got {
+                        // A hit must be for something that was inserted and
+                        // not (necessarily) evicted — hits never invent
+                        // entries.
+                        prop_assert!(present.contains(&vpn));
+                    }
+                }
+                Op::Insert(vpn) => {
+                    tlb.insert(TlbEntry { vpn, pfn: vpn + 7, perms: Permission::ReadOnly });
+                    present.insert(vpn);
+                    // An immediate lookup must hit and carry the payload.
+                    let hit = tlb.lookup(VirtAddr::new(vpn << 12)).unwrap();
+                    prop_assert_eq!(hit.pfn, vpn + 7);
+                }
+            }
+            prop_assert!(tlb.occupancy() <= 16);
+        }
+    }
+}

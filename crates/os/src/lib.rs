@@ -1,0 +1,42 @@
+//! The OS memory-management model for Devirtualized Memory.
+//!
+//! This crate is the reproduction's stand-in for the paper's modified
+//! Linux 4.10 kernel plus glibc malloc changes (§4.3): eager contiguous
+//! allocation, identity mapping with a flexible address space, demand
+//! paging fallback, fork with copy-on-write, an mmap-backed user
+//! allocator, and the shbench fragmentation stress used in Table 4.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvm_mem::MachineConfig;
+//! use dvm_os::{Os, OsConfig};
+//! use dvm_types::{Permission, VirtAddr};
+//!
+//! # fn main() -> Result<(), dvm_types::DvmError> {
+//! let mut os = Os::new(OsConfig {
+//!     machine: MachineConfig { mem_bytes: 256 << 20 },
+//!     ..OsConfig::default()
+//! });
+//! let pid = os.spawn()?;
+//! let va = os.mmap(pid, 1 << 20, Permission::ReadWrite)?;
+//! // Identity mapping: the virtual address equals the physical address.
+//! let (pa, _) = os.translate(pid, va).expect("mapped");
+//! assert_eq!(pa.raw(), va.raw());
+//! os.write_u64(pid, va, 7)?;
+//! assert_eq!(os.read_u64(pid, va)?, 7);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod malloc;
+pub mod os;
+pub mod process;
+pub mod shbench;
+pub mod swap;
+
+pub use malloc::{Malloc, MMAP_THRESHOLD, POOL_BYTES};
+pub use swap::SwapStore;
+pub use os::{MapFlavor, Os, OsConfig, OsStats};
+pub use process::{Backing, Pid, Process, Vma, VmaKind};
+pub use shbench::{ShbenchConfig, ShbenchResult};

@@ -1,0 +1,237 @@
+//! shbench-style fragmentation stress (paper §6.3.3, Table 4).
+//!
+//! The paper configures MicroQuill's shbench to "continuously allocate
+//! memory of variable sizes until identity mapping fails to hold for an
+//! allocation (VA != PA)", in three experiments:
+//!
+//! 1. small chunks of 100..10,000 bytes,
+//! 2. large chunks of 100,000..10,000,000 bytes,
+//! 3. four concurrent instances allocating large chunks,
+//!
+//! and reports the percentage of total system memory successfully
+//! allocated (still identity mapped) when the first failure occurs.
+//!
+//! The paper's protocol allocates *continuously* (no frees) until identity
+//! mapping fails, so the paper experiments use `free_fraction: 0.0` —
+//! failure then reflects eager allocation's rounding residue plus
+//! page-table overhead. Like the original shbench, sizes cycle through a
+//! fixed list (eight log-spaced classes within the experiment's range)
+//! rather than a continuum — discrete classes are also what lets the buddy
+//! allocator pack blocks tightly. A churn variant
+//! ([`ShbenchConfig::with_churn`]) additionally frees a fraction of live
+//! allocations as it goes, which is the harsher mixed-lifetime
+//! fragmentation case.
+
+use crate::malloc::Malloc;
+use crate::os::Os;
+use crate::process::Pid;
+use dvm_sim::DetRng;
+use dvm_types::DvmError;
+
+/// Parameters of one shbench run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShbenchConfig {
+    /// Minimum allocation size in bytes (inclusive).
+    pub min_bytes: u64,
+    /// Maximum allocation size in bytes (exclusive).
+    pub max_bytes: u64,
+    /// Number of concurrent instances (processes).
+    pub instances: u32,
+    /// Probability that a step frees a random live allocation instead of
+    /// allocating (shbench's churn).
+    pub free_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ShbenchConfig {
+    /// Paper experiment 1: small chunks, one instance, allocate-only.
+    pub fn experiment1() -> Self {
+        Self {
+            min_bytes: 100,
+            max_bytes: 10_000,
+            instances: 1,
+            free_fraction: 0.0,
+            seed: 1,
+        }
+    }
+
+    /// Paper experiment 2: large chunks, one instance, allocate-only.
+    pub fn experiment2() -> Self {
+        Self {
+            min_bytes: 100_000,
+            max_bytes: 10_000_000,
+            instances: 1,
+            free_fraction: 0.0,
+            seed: 2,
+        }
+    }
+
+    /// Paper experiment 3: four concurrent large-chunk instances.
+    pub fn experiment3() -> Self {
+        Self {
+            instances: 4,
+            ..Self::experiment2()
+        }
+    }
+
+    /// Harsher-than-paper variant: free `fraction` of live allocations as
+    /// the run proceeds (mixed object lifetimes fragment the buddy
+    /// allocator far more than allocate-only does).
+    pub fn with_churn(self, fraction: f64) -> Self {
+        Self {
+            free_fraction: fraction,
+            ..self
+        }
+    }
+}
+
+/// Result of one shbench run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShbenchResult {
+    /// Bytes mapped identity when the first identity failure occurred.
+    pub identity_bytes_at_failure: u64,
+    /// Total machine memory.
+    pub total_bytes: u64,
+    /// Allocations performed before the failure.
+    pub allocations: u64,
+    /// Frees performed before the failure.
+    pub frees: u64,
+}
+
+impl ShbenchResult {
+    /// The paper's Table 4 metric: percentage of system memory allocated
+    /// with identity mapping intact when identity mapping first failed.
+    pub fn identity_percent(&self) -> f64 {
+        100.0 * self.identity_bytes_at_failure as f64 / self.total_bytes as f64
+    }
+}
+
+/// Run shbench against an existing OS until identity mapping first fails
+/// (an `mmap` falls back to demand paging) or memory is exhausted.
+///
+/// # Errors
+///
+/// Propagates unexpected OS errors (anything other than clean memory
+/// exhaustion).
+pub fn run(os: &mut Os, config: ShbenchConfig) -> Result<ShbenchResult, DvmError> {
+    let mut rng = DetRng::new(config.seed);
+    let mut instances: Vec<(Pid, Malloc, Vec<dvm_types::VirtAddr>)> = Vec::new();
+    for _ in 0..config.instances {
+        let pid = os.spawn()?;
+        instances.push((pid, Malloc::new(pid), Vec::new()));
+    }
+    let total_bytes = os.machine.total_frames() * dvm_types::PAGE_SIZE;
+    let mut allocations = 0u64;
+    let mut frees = 0u64;
+
+    'outer: loop {
+        for (pid, malloc, live) in &mut instances {
+            let do_free = rng.chance(config.free_fraction) && !live.is_empty();
+            if do_free {
+                let victim = live.swap_remove(rng.below(live.len() as u64) as usize);
+                malloc.free(os, victim)?;
+                frees += 1;
+                continue;
+            }
+            // shbench-style size classes: eight log-spaced sizes in range.
+            let k = rng.below(8) as f64;
+            let ratio = config.max_bytes as f64 / config.min_bytes as f64;
+            let size = (config.min_bytes as f64 * ratio.powf(k / 7.0)) as u64;
+            let fallbacks_before = os.stats.identity_fallbacks;
+            match malloc.alloc(os, size) {
+                Ok(va) => {
+                    allocations += 1;
+                    live.push(va);
+                    if os.stats.identity_fallbacks > fallbacks_before {
+                        // Figure-7 fallback fired: identity mapping failed.
+                        break 'outer;
+                    }
+                }
+                Err(DvmError::OutOfMemory { .. }) => break 'outer,
+                Err(e) => return Err(e),
+            }
+            let _ = pid;
+        }
+    }
+
+    let identity_bytes: u64 = instances
+        .iter()
+        .map(|(pid, _, _)| os.process(*pid).map(|p| p.identity_bytes()).unwrap_or(0))
+        .sum();
+    Ok(ShbenchResult {
+        identity_bytes_at_failure: identity_bytes,
+        total_bytes,
+        allocations,
+        frees,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::OsConfig;
+    use dvm_mem::MachineConfig;
+
+    fn run_on(mem_bytes: u64, config: ShbenchConfig) -> ShbenchResult {
+        let mut os = Os::new(OsConfig {
+            machine: MachineConfig { mem_bytes },
+            ..OsConfig::default()
+        });
+        run(&mut os, config).unwrap()
+    }
+
+    #[test]
+    fn small_machine_still_reaches_high_identity_fraction() {
+        // 1 GiB machine to keep the test fast; the paper's claim is that
+        // ~95%+ of memory identity-maps even under churn.
+        let result = run_on(1 << 30, ShbenchConfig::experiment2());
+        // At 1 GiB a single 10 MB request is ~1% of memory, so identity
+        // mapping fails earlier than on the paper's 16-64 GiB machines
+        // (where the table4 harness reproduces the 95%+ figures).
+        assert!(
+            result.identity_percent() > 60.0,
+            "identity percent {:.1}",
+            result.identity_percent()
+        );
+        assert!(result.allocations > 0);
+    }
+
+    #[test]
+    fn small_chunk_experiment_uses_pools() {
+        let result = run_on(256 << 20, ShbenchConfig::experiment1());
+        // Pools are 4 MiB; failure should only happen near exhaustion.
+        assert!(
+            result.identity_percent() > 80.0,
+            "identity percent {:.1}",
+            result.identity_percent()
+        );
+    }
+
+    #[test]
+    fn multi_instance_runs() {
+        let result = run_on(1 << 30, ShbenchConfig::experiment3());
+        assert!(result.identity_percent() > 50.0);
+        assert_eq!(result.frees, 0, "paper protocol is allocate-only");
+    }
+
+    #[test]
+    fn churn_fragments_more_than_allocate_only() {
+        let plain = run_on(1 << 30, ShbenchConfig::experiment2());
+        let churn = run_on(1 << 30, ShbenchConfig::experiment2().with_churn(0.3));
+        assert!(churn.frees > 0);
+        assert!(
+            churn.identity_percent() <= plain.identity_percent(),
+            "churn {:.1}% vs plain {:.1}%",
+            churn.identity_percent(),
+            plain.identity_percent()
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run_on(256 << 20, ShbenchConfig::experiment2());
+        let b = run_on(256 << 20, ShbenchConfig::experiment2());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,275 @@
+//! Swapping for identity-mapped memory — the reclamation path the paper
+//! sketches but leaves unimplemented (§4.3.2): "to reclaim memory, the OS
+//! could convert permission entries to standard PTEs and swap out memory
+//! (not implemented)".
+//!
+//! [`Os::swap_out`] demotes the covering Permission Entry to regular PTEs
+//! (the conversion the paper describes), moves page contents to a backing
+//! store, marks the pages not-present and frees their frames.
+//! [`Os::swap_in`] faults pages back in: to their *original* frame when it
+//! is still free — re-establishing VA==PA — or to any free frame
+//! otherwise, in which case the page continues life demand-paged (exactly
+//! the graceful degradation DVM promises).
+
+use crate::os::Os;
+use crate::process::{Backing, Pid};
+use dvm_types::{align_down, DvmError, PhysAddr, VirtAddr, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Backing store for swapped-out pages: `(pid, page-aligned VA) -> data`.
+#[derive(Debug, Default)]
+pub struct SwapStore {
+    slots: HashMap<(Pid, u64), Box<[u8]>>,
+}
+
+impl SwapStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pages currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if no pages are swapped out.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// `true` if the page at `va` of `pid` is swapped out.
+    pub fn contains(&self, pid: Pid, va: VirtAddr) -> bool {
+        self.slots
+            .contains_key(&(pid, align_down(va.raw(), PAGE_SIZE)))
+    }
+}
+
+impl Os {
+    /// Swap out one page of an identity- or demand-mapped VMA: page-table
+    /// entry cleared (demoting PEs as needed), contents preserved in
+    /// `store`, frame returned to the allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`DvmError::InvalidArgument`] if the page is not mapped in a VMA of
+    /// `pid` or is already swapped out; [`DvmError::NoSuchProcess`] for an
+    /// unknown pid; [`DvmError::OutOfMemory`] if PE demotion cannot get a
+    /// table frame.
+    pub fn swap_out(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        store: &mut SwapStore,
+    ) -> Result<(), DvmError> {
+        let page_va = VirtAddr::new(align_down(va.raw(), PAGE_SIZE));
+        if store.contains(pid, page_va) {
+            return Err(DvmError::InvalidArgument("page already swapped out"));
+        }
+        let proc = self.process(pid)?;
+        let vma = proc
+            .vma_at(page_va)
+            .ok_or(DvmError::InvalidArgument("swap_out of unmapped page"))?;
+        let page_idx = (page_va - vma.start) / PAGE_SIZE;
+        let frame = vma.frame_of_page(page_idx);
+
+        // Preserve contents.
+        let mut data = vec![0u8; PAGE_SIZE as usize].into_boxed_slice();
+        self.machine
+            .mem
+            .read_bytes(PhysAddr::from_frame(frame), &mut data);
+        store.slots.insert((pid, page_va.raw()), data);
+
+        // Convert the PE (or leaf) to a not-present entry. (Direct field
+        // access keeps `self.machine` borrowable alongside the process.)
+        let proc = self.processes.get_mut(&pid).expect("existence checked above");
+        proc.page_table.unmap_region(
+            &mut self.machine.mem,
+            &mut self.machine.allocator,
+            page_va,
+            PAGE_SIZE,
+        )?;
+        if let Some(vma) = proc.vma_at_mut(page_va) {
+            vma.cow_pages.remove(&page_idx);
+            vma.swapped.insert(page_idx);
+        }
+        if let Some(bitmap) = &self.bitmap {
+            bitmap.set_bytes(
+                &mut self.machine.mem,
+                page_va,
+                PAGE_SIZE,
+                dvm_types::Permission::None,
+            );
+        }
+        // Free the frame for reuse.
+        self.release_frame_for_swap(frame);
+        self.stats.swapped_out += 1;
+        Ok(())
+    }
+
+    /// Swap a page back in, preferring its original (identity) frame.
+    /// Returns `true` if the page is identity mapped again, `false` if it
+    /// came back demand-paged at a different frame.
+    ///
+    /// # Errors
+    ///
+    /// [`DvmError::InvalidArgument`] if the page is not swapped out;
+    /// [`DvmError::OutOfMemory`] if no frame is available at all.
+    pub fn swap_in(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        store: &mut SwapStore,
+    ) -> Result<bool, DvmError> {
+        let page_va = VirtAddr::new(align_down(va.raw(), PAGE_SIZE));
+        let data = store
+            .slots
+            .remove(&(pid, page_va.raw()))
+            .ok_or(DvmError::InvalidArgument("page is not swapped out"))?;
+        let proc = self.process(pid)?;
+        let vma = proc
+            .vma_at(page_va)
+            .ok_or(DvmError::InvalidArgument("VMA vanished while swapped"))?;
+        let vma_perms = vma.perms;
+        let page_idx = (page_va - vma.start) / PAGE_SIZE;
+        let identity_frame = match &vma.backing {
+            Backing::Identity(range) => Some(range.start + page_idx),
+            Backing::Paged(_) => None,
+        };
+
+        // Try to reclaim the identity frame; otherwise take any frame.
+        let (frame, identity) = match identity_frame {
+            Some(f) if self.try_claim_specific_frame(f) => (f, true),
+            _ => (self.machine.allocator.alloc_frame()?, false),
+        };
+        self.machine
+            .mem
+            .write_bytes(PhysAddr::from_frame(frame), &data);
+
+        let proc = self.processes.get_mut(&pid).expect("existence checked above");
+        proc.page_table.remap_page(
+            &mut self.machine.mem,
+            &mut self.machine.allocator,
+            page_va,
+            PhysAddr::from_frame(frame),
+            vma_perms,
+        )?;
+        if let Some(vma) = proc.vma_at_mut(page_va) {
+            vma.swapped.remove(&page_idx);
+        }
+        if identity {
+            if let Some(bitmap) = &self.bitmap {
+                bitmap.set_bytes(&mut self.machine.mem, page_va, PAGE_SIZE, vma_perms);
+            }
+        } else {
+            // The page now lives at a non-identity frame: record it as a
+            // private override so teardown frees the right frame.
+            if let Some(vma) = proc.vma_at_mut(page_va) {
+                vma.cow_pages.insert(page_idx, frame);
+            }
+        }
+        self.stats.swapped_in += 1;
+        if identity {
+            self.stats.swap_reidentified += 1;
+        }
+        Ok(identity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::OsConfig;
+    use dvm_mem::MachineConfig;
+    use dvm_types::Permission;
+
+    fn small_os() -> Os {
+        Os::new(OsConfig {
+            machine: MachineConfig { mem_bytes: 64 << 20 },
+            ..OsConfig::default()
+        })
+    }
+
+    #[test]
+    fn swap_roundtrip_restores_identity_and_data() {
+        let mut os = small_os();
+        let pid = os.spawn().unwrap();
+        let buf = os.mmap(pid, 256 << 10, Permission::ReadWrite).unwrap();
+        os.write_u64(pid, buf, 0xABCD).unwrap();
+
+        let mut store = SwapStore::new();
+        let free_before = os.machine.allocator.free_frames_count();
+        os.swap_out(pid, buf, &mut store).unwrap();
+        // The data frame was freed, but demoting the covering PE to 4 KiB
+        // leaves consumed one table frame: net zero.
+        assert_eq!(os.machine.allocator.free_frames_count(), free_before);
+        assert!(os.translate(pid, buf).is_none(), "page is gone");
+        assert!(store.contains(pid, buf));
+
+        // Nothing stole the frame: swap-in re-identifies.
+        let identity = os.swap_in(pid, buf, &mut store).unwrap();
+        assert!(identity, "original frame was free: VA==PA restored");
+        assert_eq!(os.translate(pid, buf).unwrap().0.raw(), buf.raw());
+        assert_eq!(os.read_u64(pid, buf).unwrap(), 0xABCD);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn stolen_frame_degrades_to_demand_paging() {
+        let mut os = small_os();
+        let pid = os.spawn().unwrap();
+        let buf = os.mmap(pid, 128 << 10, Permission::ReadWrite).unwrap();
+        os.write_u64(pid, buf, 7).unwrap();
+
+        let mut store = SwapStore::new();
+        os.swap_out(pid, buf, &mut store).unwrap();
+        // Memory pressure: something else grabs exactly the freed frame.
+        let stolen = buf.raw() / dvm_types::PAGE_SIZE;
+        assert!(os.machine.allocator.alloc_specific_frame(stolen));
+
+        let identity = os.swap_in(pid, buf, &mut store).unwrap();
+        assert!(!identity, "original frame taken: page returns demand-paged");
+        let (pa, _) = os.translate(pid, buf).unwrap();
+        assert_ne!(pa.raw(), buf.raw());
+        assert_eq!(os.read_u64(pid, buf).unwrap(), 7, "contents preserved");
+        // Neighbouring pages of the VMA are still identity mapped.
+        let (pa2, _) = os.translate(pid, buf + dvm_types::PAGE_SIZE).unwrap();
+        assert_eq!(pa2.raw(), buf.raw() + dvm_types::PAGE_SIZE);
+    }
+
+    #[test]
+    fn swap_out_unmapped_or_double_fails() {
+        let mut os = small_os();
+        let pid = os.spawn().unwrap();
+        let mut store = SwapStore::new();
+        assert!(os
+            .swap_out(pid, VirtAddr::new(0x4000_0000), &mut store)
+            .is_err());
+        let buf = os.mmap(pid, 4 << 10, Permission::ReadWrite).unwrap();
+        os.swap_out(pid, buf, &mut store).unwrap();
+        assert!(os.swap_out(pid, buf, &mut store).is_err());
+        assert!(os.swap_in(pid, buf + 0x1000, &mut store).is_err());
+    }
+
+    #[test]
+    fn neighbours_survive_a_single_page_swap() {
+        let mut os = small_os();
+        let pid = os.spawn().unwrap();
+        let buf = os.mmap(pid, 128 << 10, Permission::ReadWrite).unwrap();
+        for i in 0..32u64 {
+            os.write_u64(pid, buf + i * PAGE_SIZE, i).unwrap();
+        }
+        let mut store = SwapStore::new();
+        let victim = buf + 5 * PAGE_SIZE;
+        os.swap_out(pid, victim, &mut store).unwrap();
+        for i in 0..32u64 {
+            if i == 5 {
+                assert!(os.translate(pid, buf + i * PAGE_SIZE).is_none());
+            } else {
+                assert_eq!(os.read_u64(pid, buf + i * PAGE_SIZE).unwrap(), i, "page {i}");
+            }
+        }
+        os.swap_in(pid, victim, &mut store).unwrap();
+        assert_eq!(os.read_u64(pid, victim).unwrap(), 5);
+    }
+}

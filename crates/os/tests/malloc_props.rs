@@ -1,0 +1,110 @@
+//! Property test for the user-level allocator: under arbitrary alloc/free
+//! interleavings, live allocations never alias (writing a distinct
+//! pattern through one pointer never corrupts another) and everything is
+//! reclaimable.
+
+use dvm_mem::MachineConfig;
+use dvm_os::{Malloc, Os, OsConfig};
+use dvm_types::{DvmError, VirtAddr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `size` bytes (small pool sizes and large mmap sizes mixed).
+    Alloc(u64),
+    /// Free the i-th live allocation (mod len).
+    Free(usize),
+    /// Rewrite the i-th live allocation's pattern.
+    Rewrite(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => prop_oneof![
+            (8u64..4096).prop_map(Op::Alloc),          // pool-served
+            (128 * 1024..2 * 1024 * 1024u64).prop_map(Op::Alloc), // mmap-served
+        ],
+        1 => (0usize..64).prop_map(Op::Free),
+        1 => (0usize..64).prop_map(Op::Rewrite),
+    ]
+}
+
+/// Deterministic fill pattern per (address, epoch).
+fn pattern(va: VirtAddr, epoch: u64) -> u64 {
+    va.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ epoch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allocations_never_alias(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut os = Os::new(OsConfig {
+            machine: MachineConfig { mem_bytes: 512 << 20 },
+            ..OsConfig::default()
+        });
+        let pid = os.spawn().unwrap();
+        let mut malloc = Malloc::new(pid);
+        // Live pointers with their current write epoch.
+        let mut live: Vec<(VirtAddr, u64)> = Vec::new();
+        let mut epochs: HashMap<u64, u64> = HashMap::new();
+        let mut next_epoch = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    match malloc.alloc(&mut os, size) {
+                        Ok(va) => {
+                            // Fresh allocations must not equal any live one.
+                            prop_assert!(
+                                live.iter().all(|(other, _)| *other != va),
+                                "allocator returned a live pointer twice"
+                            );
+                            next_epoch += 1;
+                            os.write_u64(pid, va, pattern(va, next_epoch)).unwrap();
+                            epochs.insert(va.raw(), next_epoch);
+                            live.push((va, next_epoch));
+                        }
+                        Err(DvmError::OutOfMemory { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (va, _) = live.swap_remove(i % live.len());
+                        epochs.remove(&va.raw());
+                        malloc.free(&mut os, va).unwrap();
+                    }
+                }
+                Op::Rewrite(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let (va, _) = live[idx];
+                        next_epoch += 1;
+                        os.write_u64(pid, va, pattern(va, next_epoch)).unwrap();
+                        epochs.insert(va.raw(), next_epoch);
+                        live[idx].1 = next_epoch;
+                    }
+                }
+            }
+            // Every live allocation still holds its own pattern: no
+            // aliasing between pool blocks, pools and mmap regions.
+            for (va, epoch) in &live {
+                prop_assert_eq!(
+                    os.read_u64(pid, *va).unwrap(),
+                    pattern(*va, *epoch),
+                    "clobbered allocation at {}", va
+                );
+            }
+        }
+
+        prop_assert_eq!(malloc.live_count(), live.len());
+        // Free everything; large mappings are returned to the OS.
+        for (va, _) in live {
+            malloc.free(&mut os, va).unwrap();
+        }
+        prop_assert_eq!(malloc.live_count(), 0);
+        prop_assert_eq!(malloc.live_bytes(), 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! OS-level semantics: identity mapping with fallback, fork/CoW, memory
+//! reclamation, and the DVM-BM bitmap's coherence with the page tables.
+
+use dvm_mem::MachineConfig;
+use dvm_os::{MapFlavor, Os, OsConfig, VmaKind};
+use dvm_types::{DvmError, PageSize, Permission, VirtAddr, PAGE_SIZE};
+
+fn small_os() -> Os {
+    Os::new(OsConfig {
+        machine: MachineConfig { mem_bytes: 256 << 20 },
+        ..OsConfig::default()
+    })
+}
+
+#[test]
+fn mmap_is_identity_until_memory_pressure() {
+    let mut os = Os::new(OsConfig {
+        machine: MachineConfig { mem_bytes: 64 << 20 },
+        ..OsConfig::default()
+    });
+    let pid = os.spawn().unwrap();
+    let mut identity = 0;
+    let mut fallback = 0;
+    // Allocate 8 MiB chunks until even fallback fails.
+    loop {
+        match os.mmap(pid, 8 << 20, Permission::ReadWrite) {
+            Ok(va) => {
+                if os.process(pid).unwrap().vma_at(va).unwrap().is_identity() {
+                    identity += 1;
+                } else {
+                    fallback += 1;
+                }
+            }
+            Err(DvmError::OutOfMemory { .. }) => break,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert!(identity >= 6, "most of 64 MiB should identity-map: {identity}");
+    // The Figure 7 fallback path engaged before hard failure (the final
+    // attempt may fall back and then fail outright, so the stat can
+    // exceed the successful-fallback count).
+    assert!(os.stats.identity_fallbacks as usize >= fallback);
+}
+
+#[test]
+fn demand_paged_fallback_is_usable_and_non_identity() {
+    let mut os = Os::new(OsConfig {
+        machine: MachineConfig { mem_bytes: 256 << 20 },
+        identity_enabled: false, // ablation: force the fallback path
+        ..OsConfig::default()
+    });
+    let pid = os.spawn().unwrap();
+    let va = os.mmap(pid, 1 << 20, Permission::ReadWrite).unwrap();
+    let (pa, _) = os.translate(pid, va).unwrap();
+    assert_ne!(pa.raw(), va.raw(), "fallback must not be identity");
+    os.write_u64(pid, va, 77).unwrap();
+    assert_eq!(os.read_u64(pid, va).unwrap(), 77);
+    assert_eq!(os.stats.identity_maps, 0);
+}
+
+#[test]
+fn fork_shares_then_copies_on_write() {
+    let mut os = small_os();
+    let parent = os.spawn().unwrap();
+    let buf = os.mmap(parent, 256 << 10, Permission::ReadWrite).unwrap();
+    os.write_u64(parent, buf, 1).unwrap();
+    os.write_u64(parent, buf + 8 * 4096, 2).unwrap();
+
+    let child = os.fork(parent).unwrap();
+    // Shared state visible in both.
+    assert_eq!(os.read_u64(child, buf).unwrap(), 1);
+    assert_eq!(os.read_u64(child, buf + 8 * 4096).unwrap(), 2);
+    // Same physical frame before any write.
+    assert_eq!(
+        os.translate(parent, buf).unwrap().0,
+        os.translate(child, buf).unwrap().0
+    );
+
+    // Child write -> private copy; parent unchanged.
+    os.write_u64(child, buf, 100).unwrap();
+    assert_eq!(os.read_u64(child, buf).unwrap(), 100);
+    assert_eq!(os.read_u64(parent, buf).unwrap(), 1);
+    assert_ne!(
+        os.translate(parent, buf).unwrap().0,
+        os.translate(child, buf).unwrap().0
+    );
+    // Untouched pages still shared.
+    assert_eq!(
+        os.translate(parent, buf + 8 * 4096).unwrap().0,
+        os.translate(child, buf + 8 * 4096).unwrap().0
+    );
+    assert!(os.stats.cow_faults >= 1);
+}
+
+#[test]
+fn parent_write_after_child_copy_reuses_in_place() {
+    let mut os = small_os();
+    let parent = os.spawn().unwrap();
+    let buf = os.mmap(parent, 128 << 10, Permission::ReadWrite).unwrap();
+    os.write_u64(parent, buf, 5).unwrap();
+    let child = os.fork(parent).unwrap();
+    os.write_u64(child, buf, 6).unwrap(); // child copies
+    os.write_u64(parent, buf, 7).unwrap(); // parent now sole owner: reuse
+    assert_eq!(os.read_u64(parent, buf).unwrap(), 7);
+    assert_eq!(os.read_u64(child, buf).unwrap(), 6);
+    // Parent's page is identity mapped again (reuse keeps VA==PA).
+    assert_eq!(os.translate(parent, buf).unwrap().0.raw(), buf.raw());
+    assert!(os.stats.cow_reuses >= 1);
+}
+
+#[test]
+fn exit_reclaims_all_memory_even_after_fork() {
+    let mut os = small_os();
+    let free_at_boot = os.machine.allocator.free_frames_count();
+    let parent = os.spawn().unwrap();
+    let buf = os.mmap(parent, 1 << 20, Permission::ReadWrite).unwrap();
+    os.write_u64(parent, buf, 9).unwrap();
+    let child = os.fork(parent).unwrap();
+    os.write_u64(child, buf, 10).unwrap(); // one CoW copy
+    os.exit(child).unwrap();
+    // Parent still works after child exit.
+    assert_eq!(os.read_u64(parent, buf).unwrap(), 9);
+    os.write_u64(parent, buf + 4096, 11).unwrap();
+    os.exit(parent).unwrap();
+    assert_eq!(
+        os.machine.allocator.free_frames_count(),
+        free_at_boot,
+        "all frames (data, tables, CoW copies) reclaimed"
+    );
+    assert_eq!(os.machine.mem.resident_frames(), 0);
+}
+
+#[test]
+fn munmap_allows_reallocation_of_the_same_pa() {
+    let mut os = small_os();
+    let pid = os.spawn().unwrap();
+    let a = os.mmap(pid, 4 << 20, Permission::ReadWrite).unwrap();
+    os.munmap(pid, a).unwrap();
+    let b = os.mmap(pid, 4 << 20, Permission::ReadWrite).unwrap();
+    assert_eq!(a, b, "lowest-address-first reuses the freed block");
+    os.write_u64(pid, b, 3).unwrap();
+    assert_eq!(os.read_u64(pid, b).unwrap(), 3);
+}
+
+#[test]
+fn mprotect_changes_permissions_without_breaking_identity() {
+    let mut os = small_os();
+    let pid = os.spawn().unwrap();
+    let buf = os.mmap(pid, 256 << 10, Permission::ReadWrite).unwrap();
+    os.write_u64(pid, buf, 1).unwrap();
+    os.mprotect(pid, buf, Permission::ReadOnly).unwrap();
+    let (pa, perms) = os.translate(pid, buf).unwrap();
+    assert_eq!(pa.raw(), buf.raw());
+    assert_eq!(perms, Permission::ReadOnly);
+    assert!(os.write_u64(pid, buf, 2).is_err());
+    assert_eq!(os.read_u64(pid, buf).unwrap(), 1);
+}
+
+#[test]
+fn bitmap_tracks_mappings_when_enabled() {
+    let mut os = Os::new(OsConfig {
+        machine: MachineConfig { mem_bytes: 256 << 20 },
+        maintain_bitmap: true,
+        ..OsConfig::default()
+    });
+    let pid = os.spawn().unwrap();
+    let buf = os.mmap(pid, 128 << 10, Permission::ReadWrite).unwrap();
+    let bitmap = os.bitmap.expect("bitmap maintained");
+    let vpn = buf.raw() / PAGE_SIZE;
+    assert_eq!(
+        bitmap.perms_of(&os.machine.mem, vpn),
+        Permission::ReadWrite
+    );
+    os.munmap(pid, buf).unwrap();
+    assert_eq!(bitmap.perms_of(&os.machine.mem, vpn), Permission::None);
+}
+
+#[test]
+fn bitmap_goes_conservative_on_cow() {
+    let mut os = Os::new(OsConfig {
+        machine: MachineConfig { mem_bytes: 256 << 20 },
+        maintain_bitmap: true,
+        ..OsConfig::default()
+    });
+    let parent = os.spawn().unwrap();
+    let buf = os.mmap(parent, 128 << 10, Permission::ReadWrite).unwrap();
+    let vpn = buf.raw() / PAGE_SIZE;
+    let child = os.fork(parent).unwrap();
+    // Fork marks shared identity pages read-only in the bitmap.
+    let bitmap = os.bitmap.expect("bitmap");
+    assert_eq!(bitmap.perms_of(&os.machine.mem, vpn), Permission::ReadOnly);
+    // After a CoW write the VA means different frames in the two
+    // processes, so the system-wide bitmap must stay 00 forever.
+    os.write_u64(child, buf, 1).unwrap();
+    assert_eq!(bitmap.perms_of(&os.machine.mem, vpn), Permission::None);
+}
+
+#[test]
+fn huge_page_flavours_pad_and_align() {
+    for (flavor, granule) in [
+        (MapFlavor::Paged(PageSize::Size2M), 2 << 20),
+        (MapFlavor::Paged(PageSize::Size1G), 1 << 30),
+    ] {
+        let mut os = Os::new(OsConfig {
+            machine: MachineConfig { mem_bytes: 4 << 30 },
+            flavor,
+            ..OsConfig::default()
+        });
+        let pid = os.spawn().unwrap();
+        let va = os.mmap(pid, 3 << 20, Permission::ReadWrite).unwrap();
+        assert_eq!(va.raw() % granule, 0, "{flavor:?} alignment");
+        let vma_len = os.process(pid).unwrap().vma_at(va).unwrap().len;
+        assert_eq!(vma_len % granule, 0, "{flavor:?} padding");
+    }
+}
+
+#[test]
+fn segment_kinds_are_recorded() {
+    let mut os = small_os();
+    let pid = os.spawn().unwrap();
+    let code = os
+        .mmap_kind(pid, 1 << 20, Permission::ReadExec, VmaKind::Code)
+        .unwrap();
+    let stack = os
+        .mmap_kind(pid, 1 << 20, Permission::ReadWrite, VmaKind::Stack)
+        .unwrap();
+    let proc = os.process(pid).unwrap();
+    assert_eq!(proc.vma_at(code).unwrap().kind, VmaKind::Code);
+    assert_eq!(proc.vma_at(stack).unwrap().kind, VmaKind::Stack);
+    // Executing code is allowed, writing it is not.
+    assert_eq!(
+        os.translate(pid, code).unwrap().1,
+        Permission::ReadExec
+    );
+}
+
+#[test]
+fn aslr_varies_demand_area_between_seeds() {
+    let mut bases = std::collections::HashSet::new();
+    for seed in 0..8 {
+        let mut os = Os::new(OsConfig {
+            machine: MachineConfig { mem_bytes: 64 << 20 },
+            identity_enabled: false,
+            aslr_seed: seed,
+            ..OsConfig::default()
+        });
+        let pid = os.spawn().unwrap();
+        let va = os.mmap(pid, 1 << 20, Permission::ReadWrite).unwrap();
+        bases.insert(va);
+    }
+    assert!(bases.len() >= 7, "ASLR should vary placements: {bases:?}");
+    for va in bases {
+        assert!(va >= VirtAddr::new(1 << 46), "demand area is high");
+    }
+}
+
+#[test]
+fn vfork_shares_the_address_space_without_copying() {
+    let mut os = small_os();
+    let parent = os.spawn().unwrap();
+    let buf = os.mmap(parent, 128 << 10, Permission::ReadWrite).unwrap();
+    os.write_u64(parent, buf, 1).unwrap();
+
+    let child = os.vfork(parent).unwrap();
+    // Same translation, full write permission (no CoW protection).
+    assert_eq!(
+        os.translate(parent, buf).unwrap(),
+        os.translate(child, buf).unwrap()
+    );
+    // A child write is immediately visible to the parent.
+    os.write_u64(child, buf, 2).unwrap();
+    assert_eq!(os.read_u64(parent, buf).unwrap(), 2);
+    // Identity mapping survives (the paper's point in recommending vfork).
+    assert_eq!(os.translate(parent, buf).unwrap().0.raw(), buf.raw());
+    assert_eq!(os.stats.cow_faults, 0);
+
+    // Child exit releases nothing; the parent's memory still works.
+    let free_before = os.machine.allocator.free_frames_count();
+    os.exit(child).unwrap();
+    assert_eq!(os.machine.allocator.free_frames_count(), free_before);
+    assert_eq!(os.read_u64(parent, buf).unwrap(), 2);
+}

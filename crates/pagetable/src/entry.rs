@@ -1,0 +1,253 @@
+//! Page-table entry formats, including the paper's Permission Entry (PE).
+//!
+//! We use an x86-64-flavoured 8-byte entry with this layout (bit 0 is the
+//! LSB):
+//!
+//! ```text
+//! bit  0       PRESENT   entry is valid
+//! bit  1       PE        this is a Permission Entry (paper Figure 6)
+//! bit  2..=3   PERMS     2-bit permission field for leaf PTEs
+//! bit  4       LEAF      terminal translation (4K at L1, 2M at L2, 1G at L3)
+//! bit 12..=51  PFN       frame number of the next-level table or mapped page
+//! bit 32..=63  P0..P15   sixteen 2-bit permission fields (PE entries only)
+//! ```
+//!
+//! `PFN` and the PE permission fields overlap (bits 32–51), which is safe
+//! because a Permission Entry carries no frame number: under DVM the
+//! physical address *is* the virtual address (VA==PA), so a PE needs only
+//! permissions — precisely the insight of §4.1.1.
+
+use dvm_types::Permission;
+
+/// Number of permission fields in one Permission Entry.
+pub const PE_FIELDS: usize = 16;
+
+/// Entries per 4 KiB page-table page.
+pub const ENTRIES_PER_TABLE: usize = 512;
+
+/// Size of one entry in bytes.
+pub const ENTRY_BYTES: u64 = 8;
+
+const PRESENT_BIT: u64 = 1 << 0;
+const PE_BIT: u64 = 1 << 1;
+const LEAF_BIT: u64 = 1 << 4;
+const PERMS_SHIFT: u32 = 2;
+const PERMS_MASK: u64 = 0b11 << PERMS_SHIFT;
+const PFN_SHIFT: u32 = 12;
+const PFN_MASK: u64 = ((1u64 << 40) - 1) << PFN_SHIFT;
+const PE_FIELDS_SHIFT: u32 = 32;
+
+/// One 8-byte page-table entry at any level.
+///
+/// # Examples
+///
+/// ```
+/// use dvm_pagetable::Pte;
+/// use dvm_types::Permission;
+///
+/// let leaf = Pte::leaf(0x1234, Permission::ReadWrite);
+/// assert!(leaf.is_present() && leaf.is_leaf() && !leaf.is_pe());
+/// assert_eq!(leaf.pfn(), 0x1234);
+/// assert_eq!(leaf.perms(), Permission::ReadWrite);
+///
+/// let pe = Pte::permission_entry(&[Permission::ReadOnly; 16]);
+/// assert!(pe.is_pe());
+/// assert_eq!(pe.pe_field(7), Permission::ReadOnly);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(u64);
+
+impl Pte {
+    /// The absent (zero) entry.
+    pub const EMPTY: Pte = Pte(0);
+
+    /// Reconstruct from the raw stored bits.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Self {
+        Pte(raw)
+    }
+
+    /// Raw stored bits.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// An entry pointing at a next-level table in frame `pfn`.
+    #[inline]
+    pub fn table(pfn: u64) -> Self {
+        Pte(PRESENT_BIT | ((pfn << PFN_SHIFT) & PFN_MASK))
+    }
+
+    /// A terminal (leaf) translation to frame `pfn` with `perms`.
+    ///
+    /// At L1 this maps 4 KiB; at L2, 2 MiB (pfn must be 512-aligned); at
+    /// L3, 1 GiB (pfn must be 512²-aligned).
+    #[inline]
+    pub fn leaf(pfn: u64, perms: Permission) -> Self {
+        Pte(PRESENT_BIT
+            | LEAF_BIT
+            | ((perms.bits() as u64) << PERMS_SHIFT)
+            | ((pfn << PFN_SHIFT) & PFN_MASK))
+    }
+
+    /// A Permission Entry with the given sixteen 2-bit fields
+    /// (`fields[0]` covers the lowest-addressed sixteenth of the range).
+    #[inline]
+    pub fn permission_entry(fields: &[Permission; PE_FIELDS]) -> Self {
+        let mut bits = PRESENT_BIT | PE_BIT;
+        for (i, p) in fields.iter().enumerate() {
+            bits |= (p.bits() as u64) << (PE_FIELDS_SHIFT + 2 * i as u32);
+        }
+        Pte(bits)
+    }
+
+    /// Is the entry valid?
+    #[inline]
+    pub const fn is_present(self) -> bool {
+        self.0 & PRESENT_BIT != 0
+    }
+
+    /// Is this a Permission Entry?
+    #[inline]
+    pub const fn is_pe(self) -> bool {
+        self.0 & PE_BIT != 0
+    }
+
+    /// Is this a terminal translation (non-PE leaf)?
+    #[inline]
+    pub const fn is_leaf(self) -> bool {
+        self.0 & LEAF_BIT != 0
+    }
+
+    /// Does this entry point at a next-level table?
+    #[inline]
+    pub const fn is_table(self) -> bool {
+        self.is_present() && !self.is_pe() && !self.is_leaf()
+    }
+
+    /// Frame number (tables and leaves only).
+    #[inline]
+    pub const fn pfn(self) -> u64 {
+        (self.0 & PFN_MASK) >> PFN_SHIFT
+    }
+
+    /// Leaf permission field.
+    #[inline]
+    pub fn perms(self) -> Permission {
+        Permission::from_bits(((self.0 & PERMS_MASK) >> PERMS_SHIFT) as u8)
+    }
+
+    /// Permission field `i` of a Permission Entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    #[inline]
+    pub fn pe_field(self, i: usize) -> Permission {
+        assert!(i < PE_FIELDS, "PE field index {i} out of range");
+        Permission::from_bits(((self.0 >> (PE_FIELDS_SHIFT + 2 * i as u32)) & 0b11) as u8)
+    }
+
+    /// Copy of all sixteen permission fields of a Permission Entry.
+    pub fn pe_fields(self) -> [Permission; PE_FIELDS] {
+        core::array::from_fn(|i| self.pe_field(i))
+    }
+
+    /// Return a PE with field `i` replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a PE or `i >= 16`.
+    #[must_use]
+    pub fn with_pe_field(self, i: usize, perms: Permission) -> Self {
+        assert!(self.is_pe(), "with_pe_field on a non-PE entry");
+        assert!(i < PE_FIELDS, "PE field index {i} out of range");
+        let shift = PE_FIELDS_SHIFT + 2 * i as u32;
+        Pte((self.0 & !(0b11 << shift)) | ((perms.bits() as u64) << shift))
+    }
+
+    /// `true` if every permission field of this PE is `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a PE.
+    pub fn pe_is_empty(self) -> bool {
+        assert!(self.is_pe(), "pe_is_empty on a non-PE entry");
+        self.pe_fields().iter().all(|p| !p.is_mapped())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_entry_is_absent() {
+        assert!(!Pte::EMPTY.is_present());
+        assert!(!Pte::EMPTY.is_pe());
+        assert!(!Pte::EMPTY.is_leaf());
+        assert!(!Pte::EMPTY.is_table());
+    }
+
+    #[test]
+    fn table_entry() {
+        let e = Pte::table(42);
+        assert!(e.is_present() && e.is_table());
+        assert!(!e.is_leaf() && !e.is_pe());
+        assert_eq!(e.pfn(), 42);
+    }
+
+    #[test]
+    fn leaf_entry_roundtrip() {
+        for perms in Permission::ALL {
+            let e = Pte::leaf(0xfffff, perms);
+            assert!(e.is_present() && e.is_leaf() && !e.is_pe());
+            assert_eq!(e.pfn(), 0xfffff);
+            assert_eq!(e.perms(), perms);
+        }
+    }
+
+    #[test]
+    fn pe_fields_roundtrip() {
+        let fields: [Permission; PE_FIELDS] =
+            core::array::from_fn(|i| Permission::from_bits((i % 4) as u8));
+        let e = Pte::permission_entry(&fields);
+        assert!(e.is_present() && e.is_pe() && !e.is_leaf());
+        assert_eq!(e.pe_fields(), fields);
+        // Raw roundtrip (what the walker reads back from memory).
+        let back = Pte::from_raw(e.raw());
+        assert_eq!(back.pe_fields(), fields);
+    }
+
+    #[test]
+    fn with_pe_field_updates_one_slot() {
+        let e = Pte::permission_entry(&[Permission::None; PE_FIELDS]);
+        let e2 = e.with_pe_field(3, Permission::ReadWrite);
+        assert_eq!(e2.pe_field(3), Permission::ReadWrite);
+        for i in (0..PE_FIELDS).filter(|&i| i != 3) {
+            assert_eq!(e2.pe_field(i), Permission::None);
+        }
+        assert!(e.pe_is_empty());
+        assert!(!e2.pe_is_empty());
+    }
+
+    #[test]
+    fn pfn_isolated_from_flags() {
+        let e = Pte::leaf(u64::MAX >> 24, Permission::ReadExec);
+        assert!(e.is_leaf());
+        assert_eq!(e.perms(), Permission::ReadExec);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pe_field_bounds() {
+        let _ = Pte::permission_entry(&[Permission::None; PE_FIELDS]).pe_field(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-PE")]
+    fn with_pe_field_rejects_non_pe() {
+        let _ = Pte::leaf(1, Permission::ReadOnly).with_pe_field(0, Permission::None);
+    }
+}

@@ -1,0 +1,44 @@
+//! x86-64-style 4-level page tables with the paper's Permission Entries.
+//!
+//! Tables live inside the simulated [`dvm_mem::PhysMem`], are allocated
+//! from the simulated buddy allocator, and are walked by reading simulated
+//! memory — so the MMU models in `dvm-mmu` cache page-table entries by the
+//! same physical addresses a hardware walker would emit.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvm_mem::{BuddyAllocator, PhysMem};
+//! use dvm_pagetable::{PageTable, WalkOutcome};
+//! use dvm_types::{Permission, VirtAddr};
+//!
+//! # fn main() -> Result<(), dvm_types::DvmError> {
+//! let mut mem = PhysMem::new(1 << 16);
+//! let mut alloc = BuddyAllocator::new(1 << 16);
+//! let mut pt = PageTable::new(&mut mem, &mut alloc)?;
+//!
+//! // Identity-map 2 MiB at VA==PA 4 MiB with a single L2 Permission Entry.
+//! let base = VirtAddr::new(4 << 20);
+//! pt.map_identity_pe(&mut mem, &mut alloc, base, 2 << 20, Permission::ReadWrite)?;
+//!
+//! let walk = pt.walk(&mem, base + 0x1234);
+//! assert!(matches!(
+//!     walk.outcome,
+//!     WalkOutcome::PermissionEntry { perms: Permission::ReadWrite, level: 2 }
+//! ));
+//! assert_eq!(walk.steps().len(), 3); // read L4, L3, then the L2 PE
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bitmap;
+pub mod entry;
+pub mod size;
+pub mod table;
+pub mod walk;
+
+pub use bitmap::PermBitmap;
+pub use entry::{Pte, ENTRIES_PER_TABLE, ENTRY_BYTES, PE_FIELDS};
+pub use size::SizeReport;
+pub use table::{entry_span, level_shift, slot_span, PageTable, TOP_LEVEL, VA_LIMIT};
+pub use walk::{Walk, WalkOutcome, WalkStep};

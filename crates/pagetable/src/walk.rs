@@ -1,0 +1,159 @@
+//! Page-walk result types consumed by the MMU models.
+//!
+//! A walk records every page-table entry it read (level + the *physical*
+//! address of the entry), because the paper's PWC and AVC are physically
+//! indexed caches of those entry locations (§4.1.2).
+
+use dvm_types::{PageSize, Permission, PhysAddr, VirtAddr};
+
+/// One page-table entry read during a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStep {
+    /// Page-table level of the entry (4 = root .. 1 = leaf table).
+    pub level: u8,
+    /// Physical address of the 8-byte entry that was read.
+    pub pte_pa: PhysAddr,
+}
+
+/// How a walk terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkOutcome {
+    /// The walk hit a Permission Entry: the address is identity mapped
+    /// (PA == VA) with the given permissions. `Permission::None` means the
+    /// covered slot is an unallocated gap (§4.1.1).
+    PermissionEntry {
+        /// Permissions of the 1/16 slot covering the address.
+        perms: Permission,
+        /// Level at which the PE was found (2..=4).
+        level: u8,
+    },
+    /// The walk hit a conventional leaf PTE: a (possibly non-identity)
+    /// translation.
+    Leaf {
+        /// Translated physical address for the queried VA.
+        pa: PhysAddr,
+        /// Leaf permissions.
+        perms: Permission,
+        /// Mapped page size (from the level the leaf was found at).
+        page: PageSize,
+    },
+    /// No translation exists.
+    NotMapped {
+        /// Level at which the walk found a non-present entry.
+        level: u8,
+    },
+}
+
+/// A completed page-table walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Walk {
+    steps: [WalkStep; 4],
+    num_steps: u8,
+    /// How the walk ended.
+    pub outcome: WalkOutcome,
+}
+
+impl Walk {
+    /// Assemble a walk from recorded steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than four steps are supplied.
+    pub fn new(steps: &[WalkStep], outcome: WalkOutcome) -> Self {
+        assert!(steps.len() <= 4, "a 4-level walk has at most 4 steps");
+        let mut arr = [WalkStep {
+            level: 0,
+            pte_pa: PhysAddr::ZERO,
+        }; 4];
+        arr[..steps.len()].copy_from_slice(steps);
+        Self {
+            steps: arr,
+            num_steps: steps.len() as u8,
+            outcome,
+        }
+    }
+
+    /// The entries read, root first.
+    pub fn steps(&self) -> &[WalkStep] {
+        &self.steps[..self.num_steps as usize]
+    }
+
+    /// Resolve to `(physical address, permissions)` for `va`, treating a
+    /// Permission Entry as the identity translation. `None` if unmapped.
+    pub fn resolve(&self, va: VirtAddr) -> Option<(PhysAddr, Permission)> {
+        match self.outcome {
+            WalkOutcome::PermissionEntry { perms, .. } if perms.is_mapped() => {
+                Some((va.to_identity_pa(), perms))
+            }
+            WalkOutcome::Leaf { pa, perms, .. } if perms.is_mapped() => Some((pa, perms)),
+            _ => None,
+        }
+    }
+
+    /// `true` if the walk proves the address is identity mapped.
+    pub fn is_identity(&self) -> bool {
+        matches!(self.outcome, WalkOutcome::PermissionEntry { perms, .. } if perms.is_mapped())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_pe_is_identity() {
+        let w = Walk::new(
+            &[],
+            WalkOutcome::PermissionEntry {
+                perms: Permission::ReadWrite,
+                level: 2,
+            },
+        );
+        let va = VirtAddr::new(0xabc000);
+        assert_eq!(
+            w.resolve(va),
+            Some((PhysAddr::new(0xabc000), Permission::ReadWrite))
+        );
+        assert!(w.is_identity());
+    }
+
+    #[test]
+    fn resolve_gap_pe_is_unmapped() {
+        let w = Walk::new(
+            &[],
+            WalkOutcome::PermissionEntry {
+                perms: Permission::None,
+                level: 3,
+            },
+        );
+        assert_eq!(w.resolve(VirtAddr::new(0x1000)), None);
+        assert!(!w.is_identity());
+    }
+
+    #[test]
+    fn resolve_leaf_uses_translation() {
+        let w = Walk::new(
+            &[WalkStep {
+                level: 4,
+                pte_pa: PhysAddr::new(64),
+            }],
+            WalkOutcome::Leaf {
+                pa: PhysAddr::new(0x5000),
+                perms: Permission::ReadOnly,
+                page: PageSize::Size4K,
+            },
+        );
+        assert_eq!(
+            w.resolve(VirtAddr::new(0x9000)),
+            Some((PhysAddr::new(0x5000), Permission::ReadOnly))
+        );
+        assert!(!w.is_identity());
+        assert_eq!(w.steps().len(), 1);
+    }
+
+    #[test]
+    fn not_mapped_resolves_none() {
+        let w = Walk::new(&[], WalkOutcome::NotMapped { level: 4 });
+        assert_eq!(w.resolve(VirtAddr::new(0)), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property test: the PE-optimized page table is observationally
+//! equivalent to a flat reference model of `page -> (PA, perms)`,
+//! under arbitrary interleavings of identity-PE maps, leaf maps,
+//! non-identity page maps, unmaps, protections and CoW remaps.
+
+use dvm_mem::{BuddyAllocator, PhysMem};
+use dvm_pagetable::PageTable;
+use dvm_types::{DvmError, PageSize, Permission, PhysAddr, VirtAddr, PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const ARENA_PAGES: u64 = 4096; // 16 MiB of VA playground
+const ARENA_BASE: u64 = 1 << 30; // park it at 1 GiB
+
+#[derive(Debug, Clone)]
+enum Op {
+    IdentityPe { page: u64, pages: u64, perms: Permission },
+    IdentityPeGranular { page: u64, pages: u64, perms: Permission, fields: u32 },
+    IdentityLeaves { page: u64, pages: u64, perms: Permission, max: PageSize },
+    MapPage { page: u64, frame: u64, perms: Permission },
+    Unmap { page: u64, pages: u64 },
+    Protect { page: u64, pages: u64, perms: Permission },
+    Remap { page: u64, frame: u64, perms: Permission },
+}
+
+fn perms_strategy() -> impl Strategy<Value = Permission> {
+    prop_oneof![
+        Just(Permission::ReadOnly),
+        Just(Permission::ReadWrite),
+        Just(Permission::ReadExec),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let page = 0u64..ARENA_PAGES;
+    let pages = 1u64..256;
+    prop_oneof![
+        (page.clone(), pages.clone(), perms_strategy())
+            .prop_map(|(page, pages, perms)| Op::IdentityPe { page, pages, perms }),
+        (page.clone(), pages.clone(), perms_strategy(), prop_oneof![
+            Just(4u32), Just(8u32), Just(16u32)
+        ])
+            .prop_map(|(page, pages, perms, fields)| Op::IdentityPeGranular {
+                page, pages, perms, fields
+            }),
+        (page.clone(), pages.clone(), perms_strategy(), prop_oneof![
+            Just(PageSize::Size4K),
+            Just(PageSize::Size2M)
+        ])
+            .prop_map(|(page, pages, perms, max)| Op::IdentityLeaves { page, pages, perms, max }),
+        (page.clone(), 0u64..512, perms_strategy())
+            .prop_map(|(page, frame, perms)| Op::MapPage { page, frame, perms }),
+        (page.clone(), pages.clone()).prop_map(|(page, pages)| Op::Unmap { page, pages }),
+        (page.clone(), pages, perms_strategy())
+            .prop_map(|(page, pages, perms)| Op::Protect { page, pages, perms }),
+        (page, 0u64..512, perms_strategy())
+            .prop_map(|(page, frame, perms)| Op::Remap { page, frame, perms }),
+    ]
+}
+
+fn va_of(page: u64) -> VirtAddr {
+    VirtAddr::new(ARENA_BASE + page * PAGE_SIZE)
+}
+
+/// Separate PA arena for non-identity mappings, far from the VA arena.
+fn alien_pa(frame: u64) -> PhysAddr {
+    PhysAddr::new((1 << 26) + frame * PAGE_SIZE)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn table_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut mem = PhysMem::new(1 << 19); // 2 GiB of frames
+        let mut alloc = BuddyAllocator::new(1 << 19);
+        let mut pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+        // Reference model: page index -> (pa, perms).
+        let mut model: BTreeMap<u64, (PhysAddr, Permission)> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::IdentityPe { page, pages, perms } => {
+                    let pages = pages.min(ARENA_PAGES - page);
+                    let res = pt.map_identity_pe(
+                        &mut mem, &mut alloc, va_of(page), pages * PAGE_SIZE, perms);
+                    let free = (page..page + pages).all(|p| !model.contains_key(&p));
+                    match res {
+                        Ok(()) => {
+                            prop_assert!(free, "map succeeded over busy range");
+                            for p in page..page + pages {
+                                model.insert(p, (PhysAddr::new(va_of(p).raw()), perms));
+                            }
+                        }
+                        Err(DvmError::VaRangeBusy { .. }) => prop_assert!(!free),
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::IdentityPeGranular { page, pages, perms, fields } => {
+                    let pages = pages.min(ARENA_PAGES - page);
+                    let res = pt.map_identity_pe_granular(
+                        &mut mem, &mut alloc, va_of(page), pages * PAGE_SIZE, perms, fields);
+                    let free = (page..page + pages).all(|p| !model.contains_key(&p));
+                    match res {
+                        Ok(()) => {
+                            prop_assert!(free, "granular map succeeded over busy range");
+                            for p in page..page + pages {
+                                model.insert(p, (PhysAddr::new(va_of(p).raw()), perms));
+                            }
+                        }
+                        Err(DvmError::VaRangeBusy { .. }) => prop_assert!(!free),
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::IdentityLeaves { page, pages, perms, max } => {
+                    let pages = pages.min(ARENA_PAGES - page);
+                    let res = pt.map_identity_leaves(
+                        &mut mem, &mut alloc, va_of(page), pages * PAGE_SIZE, perms, max);
+                    let free = (page..page + pages).all(|p| !model.contains_key(&p));
+                    match res {
+                        Ok(()) => {
+                            prop_assert!(free);
+                            for p in page..page + pages {
+                                model.insert(p, (PhysAddr::new(va_of(p).raw()), perms));
+                            }
+                        }
+                        Err(DvmError::VaRangeBusy { .. }) => prop_assert!(!free),
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::MapPage { page, frame, perms } => {
+                    let res = pt.map_page(
+                        &mut mem, &mut alloc, va_of(page), alien_pa(frame),
+                        PageSize::Size4K, perms);
+                    match res {
+                        Ok(()) => {
+                            prop_assert!(!model.contains_key(&page));
+                            model.insert(page, (alien_pa(frame), perms));
+                        }
+                        Err(DvmError::VaRangeBusy { .. }) => {
+                            prop_assert!(model.contains_key(&page));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Unmap { page, pages } => {
+                    let pages = pages.min(ARENA_PAGES - page);
+                    pt.unmap_region(&mut mem, &mut alloc, va_of(page), pages * PAGE_SIZE)
+                        .unwrap();
+                    for p in page..page + pages {
+                        model.remove(&p);
+                    }
+                }
+                Op::Protect { page, pages, perms } => {
+                    let pages = pages.min(ARENA_PAGES - page);
+                    pt.protect_region(&mut mem, &mut alloc, va_of(page), pages * PAGE_SIZE, perms)
+                        .unwrap();
+                    for p in page..page + pages {
+                        if let Some(entry) = model.get_mut(&p) {
+                            entry.1 = perms;
+                        }
+                    }
+                }
+                Op::Remap { page, frame, perms } => {
+                    pt.remap_page(&mut mem, &mut alloc, va_of(page), alien_pa(frame), perms)
+                        .unwrap();
+                    model.insert(page, (alien_pa(frame), perms));
+                }
+            }
+
+            // Spot-check equivalence on a deterministic sample of pages.
+            for p in (0..ARENA_PAGES).step_by(61) {
+                let got = pt.translate(&mem, va_of(p));
+                let want = model.get(&p).copied();
+                prop_assert_eq!(got, want, "page {} mismatch", p);
+            }
+        }
+
+        // Full sweep at the end.
+        for p in 0..ARENA_PAGES {
+            let got = pt.translate(&mem, va_of(p));
+            let want = model.get(&p).copied();
+            prop_assert_eq!(got, want, "final sweep page {}", p);
+        }
+
+        // Tear-down reclaims all table frames.
+        let used_by_data: u64 = 0;
+        pt.free_all(&mut mem, &mut alloc);
+        prop_assert_eq!(alloc.free_frames_count(), (1 << 19) - used_by_data);
+    }
+}

@@ -1,0 +1,178 @@
+//! A power-of-two-bucketed histogram for latency distributions.
+
+use core::fmt;
+
+/// Histogram with log2 buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` (bucket 0 also takes 0).
+///
+/// # Examples
+///
+/// ```
+/// use dvm_sim::Histogram;
+/// let mut h = Histogram::new("latency");
+/// for v in [1u64, 2, 3, 100, 130] {
+///     h.sample(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bucket_count(6), 1); // 64..128 holds 100
+/// assert!(h.mean() > 40.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram with a display name.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn sample(&mut self, value: u64) {
+        let bucket = if value <= 1 { 0 } else { 63 - value.leading_zeros() as usize };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Samples in bucket `i` (`[2^i, 2^(i+1))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Approximate percentile (bucket upper bound containing it).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count as f64 * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max
+    }
+
+    /// Reset to empty.
+    pub fn reset(&mut self) {
+        *self = Self::new(self.name);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: n={} mean={:.1} p50<{} p99<{} max={}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.percentile(0.5),
+            self.percentile(0.99),
+            self.max
+        )?;
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let bar = "#".repeat((n * 40 / peak).max(1) as usize);
+            writeln!(f, "  [{:>10}, {:>10}) {:>10} {}", 1u64 << i, 1u64 << (i + 1), n, bar)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_log2() {
+        let mut h = Histogram::new("t");
+        h.sample(0);
+        h.sample(1);
+        h.sample(2);
+        h.sample(3);
+        h.sample(4);
+        assert_eq!(h.bucket_count(0), 2); // 0 and 1
+        assert_eq!(h.bucket_count(1), 2); // 2 and 3
+        assert_eq!(h.bucket_count(2), 1); // 4
+    }
+
+    #[test]
+    fn stats_track_samples() {
+        let mut h = Histogram::new("t");
+        for v in 1..=100u64 {
+            h.sample(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new("t");
+        for v in [1u64, 10, 100, 1000, 10_000] {
+            h.sample(v);
+        }
+        assert!(h.percentile(0.1) <= h.percentile(0.5));
+        assert!(h.percentile(0.5) <= h.percentile(0.99));
+        assert_eq!(Histogram::new("e").percentile(0.5), 0);
+    }
+
+    #[test]
+    fn display_and_reset() {
+        let mut h = Histogram::new("t");
+        h.sample(5);
+        assert!(h.to_string().contains("n=1"));
+        h.reset();
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Physical and virtual address newtypes.
+//!
+//! Keeping [`VirtAddr`] and [`PhysAddr`] as distinct types statically rules
+//! out the classic simulator bug of feeding an untranslated address into a
+//! physical structure. Identity mapping (the heart of DVM) is the *one*
+//! place where the two coincide, and the conversion there is explicit:
+//! [`VirtAddr::to_identity_pa`] / [`PhysAddr::to_identity_va`].
+
+use crate::PageSize;
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// Base page shift (4 KiB pages).
+pub const PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+macro_rules! addr_common {
+    ($name:ident, $doc_kind:literal) => {
+        impl $name {
+            /// Construct from a raw 64-bit address.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The zero address.
+            pub const ZERO: Self = Self(0);
+
+            /// Raw 64-bit value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Offset of this address within a page of the given size.
+            #[inline]
+            pub const fn page_offset(self, size: PageSize) -> u64 {
+                self.0 & (size.bytes() - 1)
+            }
+
+            /// Align down to the containing page boundary.
+            #[inline]
+            pub const fn page_base(self, size: PageSize) -> Self {
+                Self(self.0 & !(size.bytes() - 1))
+            }
+
+            /// `true` if aligned to a page of the given size.
+            #[inline]
+            pub const fn is_page_aligned(self, size: PageSize) -> bool {
+                self.page_offset(size) == 0
+            }
+
+            /// Checked addition of a byte offset.
+            #[inline]
+            pub fn checked_add(self, offset: u64) -> Option<Self> {
+                self.0.checked_add(offset).map(Self)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: u64) -> Self {
+                Self(self.0 + rhs)
+            }
+        }
+
+        impl AddAssign<u64> for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: u64) {
+                self.0 += rhs;
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            #[inline]
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($doc_kind, "{:#x}"), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<$name> for u64 {
+            #[inline]
+            fn from(a: $name) -> u64 {
+                a.0
+            }
+        }
+    };
+}
+
+/// A virtual address in a simulated process address space.
+///
+/// # Examples
+///
+/// ```
+/// use dvm_types::{VirtAddr, PageSize};
+/// let va = VirtAddr::new(0x1234_5678);
+/// assert_eq!(va.vpn(PageSize::Size4K), 0x1234_5);
+/// assert_eq!(va.page_offset(PageSize::Size4K), 0x678);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+/// A physical address in simulated machine memory.
+///
+/// # Examples
+///
+/// ```
+/// use dvm_types::PhysAddr;
+/// let pa = PhysAddr::new(0x8000);
+/// assert_eq!(pa.frame(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+addr_common!(VirtAddr, "va:");
+addr_common!(PhysAddr, "pa:");
+
+impl VirtAddr {
+    /// Virtual page number for the given page size.
+    #[inline]
+    pub const fn vpn(self, size: PageSize) -> u64 {
+        self.0 >> size.shift()
+    }
+
+    /// The physical address this VA maps to *if it is identity mapped*
+    /// (VA == PA). The caller must have validated the mapping; this is the
+    /// "predicted PA" used by DVM preloads.
+    #[inline]
+    pub const fn to_identity_pa(self) -> PhysAddr {
+        PhysAddr(self.0)
+    }
+
+    /// Index into the page-table at `level` (4 = root), 9 bits per level.
+    #[inline]
+    pub const fn pt_index(self, level: u8) -> usize {
+        ((self.0 >> (PAGE_SHIFT + 9 * (level as u32 - 1))) & 0x1ff) as usize
+    }
+}
+
+impl PhysAddr {
+    /// Physical frame number (4 KiB frames).
+    #[inline]
+    pub const fn frame(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// Physical address of the start of frame `frame`.
+    #[inline]
+    pub const fn from_frame(frame: u64) -> Self {
+        Self(frame << PAGE_SHIFT)
+    }
+
+    /// The virtual address equal to this PA under identity mapping.
+    #[inline]
+    pub const fn to_identity_va(self) -> VirtAddr {
+        VirtAddr(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_and_offset() {
+        let va = VirtAddr::new(0x0000_7fff_dead_beef);
+        assert_eq!(va.vpn(PageSize::Size4K), 0x0000_7fff_dead_beef >> 12);
+        assert_eq!(va.page_offset(PageSize::Size4K), 0xeef);
+        assert_eq!(va.page_offset(PageSize::Size2M), 0x0ad_beef % (2 << 20));
+    }
+
+    #[test]
+    fn pt_indices_cover_nine_bits_each() {
+        // Build a VA with distinct indices: L4=1, L3=2, L2=3, L1=4.
+        let raw = (1u64 << (12 + 27)) | (2u64 << (12 + 18)) | (3u64 << (12 + 9)) | (4u64 << 12);
+        let va = VirtAddr::new(raw);
+        assert_eq!(va.pt_index(4), 1);
+        assert_eq!(va.pt_index(3), 2);
+        assert_eq!(va.pt_index(2), 3);
+        assert_eq!(va.pt_index(1), 4);
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let va = VirtAddr::new(0xabc0_0000);
+        assert_eq!(va.to_identity_pa().to_identity_va(), va);
+    }
+
+    #[test]
+    fn frames() {
+        assert_eq!(PhysAddr::from_frame(42).raw(), 42 << 12);
+        assert_eq!(PhysAddr::new(0x5000).frame(), 5);
+    }
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = PhysAddr::new(0x1000);
+        assert_eq!((a + 0x10).raw(), 0x1010);
+        assert_eq!((a + 0x10) - a, 0x10);
+        assert_eq!(a.to_string(), "pa:0x1000");
+        assert_eq!(VirtAddr::new(0x2000).to_string(), "va:0x2000");
+        let mut b = a;
+        b += 0x1000;
+        assert_eq!(b.frame(), 2);
+    }
+
+    #[test]
+    fn page_base_alignment() {
+        let va = VirtAddr::new(0x0040_0FFF);
+        assert_eq!(va.page_base(PageSize::Size4K).raw(), 0x0040_0000);
+        assert!(va.page_base(PageSize::Size2M).is_page_aligned(PageSize::Size2M));
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert!(VirtAddr::new(u64::MAX).checked_add(1).is_none());
+        assert_eq!(
+            VirtAddr::new(10).checked_add(5),
+            Some(VirtAddr::new(15))
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Error and fault types shared across the simulator.
+
+use crate::{AccessKind, VirtAddr};
+use core::fmt;
+use std::error::Error;
+
+/// Why a memory access faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No translation exists for the address.
+    NotMapped,
+    /// A mapping exists, but its permissions do not allow the access.
+    Protection,
+}
+
+/// A memory-access fault, raised on the host CPU in the paper's design
+/// when an accelerator access fails Devirtualized Access Validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Faulting virtual address.
+    pub va: VirtAddr,
+    /// Kind of access that faulted.
+    pub access: AccessKind,
+    /// Why it faulted.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::NotMapped => write!(f, "{} to unmapped {}", self.access, self.va),
+            FaultKind::Protection => write!(f, "{} denied at {}", self.access, self.va),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+/// Errors produced by the DVM simulation crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DvmError {
+    /// Physical memory is exhausted or too fragmented for the request.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// The requested virtual address range collides with an existing mapping.
+    VaRangeBusy {
+        /// Start of the busy range.
+        va: VirtAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// A memory access faulted.
+    Fault(Fault),
+    /// The argument was malformed (misaligned, zero-sized, out of range).
+    InvalidArgument(&'static str),
+    /// Referenced process does not exist.
+    NoSuchProcess(u32),
+}
+
+impl fmt::Display for DvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DvmError::OutOfMemory { requested } => {
+                write!(f, "out of physical memory allocating {requested} bytes")
+            }
+            DvmError::VaRangeBusy { va, len } => {
+                write!(f, "virtual range [{va}, +{len:#x}) already mapped")
+            }
+            DvmError::Fault(fault) => write!(f, "memory fault: {fault}"),
+            DvmError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            DvmError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
+        }
+    }
+}
+
+impl Error for DvmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DvmError::Fault(fault) => Some(fault),
+            _ => None,
+        }
+    }
+}
+
+impl From<Fault> for DvmError {
+    fn from(fault: Fault) -> Self {
+        DvmError::Fault(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn errors_are_send_sync() {
+        assert_send_sync::<DvmError>();
+        assert_send_sync::<Fault>();
+    }
+
+    #[test]
+    fn display_messages() {
+        let fault = Fault {
+            va: VirtAddr::new(0x1000),
+            access: AccessKind::Write,
+            kind: FaultKind::Protection,
+        };
+        assert_eq!(fault.to_string(), "write denied at va:0x1000");
+        assert_eq!(
+            DvmError::OutOfMemory { requested: 42 }.to_string(),
+            "out of physical memory allocating 42 bytes"
+        );
+        assert!(DvmError::from(fault).to_string().contains("denied"));
+    }
+
+    #[test]
+    fn source_chains_to_fault() {
+        let fault = Fault {
+            va: VirtAddr::new(0),
+            access: AccessKind::Read,
+            kind: FaultKind::NotMapped,
+        };
+        let err = DvmError::from(fault);
+        assert!(err.source().is_some());
+        assert!(DvmError::InvalidArgument("x").source().is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Core types shared by every crate in the DVM reproduction.
+//!
+//! This crate defines the vocabulary of the simulated machine: physical and
+//! virtual addresses, page sizes, the paper's 2-bit permission encoding, the
+//! kinds of memory accesses, and the error types that flow across crate
+//! boundaries.
+//!
+//! The paper ("Devirtualizing Memory in Heterogeneous Systems", ASPLOS 2018)
+//! uses the 2-bit encoding `00`: No Permission, `01`: Read-Only, `10`:
+//! Read-Write, `11`: Read-Execute (§4.1). [`Permission`] mirrors that
+//! encoding exactly so Permission Entry bit-fields round-trip losslessly.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvm_types::{VirtAddr, PhysAddr, PageSize, Permission, AccessKind};
+//!
+//! let va = VirtAddr::new(0x4000_2000);
+//! assert_eq!(va.page_offset(PageSize::Size4K), 0);
+//! assert_eq!(va.vpn(PageSize::Size4K), 0x4000_2);
+//! assert!(Permission::ReadWrite.allows(AccessKind::Write));
+//! assert!(!Permission::ReadOnly.allows(AccessKind::Write));
+//! let pa = PhysAddr::new(va.raw()); // identity mapping: VA == PA
+//! assert_eq!(pa.raw(), va.raw());
+//! ```
+
+pub mod addr;
+pub mod error;
+pub mod perms;
+
+pub use addr::{PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+pub use error::{DvmError, Fault, FaultKind};
+pub use perms::{AccessKind, Permission};
+
+use core::fmt;
+
+/// Hardware page sizes supported by the simulated x86-64-style MMU.
+///
+/// The paper evaluates conventional translation with 4 KB, 2 MB and 1 GB
+/// pages (Figure 8); page-table walks terminate one level earlier for each
+/// size step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PageSize {
+    /// 4 KiB base pages (leaf PTE at level 1).
+    Size4K,
+    /// 2 MiB huge pages (leaf PTE at level 2).
+    Size2M,
+    /// 1 GiB huge pages (leaf PTE at level 3).
+    Size1G,
+}
+
+impl PageSize {
+    /// All supported page sizes, smallest first.
+    pub const ALL: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+    /// Size of one page in bytes.
+    ///
+    /// ```
+    /// # use dvm_types::PageSize;
+    /// assert_eq!(PageSize::Size4K.bytes(), 4096);
+    /// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+    /// assert_eq!(PageSize::Size1G.bytes(), 1024 * 1024 * 1024);
+    /// ```
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1u64 << self.shift()
+    }
+
+    /// Base-2 logarithm of the page size.
+    #[inline]
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// Page-table level at which a leaf entry of this size resides
+    /// (1 = L1 page table, 2 = L2 page directory, 3 = L3 PDPT).
+    #[inline]
+    pub const fn leaf_level(self) -> u8 {
+        match self {
+            PageSize::Size4K => 1,
+            PageSize::Size2M => 2,
+            PageSize::Size1G => 3,
+        }
+    }
+
+    /// Number of 4 KiB base frames that back one page of this size.
+    #[inline]
+    pub const fn base_frames(self) -> u64 {
+        self.bytes() / PAGE_SIZE
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4K"),
+            PageSize::Size2M => write!(f, "2M"),
+            PageSize::Size1G => write!(f, "1G"),
+        }
+    }
+}
+
+/// Round `value` up to the next multiple of `align` (a power of two).
+///
+/// # Panics
+///
+/// Panics in debug builds if `align` is not a power of two.
+#[inline]
+pub const fn align_up(value: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (value + align - 1) & !(align - 1)
+}
+
+/// Round `value` down to the previous multiple of `align` (a power of two).
+///
+/// # Panics
+///
+/// Panics in debug builds if `align` is not a power of two.
+#[inline]
+pub const fn align_down(value: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    value & !(align - 1)
+}
+
+/// `true` if `value` is a multiple of `align` (a power of two).
+#[inline]
+pub const fn is_aligned(value: u64, align: u64) -> bool {
+    debug_assert!(align.is_power_of_two());
+    value & (align - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_bytes_and_shift_agree() {
+        for ps in PageSize::ALL {
+            assert_eq!(ps.bytes(), 1u64 << ps.shift());
+        }
+    }
+
+    #[test]
+    fn page_size_leaf_levels() {
+        assert_eq!(PageSize::Size4K.leaf_level(), 1);
+        assert_eq!(PageSize::Size2M.leaf_level(), 2);
+        assert_eq!(PageSize::Size1G.leaf_level(), 3);
+    }
+
+    #[test]
+    fn base_frames_counts() {
+        assert_eq!(PageSize::Size4K.base_frames(), 1);
+        assert_eq!(PageSize::Size2M.base_frames(), 512);
+        assert_eq!(PageSize::Size1G.base_frames(), 512 * 512);
+    }
+
+    #[test]
+    fn align_helpers() {
+        assert_eq!(align_up(0, 4096), 0);
+        assert_eq!(align_up(1, 4096), 4096);
+        assert_eq!(align_up(4096, 4096), 4096);
+        assert_eq!(align_down(4097, 4096), 4096);
+        assert!(is_aligned(8192, 4096));
+        assert!(!is_aligned(8193, 4096));
+    }
+
+    #[test]
+    fn display_page_sizes() {
+        assert_eq!(PageSize::Size4K.to_string(), "4K");
+        assert_eq!(PageSize::Size2M.to_string(), "2M");
+        assert_eq!(PageSize::Size1G.to_string(), "1G");
+    }
+}

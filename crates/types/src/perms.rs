@@ -1,0 +1,168 @@
+//! The paper's 2-bit permission encoding and access kinds.
+
+use core::fmt;
+
+/// Kind of memory access issued by a CPU core or accelerator engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+            AccessKind::Execute => write!(f, "execute"),
+        }
+    }
+}
+
+/// The paper's 2-bit permission encoding (§4.1):
+/// `00` None, `01` Read-Only, `10` Read-Write, `11` Read-Execute.
+///
+/// The numeric discriminants are part of the on-"disk" format of Permission
+/// Entries and must not change.
+///
+/// # Examples
+///
+/// ```
+/// use dvm_types::{Permission, AccessKind};
+/// assert_eq!(Permission::from_bits(0b10), Permission::ReadWrite);
+/// assert_eq!(Permission::ReadExec.bits(), 0b11);
+/// assert!(Permission::ReadExec.allows(AccessKind::Execute));
+/// assert!(!Permission::None.allows(AccessKind::Read));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum Permission {
+    /// No access (also encodes "unallocated" gaps inside a Permission Entry).
+    #[default]
+    None = 0b00,
+    /// Read-only.
+    ReadOnly = 0b01,
+    /// Read and write.
+    ReadWrite = 0b10,
+    /// Read and execute.
+    ReadExec = 0b11,
+}
+
+impl Permission {
+    /// All permission values in encoding order.
+    pub const ALL: [Permission; 4] = [
+        Permission::None,
+        Permission::ReadOnly,
+        Permission::ReadWrite,
+        Permission::ReadExec,
+    ];
+
+    /// Decode from the 2-bit field value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 0b11`.
+    #[inline]
+    pub fn from_bits(bits: u8) -> Self {
+        match bits {
+            0b00 => Permission::None,
+            0b01 => Permission::ReadOnly,
+            0b10 => Permission::ReadWrite,
+            0b11 => Permission::ReadExec,
+            _ => panic!("permission field wider than 2 bits: {bits:#b}"),
+        }
+    }
+
+    /// Encode to the 2-bit field value.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Does this permission allow the given access kind?
+    #[inline]
+    pub const fn allows(self, kind: AccessKind) -> bool {
+        match (self, kind) {
+            (Permission::None, _) => false,
+            (_, AccessKind::Read) => true,
+            (Permission::ReadWrite, AccessKind::Write) => true,
+            (Permission::ReadExec, AccessKind::Execute) => true,
+            _ => false,
+        }
+    }
+
+    /// `true` for any permission other than [`Permission::None`].
+    #[inline]
+    pub const fn is_mapped(self) -> bool {
+        !matches!(self, Permission::None)
+    }
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Permission::None => write!(f, "--"),
+            Permission::ReadOnly => write!(f, "r-"),
+            Permission::ReadWrite => write!(f, "rw"),
+            Permission::ReadExec => write!(f, "rx"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip() {
+        for p in Permission::ALL {
+            assert_eq!(Permission::from_bits(p.bits()), p);
+        }
+    }
+
+    #[test]
+    fn encoding_matches_paper() {
+        assert_eq!(Permission::None.bits(), 0b00);
+        assert_eq!(Permission::ReadOnly.bits(), 0b01);
+        assert_eq!(Permission::ReadWrite.bits(), 0b10);
+        assert_eq!(Permission::ReadExec.bits(), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 2 bits")]
+    fn from_bits_rejects_wide_values() {
+        let _ = Permission::from_bits(4);
+    }
+
+    #[test]
+    fn allows_matrix() {
+        use AccessKind::*;
+        let cases = [
+            (Permission::None, Read, false),
+            (Permission::None, Write, false),
+            (Permission::None, Execute, false),
+            (Permission::ReadOnly, Read, true),
+            (Permission::ReadOnly, Write, false),
+            (Permission::ReadOnly, Execute, false),
+            (Permission::ReadWrite, Read, true),
+            (Permission::ReadWrite, Write, true),
+            (Permission::ReadWrite, Execute, false),
+            (Permission::ReadExec, Read, true),
+            (Permission::ReadExec, Write, false),
+            (Permission::ReadExec, Execute, true),
+        ];
+        for (p, k, want) in cases {
+            assert_eq!(p.allows(k), want, "{p} allows {k}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Permission::ReadWrite.to_string(), "rw");
+        assert_eq!(AccessKind::Write.to_string(), "write");
+    }
+}

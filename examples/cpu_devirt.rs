@@ -1,0 +1,46 @@
+//! cDVM: Devirtualized Memory for CPU cores (paper §7). Evaluates one
+//! pointer-chasing workload under 4K pages, transparent huge pages, and
+//! cDVM, showing where the time goes.
+//!
+//! ```text
+//! cargo run --release --example cpu_devirt
+//! ```
+
+use dvm_core::{evaluate_cpu, CpuModelConfig, CpuScheme, CpuWorkload};
+use dvm_sim::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CpuModelConfig {
+        accesses: 1_000_000,
+        ..CpuModelConfig::default()
+    };
+    let workload = CpuWorkload::Mcf;
+    println!(
+        "mcf-like pointer chasing over {} MiB, {} accesses\n",
+        workload.profile().footprint_bytes >> 20,
+        config.accesses
+    );
+
+    let mut table = Table::new(&[
+        "scheme",
+        "VM overhead",
+        "L1 DTLB miss",
+        "L2 DTLB miss",
+        "walker refs / 1K accesses",
+    ]);
+    for scheme in CpuScheme::ALL {
+        let report = evaluate_cpu(workload, scheme, &config)?;
+        table.row(&[
+            scheme.name().into(),
+            format!("{:.1}%", report.overhead_percent()),
+            format!("{:.1}%", report.l1_miss_rate * 100.0),
+            format!("{:.1}%", report.l2_miss_rate * 100.0),
+            format!("{:.1}", report.walk_refs_per_kilo_access),
+        ]);
+    }
+    println!("{table}");
+    println!("4K pages walk to memory on almost every access; THP shortens");
+    println!("walks but still thrashes beyond 1 GiB; cDVM's Permission-Entry");
+    println!("walks are answered by the on-chip AVC with ~zero memory refs.");
+    Ok(())
+}

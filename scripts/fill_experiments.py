@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Inject recorded harness outputs into EXPERIMENTS.md placeholders."""
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXP = ROOT / "EXPERIMENTS.md"
+
+SLOTS = {
+    "<!-- FIG2 -->": ["results/fig2_paper.txt", "results/fig2_quick.txt", "results/fig2_partial_paper.txt"],
+    "<!-- TABLE1 -->": ["results/table1_paper.txt", "results/table1_quick.txt"],
+    "<!-- FIG8 -->": ["results/fig8_paper.txt", "results/fig8_quick.txt", "results/fig8_quick_graphs.txt", "results/fig8_partial_paper.txt"],
+    "<!-- FIG9 -->": ["results/fig9_paper.txt", "results/fig9_quick.txt", "results/fig9_quick_graphs.txt"],
+    "<!-- TABLE4 -->": ["results/table4_paper.txt", "results/table4_quick.txt"],
+    "<!-- FIG10 -->": ["results/fig10_paper.txt"],
+    "<!-- VIRT -->": ["results/virt.txt"],
+}
+
+
+def slot_content(candidates: list[str]) -> str:
+    for rel in candidates:
+        p = ROOT / rel
+        if p.exists() and p.stat().st_size > 0:
+            body = p.read_text().rstrip()
+            if body.count("\n") < 3:
+                continue  # header only: the run was cut short
+            return f"```text\n{body}\n```\n(from `{rel}`)"
+    return "_run pending; see the command above to regenerate_"
+
+
+def main() -> None:
+    text = EXP.read_text()
+    for marker, candidates in SLOTS.items():
+        if marker in text:
+            text = text.replace(marker, slot_content(candidates))
+    EXP.write_text(text)
+    print("EXPERIMENTS.md filled")
+
+
+if __name__ == "__main__":
+    main()

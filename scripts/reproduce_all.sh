@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper into results/, then refresh
+# EXPERIMENTS.md. Usage:
+#
+#   scripts/reproduce_all.sh [quick|paper|full]
+#
+# quick: minutes. paper: ~1-2 hours on one core (Figure 8/9 dominate).
+# full: unscaled Table 3 datasets; hours and ~16 GiB of host RAM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-quick}"
+B=target/release
+mkdir -p results
+
+cargo build --release -p dvm-bench
+
+suffix="$SCALE"
+run() { # name, extra args...
+    local name="$1"; shift
+    echo ">>> $name --scale $SCALE $*"
+    "$B/$name" --scale "$SCALE" "$@" > "results/${name}_${suffix}.txt"
+}
+
+run table3
+run table1
+run table4
+run fig10
+run fig2
+run fig8
+run fig9
+"$B/table5" > results/table5.txt
+"$B/virt"   > results/virt.txt
+
+python3 scripts/fill_experiments.py
+echo "done: see results/ and EXPERIMENTS.md"

@@ -1,0 +1,42 @@
+//! # dvm-repro
+//!
+//! A from-scratch Rust reproduction of *Devirtualizing Memory in
+//! Heterogeneous Systems* (Haria, Hill, Swift — ASPLOS 2018): identity
+//! mapping (VA==PA), Devirtualized Access Validation, Permission-Entry
+//! page tables, the Access Validation Cache, and the full evaluation
+//! pipeline (Graphicionado-style accelerator, graph workloads, cDVM).
+//!
+//! This crate is a thin umbrella over the workspace; depend on
+//! [`dvm_core`] (re-exported here as [`core`]) for the library API. See
+//! `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! # Examples
+//!
+//! ```
+//! use dvm_repro::core::{Os, OsConfig, Permission, MachineConfig};
+//!
+//! # fn main() -> Result<(), dvm_repro::core::DvmError> {
+//! let mut os = Os::new(OsConfig {
+//!     machine: MachineConfig { mem_bytes: 256 << 20 },
+//!     ..OsConfig::default()
+//! });
+//! let pid = os.spawn()?;
+//! let va = os.mmap(pid, 1 << 20, Permission::ReadWrite)?;
+//! assert_eq!(os.translate(pid, va).unwrap().0.raw(), va.raw()); // VA == PA
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dvm_core as core;
+
+// Direct access to the substrates for downstream users who need them.
+pub use dvm_accel as accel;
+pub use dvm_cpu as cpu;
+pub use dvm_energy as energy;
+pub use dvm_graph as graph;
+pub use dvm_mem as mem;
+pub use dvm_mmu as mmu;
+pub use dvm_os as os;
+pub use dvm_pagetable as pagetable;
+pub use dvm_sim as sim;
+pub use dvm_types as types;

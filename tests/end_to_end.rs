@@ -1,0 +1,110 @@
+//! Cross-crate integration tests: the whole system — OS, page tables,
+//! IOMMU, accelerator — exercised end to end through the public facade.
+
+use dvm_core::{
+    run_graph_experiment, run_paper_configs, ExperimentConfig, MmuConfig, PageSize, Workload,
+};
+use dvm_graph::{rmat, Dataset, RmatParams};
+
+#[test]
+fn dvm_claim_holds_end_to_end() {
+    // The paper's core performance claim, at test scale: DVM-PE+ is close
+    // to ideal and clearly faster than conventional 4K translation once
+    // the working set exceeds TLB reach.
+    let graph = rmat(16, 8, RmatParams::default(), 99);
+    let reports = run_paper_configs(&Workload::Bfs { root: 0 }, &graph).unwrap();
+    let by_name: std::collections::HashMap<&str, u64> =
+        reports.iter().map(|r| (r.mmu.name(), r.cycles)).collect();
+    let ideal = by_name["Ideal"] as f64;
+    let pe_plus = by_name["DVM-PE+"] as f64 / ideal;
+    let pe = by_name["DVM-PE"] as f64 / ideal;
+    let four_k = by_name["4K,TLB+PWC"] as f64 / ideal;
+    let bm = by_name["DVM-BM"] as f64 / ideal;
+    assert!(pe_plus < pe, "preload must help: {pe_plus} vs {pe}");
+    assert!(pe < four_k, "DVM-PE beats 4K: {pe} vs {four_k}");
+    assert!(pe_plus < 1.15, "DVM-PE+ near ideal: {pe_plus}");
+    assert!(four_k > 1.10, "4K pays for translation: {four_k}");
+    assert!(bm < four_k, "DVM-BM beats 4K: {bm} vs {four_k}");
+}
+
+#[test]
+fn energy_claim_holds_end_to_end() {
+    let graph = rmat(15, 8, RmatParams::default(), 7);
+    let reports = run_paper_configs(&Workload::PageRank { iterations: 1 }, &graph).unwrap();
+    let by_name: std::collections::HashMap<&str, f64> = reports
+        .iter()
+        .map(|r| (r.mmu.name(), r.mm_energy_pj))
+        .collect();
+    let base = by_name["4K,TLB+PWC"];
+    assert!(base > 0.0);
+    // DVM-PE spends several times less dynamic MM energy than the 4K
+    // baseline (paper: ~76% reduction), mainly by dropping the FA TLB.
+    assert!(
+        by_name["DVM-PE"] < base / 2.0,
+        "DVM-PE {} vs 4K {}",
+        by_name["DVM-PE"],
+        base
+    );
+    // Ideal spends nothing.
+    assert_eq!(by_name["Ideal"], 0.0);
+}
+
+#[test]
+fn dataset_registry_runs_through_the_pipeline() {
+    // A tiny stand-in of every paper dataset must flow through the whole
+    // pipeline (generation -> OS layout -> accelerator -> report).
+    for dataset in Dataset::ALL {
+        let graph = dataset.generate(256);
+        let workload = if dataset.is_bipartite() {
+            Workload::Cf {
+                iterations: 1,
+                features: 8,
+            }
+        } else {
+            Workload::Bfs { root: 0 }
+        };
+        let report = run_graph_experiment(
+            &workload,
+            &graph,
+            &ExperimentConfig::for_mmu(MmuConfig::DvmPe { preload: true }),
+        )
+        .unwrap();
+        assert!(report.cycles > 0, "{dataset}");
+        assert!(report.identity_validations > 0, "{dataset}");
+        assert_eq!(report.fallback_translations, 0, "{dataset}: all identity");
+    }
+}
+
+#[test]
+fn conventional_page_sizes_order_sanely() {
+    // Larger pages can only reduce TLB misses on the same access stream.
+    let graph = rmat(15, 8, RmatParams::default(), 31);
+    let workload = Workload::Sssp {
+        root: 0,
+        max_iterations: 32,
+    };
+    let mut rates = Vec::new();
+    for page_size in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+        let report = run_graph_experiment(
+            &workload,
+            &graph,
+            &ExperimentConfig::for_mmu(MmuConfig::Conventional { page_size }),
+        )
+        .unwrap();
+        rates.push(report.tlb_miss_rate().unwrap());
+    }
+    assert!(rates[0] >= rates[1], "4K {} vs 2M {}", rates[0], rates[1]);
+    assert!(rates[1] >= rates[2], "2M {} vs 1G {}", rates[1], rates[2]);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let graph = rmat(13, 6, RmatParams::default(), 5);
+    let workload = Workload::PageRank { iterations: 2 };
+    let config = ExperimentConfig::for_mmu(MmuConfig::DvmBitmap);
+    let a = run_graph_experiment(&workload, &graph, &config).unwrap();
+    let b = run_graph_experiment(&workload, &graph, &config).unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.mm_energy_pj, b.mm_energy_pj);
+    assert_eq!(a.dram_accesses, b.dram_accesses);
+}

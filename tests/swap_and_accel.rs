@@ -1,0 +1,164 @@
+//! Interactions between the swap extension (paper §4.3.2, "not
+//! implemented" there) and the rest of the system: the accelerator must
+//! fault cleanly on swapped-out pages, the DVM-BM bitmap must stay
+//! coherent, and swap must round-trip under memory pressure created by a
+//! real workload.
+
+use dvm_core::{EnergyParams, MachineConfig, Os, OsConfig, Permission};
+use dvm_mem::{Dram, DramConfig};
+use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_os::SwapStore;
+use dvm_types::{AccessKind, FaultKind, VirtAddr, PAGE_SIZE};
+
+fn small_os(maintain_bitmap: bool) -> Os {
+    Os::new(OsConfig {
+        machine: MachineConfig { mem_bytes: 256 << 20 },
+        maintain_bitmap,
+        ..OsConfig::default()
+    })
+}
+
+#[test]
+fn accelerator_faults_on_swapped_page_and_resumes_after_swap_in() {
+    let mut os = small_os(false);
+    let pid = os.spawn().unwrap();
+    let buf = os.mmap(pid, 256 << 10, Permission::ReadWrite).unwrap();
+    os.write_u64(pid, buf, 0xAA).unwrap();
+    os.write_u64(pid, buf + PAGE_SIZE, 0xBB).unwrap();
+
+    let mut store = SwapStore::new();
+    os.swap_out(pid, buf, &mut store).unwrap();
+
+    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+    let mut dram = Dram::new(DramConfig::default());
+    let pt = os.process(pid).unwrap().page_table;
+    {
+        let mut sys = MemSystem {
+            iommu: &mut iommu,
+            pt: &pt,
+            bitmap: None,
+            mem: &mut os.machine.mem,
+            dram: &mut dram,
+        };
+        // The swapped page faults as not-mapped (the OS would handle this
+        // by swapping in and retrying the offload).
+        let fault = sys.read_u64(buf).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::NotMapped);
+        // The neighbouring, resident page still works.
+        let (v, _) = sys.read_u64(buf + PAGE_SIZE).unwrap();
+        assert_eq!(v, 0xBB);
+    }
+
+    // Swap in; the accelerator retry succeeds with the original data.
+    let identity = os.swap_in(pid, buf, &mut store).unwrap();
+    assert!(identity);
+    let pt = os.process(pid).unwrap().page_table;
+    let mut sys = MemSystem {
+        iommu: &mut iommu,
+        pt: &pt,
+        bitmap: None,
+        mem: &mut os.machine.mem,
+        dram: &mut dram,
+    };
+    let (v, _) = sys.read_u64(buf).unwrap();
+    assert_eq!(v, 0xAA);
+}
+
+#[test]
+fn bitmap_is_coherent_across_swap() {
+    let mut os = small_os(true);
+    let pid = os.spawn().unwrap();
+    let buf = os.mmap(pid, 128 << 10, Permission::ReadWrite).unwrap();
+    let vpn = buf.raw() / PAGE_SIZE;
+    let bitmap = os.bitmap.expect("bitmap maintained");
+    assert_eq!(bitmap.perms_of(&os.machine.mem, vpn), Permission::ReadWrite);
+
+    let mut store = SwapStore::new();
+    os.swap_out(pid, buf, &mut store).unwrap();
+    // Swapped out: the bitmap must say 00 so DVM-BM falls back to the
+    // page table (which faults) instead of treating the access as valid
+    // identity.
+    assert_eq!(bitmap.perms_of(&os.machine.mem, vpn), Permission::None);
+
+    os.swap_in(pid, buf, &mut store).unwrap();
+    assert_eq!(bitmap.perms_of(&os.machine.mem, vpn), Permission::ReadWrite);
+
+    // And DVM-BM actually validates again end to end.
+    let mut iommu = Iommu::new(MmuConfig::DvmBitmap, EnergyParams::default());
+    let mut dram = Dram::new(DramConfig::default());
+    let pt = os.process(pid).unwrap().page_table;
+    let bm = os.bitmap;
+    let mut sys = MemSystem {
+        iommu: &mut iommu,
+        pt: &pt,
+        bitmap: bm.as_ref(),
+        mem: &mut os.machine.mem,
+        dram: &mut dram,
+    };
+    sys.access(buf, AccessKind::Read).unwrap();
+    assert_eq!(sys.iommu.stats.identity_validations.get(), 1);
+}
+
+#[test]
+fn swap_relieves_real_memory_pressure() {
+    // Fill a small machine, then demonstrate the paper's reclamation
+    // story: swap pages out, satisfy a new identity allocation, swap back.
+    let mut os = Os::new(OsConfig {
+        machine: MachineConfig { mem_bytes: 32 << 20 },
+        ..OsConfig::default()
+    });
+    let pid = os.spawn().unwrap();
+    // Grab regions until identity allocation fails.
+    let mut regions = Vec::new();
+    loop {
+        match os.mmap(pid, 1 << 20, Permission::ReadWrite) {
+            Ok(va) if os.process(pid).unwrap().vma_at(va).unwrap().is_identity() => {
+                os.write_u64(pid, va, va.raw()).unwrap();
+                regions.push(va);
+            }
+            _ => break,
+        }
+    }
+    assert!(regions.len() >= 20, "filled {} regions", regions.len());
+
+    // Swap out one full region (256 pages).
+    let victim = regions[regions.len() / 2];
+    let mut store = SwapStore::new();
+    for page in 0..256u64 {
+        os.swap_out(pid, victim + page * PAGE_SIZE, &mut store).unwrap();
+    }
+    assert_eq!(store.len(), 256);
+
+    // The freed physical range can back a new identity mapping.
+    let fresh = os.mmap(pid, 512 << 10, Permission::ReadWrite).unwrap();
+    assert!(os.process(pid).unwrap().vma_at(fresh).unwrap().is_identity());
+    os.write_u64(pid, fresh, 7).unwrap();
+
+    // Steal two of the victim's frames explicitly so the demand-paged
+    // swap-in path is exercised regardless of where `fresh` landed.
+    let victim_frame = victim.raw() / PAGE_SIZE;
+    assert!(os.machine.allocator.alloc_specific_frame(victim_frame));
+    assert!(os.machine.allocator.alloc_specific_frame(victim_frame + 1));
+
+    // Swap the victim back in: stolen frames come back demand-paged, the
+    // rest re-identify — and every byte survives either way.
+    let mut reidentified = 0;
+    for page in 0..256u64 {
+        if os.swap_in(pid, victim + page * PAGE_SIZE, &mut store).unwrap() {
+            reidentified += 1;
+        }
+    }
+    assert_eq!(os.read_u64(pid, victim).unwrap(), victim.raw());
+    assert!(reidentified <= 254, "stolen frames cannot re-identify");
+    assert!(reidentified > 0, "unstolen frames should re-identify");
+    assert_eq!(os.stats.swap_reidentified, reidentified);
+    // The first page is demand-paged now (its frame was stolen).
+    let (pa, _) = os.translate(pid, victim).unwrap();
+    assert_ne!(pa.raw(), victim.raw());
+    // Other regions are untouched.
+    for &va in &regions {
+        if va != victim {
+            assert_eq!(os.read_u64(pid, va).unwrap(), va.raw());
+        }
+    }
+}
