@@ -177,7 +177,9 @@ mod tests {
     #[test]
     fn load_roundtrips_arrays() {
         let mut os = Os::new(OsConfig {
-            machine: MachineConfig { mem_bytes: 256 << 20 },
+            machine: MachineConfig {
+                mem_bytes: 256 << 20,
+            },
             ..OsConfig::default()
         });
         let pid = os.spawn().unwrap();
@@ -206,7 +208,9 @@ mod tests {
     #[test]
     fn arrays_are_identity_mapped_under_dvm() {
         let mut os = Os::new(OsConfig {
-            machine: MachineConfig { mem_bytes: 256 << 20 },
+            machine: MachineConfig {
+                mem_bytes: 256 << 20,
+            },
             ..OsConfig::default()
         });
         let pid = os.spawn().unwrap();

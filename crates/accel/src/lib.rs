@@ -50,6 +50,4 @@ pub mod reference;
 pub mod run;
 
 pub use layout::{load_graph, GraphInMemory, EDGE_BYTES};
-pub use run::{
-    dump_props_f32, dump_props_u32, run, AccelConfig, RunResult, Workload, BFS_INF,
-};
+pub use run::{dump_props_f32, dump_props_u32, run, AccelConfig, RunResult, Workload, BFS_INF};

@@ -127,9 +127,21 @@ mod tests {
         Graph::from_edges(
             4,
             vec![
-                Edge { src: 0, dst: 1, weight: 2.0 },
-                Edge { src: 1, dst: 2, weight: 3.0 },
-                Edge { src: 0, dst: 2, weight: 10.0 },
+                Edge {
+                    src: 0,
+                    dst: 1,
+                    weight: 2.0,
+                },
+                Edge {
+                    src: 1,
+                    dst: 2,
+                    weight: 3.0,
+                },
+                Edge {
+                    src: 0,
+                    dst: 2,
+                    weight: 10.0,
+                },
             ],
         )
     }

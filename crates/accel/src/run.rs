@@ -438,8 +438,10 @@ fn run_pagerank(
                 let e_dst = engines.shard(dst);
                 let (acc_bits, lat) = sys.read_u32(g.temp_entry(dst))?;
                 engines.charge(e_dst, lat);
-                let lat =
-                    sys.write_u32(g.temp_entry(dst), (f32::from_bits(acc_bits) + contrib).to_bits())?;
+                let lat = sys.write_u32(
+                    g.temp_entry(dst),
+                    (f32::from_bits(acc_bits) + contrib).to_bits(),
+                )?;
                 engines.charge(e_dst, lat);
             }
         }
@@ -467,7 +469,12 @@ fn run_sssp(
 ) -> Result<RunResult, Fault> {
     assert!(root < g.num_vertices, "root out of range");
     let mut engines = Engines::new(cfg, sys);
-    memset_u32(sys, g.prop_va, g.num_vertices as u64, f32::INFINITY.to_bits());
+    memset_u32(
+        sys,
+        g.prop_va,
+        g.num_vertices as u64,
+        f32::INFINITY.to_bits(),
+    );
     poke_f32(sys, g.prop_entry(root), 0.0);
     poke_u32(sys, g.frontier_a_va, root);
 
@@ -576,8 +583,12 @@ fn run_cf(
             unew.clear();
             mnew.clear();
             for f in 0..k as usize {
-                unew.push(uvec[f] + CF_LEARNING_RATE * (err * mvec[f] - CF_REGULARIZATION * uvec[f]));
-                mnew.push(mvec[f] + CF_LEARNING_RATE * (err * uvec[f] - CF_REGULARIZATION * mvec[f]));
+                unew.push(
+                    uvec[f] + CF_LEARNING_RATE * (err * mvec[f] - CF_REGULARIZATION * uvec[f]),
+                );
+                mnew.push(
+                    mvec[f] + CF_LEARNING_RATE * (err * uvec[f] - CF_REGULARIZATION * mvec[f]),
+                );
             }
             let lat = sys.write_f32(user_va, unew[0])?;
             engines.charge(e_user, lat);

@@ -81,7 +81,7 @@ fn faults_do_not_corrupt_other_processes() {
     let a = os.spawn().unwrap();
     let b = os.spawn().unwrap();
     let secret_va = os.mmap(b, 1 << 20, Permission::ReadWrite).unwrap();
-    os.write_u64(b, secret_va, 0x5EC_E7).unwrap();
+    os.write_u64(b, secret_va, 0x5ECE7).unwrap();
 
     let graph = rmat(9, 4, RmatParams::default(), 23);
     let workload = Workload::Sssp {
@@ -105,5 +105,5 @@ fn faults_do_not_corrupt_other_processes() {
     // done untimed by the runner, so the fault comes from the timed path.
     let result = run(&workload, &g, &mut sys, &AccelConfig::default());
     assert!(result.is_err());
-    assert_eq!(os.read_u64(b, secret_va).unwrap(), 0x5EC_E7);
+    assert_eq!(os.read_u64(b, secret_va).unwrap(), 0x5ECE7);
 }

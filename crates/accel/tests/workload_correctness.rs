@@ -189,7 +189,11 @@ fn dvm_pe_is_faster_than_4k_and_slower_than_ideal() {
 #[test]
 fn engines_share_work() {
     let graph = test_graph();
-    let (result, _, _) = run_workload(MmuConfig::Ideal, &Workload::PageRank { iterations: 1 }, &graph);
+    let (result, _, _) = run_workload(
+        MmuConfig::Ideal,
+        &Workload::PageRank { iterations: 1 },
+        &graph,
+    );
     assert_eq!(result.engine_cycles.len(), 8);
     let min = *result.engine_cycles.iter().min().unwrap();
     let max = *result.engine_cycles.iter().max().unwrap();

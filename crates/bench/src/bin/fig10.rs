@@ -3,11 +3,11 @@
 //! pages, and cDVM.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin fig10 [--scale quick|paper|full]
+//! cargo run --release -p dvm-bench --bin fig10 [--scale quick|paper|full] [--jobs N]
 //! ```
 
-use dvm_bench::{HarnessArgs, Scale};
-use dvm_core::{evaluate_cpu, CpuModelConfig, CpuScheme, CpuWorkload};
+use dvm_bench::{FigureJson, HarnessArgs, Json, Scale};
+use dvm_core::{evaluate_cpu, parallel_map_ordered, CpuModelConfig, CpuScheme, CpuWorkload};
 use dvm_sim::Table;
 
 fn main() {
@@ -24,19 +24,33 @@ fn main() {
         args.scale.name(),
         config.accesses
     );
+    // The (workload × scheme) grid is shared-nothing, so it runs on the
+    // same ordered worker pool as the graph sweeps.
+    let units: Vec<(CpuWorkload, CpuScheme)> = CpuWorkload::ALL
+        .iter()
+        .flat_map(|&w| CpuScheme::ALL.iter().map(move |&s| (w, s)))
+        .collect();
+    let overheads = parallel_map_ordered(&units, args.jobs, |&(workload, scheme)| {
+        evaluate_cpu(workload, scheme, &config)
+            .expect("cpu model failed")
+            .overhead_percent()
+    });
+
     let mut table = Table::new(&["workload", "4K", "THP", "cDVM"]);
+    let mut fig = FigureJson::new("fig10", args.scale.name(), &["4K", "THP", "cDVM"]);
     let mut sums = [0.0f64; 3];
-    for workload in CpuWorkload::ALL {
+    for (w, workload) in CpuWorkload::ALL.iter().enumerate() {
         let mut row = vec![workload.name().to_string()];
-        for (i, scheme) in CpuScheme::ALL.iter().enumerate() {
-            let report = evaluate_cpu(workload, *scheme, &config).expect("cpu model failed");
-            sums[i] += report.overhead_percent();
-            row.push(format!("{:.1}%", report.overhead_percent()));
+        let mut values = Vec::new();
+        for s in 0..CpuScheme::ALL.len() {
+            let overhead = overheads[w * CpuScheme::ALL.len() + s];
+            sums[s] += overhead;
+            row.push(format!("{overhead:.1}%"));
+            values.push(Json::Float(overhead));
         }
         table.row(&row);
-        eprint!(".");
+        fig.row(workload.name(), values);
     }
-    eprintln!();
     let n = CpuWorkload::ALL.len() as f64;
     table.row(&[
         "average".into(),
@@ -44,6 +58,11 @@ fn main() {
         format!("{:.1}%", sums[1] / n),
         format!("{:.1}%", sums[2] / n),
     ]);
+    fig.summary(
+        "average",
+        Json::Arr(sums.iter().map(|&s| Json::Float(s / n)).collect()),
+    );
+    args.emit_json(&fig);
     println!("{table}");
     println!("paper: ~29% average with 4K (mcf 84%), ~13% with THP, ~5% with cDVM.");
 }

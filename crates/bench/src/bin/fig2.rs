@@ -2,11 +2,11 @@
 //! fully associative TLB, 4 KiB vs 2 MiB pages.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin fig2 [--scale quick|paper|full]
+//! cargo run --release -p dvm-bench --bin fig2 [--scale quick|paper|full] [--jobs N]
 //! ```
 
-use dvm_bench::{pair_label, paper_pairs, HarnessArgs};
-use dvm_core::{run_graph_experiment, ExperimentConfig, MmuConfig, PageSize};
+use dvm_bench::{pair_label, FigureJson, HarnessArgs, Json};
+use dvm_core::{MmuConfig, PageSize};
 use dvm_sim::Table;
 
 fn main() {
@@ -15,40 +15,56 @@ fn main() {
         "Figure 2: TLB miss rates (128-entry FA TLB), scale = {}\n",
         args.scale.name()
     );
+    let schemes = [
+        MmuConfig::Conventional {
+            page_size: PageSize::Size4K,
+        },
+        MmuConfig::Conventional {
+            page_size: PageSize::Size2M,
+        },
+    ];
+    let cells = args.run_graph_sweep(&schemes);
+
     let mut table = Table::new(&["workload/graph", "4K pages", "2M pages"]);
+    let mut fig = FigureJson::new("fig2", args.scale.name(), &["4K pages", "2M pages"]);
     let mut sums = [0.0f64; 2];
-    let mut count = 0u32;
-    for (workload, dataset) in paper_pairs() {
-        if !args.wants(dataset) {
-            continue;
-        }
-        let graph = dataset.generate(args.scale.divisor(dataset));
-        let mut rates = Vec::new();
-        for page_size in [PageSize::Size4K, PageSize::Size2M] {
-            let report = run_graph_experiment(
-                &workload,
-                &graph,
-                &ExperimentConfig::for_mmu(MmuConfig::Conventional { page_size }),
-            )
-            .expect("experiment failed");
-            rates.push(report.tlb_miss_rate().expect("conventional has a TLB"));
-        }
+    for cell in &cells {
+        let rates: Vec<f64> = schemes
+            .iter()
+            .map(|&mmu| {
+                cell.report_for(mmu)
+                    .expect("scheme ran")
+                    .tlb_miss_rate()
+                    .expect("conventional has a TLB")
+            })
+            .collect();
         sums[0] += rates[0];
         sums[1] += rates[1];
-        count += 1;
+        let label = pair_label(&cell.workload, cell.dataset);
         table.row(&[
-            pair_label(&workload, dataset),
+            label.clone(),
             format!("{:.1}%", rates[0] * 100.0),
             format!("{:.1}%", rates[1] * 100.0),
         ]);
+        fig.row_with_reports(
+            &label,
+            rates.iter().map(|&r| Json::Float(r)).collect(),
+            &cell.reports,
+        );
     }
-    if count > 0 {
+    if !cells.is_empty() {
+        let n = cells.len() as f64;
         table.row(&[
             "average".into(),
-            format!("{:.1}%", sums[0] / count as f64 * 100.0),
-            format!("{:.1}%", sums[1] / count as f64 * 100.0),
+            format!("{:.1}%", sums[0] / n * 100.0),
+            format!("{:.1}%", sums[1] / n * 100.0),
         ]);
+        fig.summary(
+            "average",
+            Json::Arr(sums.iter().map(|&s| Json::Float(s / n)).collect()),
+        );
     }
+    args.emit_json(&fig);
     println!("{table}");
     println!("paper: ~21% average with 4K pages; 2M improves by only ~1% on");
     println!("average, except NF whose small movie side gives 2M high locality.");

@@ -2,11 +2,11 @@
 //! scheme, normalized to the Ideal (direct physical access) run.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin fig8 [--scale quick|paper|full]
+//! cargo run --release -p dvm-bench --bin fig8 [--scale quick|paper|full] [--jobs N]
 //! ```
 
-use dvm_bench::{geomean, pair_label, paper_pairs, HarnessArgs};
-use dvm_core::{run_paper_configs, MmuConfig};
+use dvm_bench::{geomean, pair_label, FigureJson, HarnessArgs, Json};
+use dvm_core::MmuConfig;
 use dvm_sim::Table;
 
 fn main() {
@@ -15,34 +15,48 @@ fn main() {
         "Figure 8: execution time normalized to Ideal, scale = {}\n",
         args.scale.name()
     );
-    let names: Vec<&str> = MmuConfig::PAPER_SET.iter().map(|c| c.name()).collect();
+    // Ideal (== 1.0 by construction) is omitted as in the figure.
+    let shown: Vec<MmuConfig> = MmuConfig::PAPER_SET
+        .iter()
+        .copied()
+        .filter(|&c| c != MmuConfig::Ideal)
+        .collect();
+    let names: Vec<&str> = shown.iter().map(|c| c.name()).collect();
     let mut header = vec!["workload/graph"];
-    header.extend(names.iter().take(6)); // Ideal (==1.0) omitted as in the figure
+    header.extend(&names);
     let mut table = Table::new(&header);
-    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    let mut fig = FigureJson::new("fig8", args.scale.name(), &names);
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); shown.len()];
 
-    for (workload, dataset) in paper_pairs() {
-        if !args.wants(dataset) {
-            continue;
-        }
-        let graph = dataset.generate(args.scale.divisor(dataset));
-        let reports = run_paper_configs(&workload, &graph).expect("experiment failed");
-        let ideal = reports[6].cycles.max(1) as f64;
-        let mut row = vec![pair_label(&workload, dataset)];
-        for (i, report) in reports.iter().take(6).enumerate() {
+    for cell in &args.run_graph_sweep(&MmuConfig::PAPER_SET) {
+        let ideal = cell
+            .report_for(MmuConfig::Ideal)
+            .expect("paper set includes Ideal")
+            .cycles
+            .max(1) as f64;
+        let label = pair_label(&cell.workload, cell.dataset);
+        let mut row = vec![label.clone()];
+        let mut values = Vec::new();
+        for (i, &mmu) in shown.iter().enumerate() {
+            let report = cell.report_for(mmu).expect("scheme ran");
             let normalized = report.cycles as f64 / ideal;
             per_config[i].push(normalized);
             row.push(format!("{normalized:.3}"));
+            values.push(Json::Float(normalized));
         }
         table.row(&row);
-        eprint!(".");
+        fig.row_with_reports(&label, values, &cell.reports);
     }
-    eprintln!();
     let mut avg_row = vec!["geomean".to_string()];
     for values in &per_config {
         avg_row.push(format!("{:.3}", geomean(values)));
     }
     table.row(&avg_row);
+    fig.summary(
+        "geomean",
+        Json::Arr(per_config.iter().map(|v| Json::Float(geomean(v))).collect()),
+    );
+    args.emit_json(&fig);
     println!("{table}");
     println!("paper: 4K/2M ~2.2x/2.1x, DVM-BM ~1.23x, DVM-PE ~1.035x,");
     println!("DVM-PE+ ~1.017x, 1G near-ideal for these footprints.");

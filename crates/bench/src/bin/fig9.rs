@@ -2,11 +2,11 @@
 //! validation, normalized to the 4K TLB+PWC baseline.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin fig9 [--scale quick|paper|full]
+//! cargo run --release -p dvm-bench --bin fig9 [--scale quick|paper|full] [--jobs N]
 //! ```
 
-use dvm_bench::{geomean, pair_label, paper_pairs, HarnessArgs};
-use dvm_core::run_paper_configs;
+use dvm_bench::{geomean, pair_label, FigureJson, HarnessArgs, Json};
+use dvm_core::{MmuConfig, PageSize};
 use dvm_sim::Table;
 
 fn main() {
@@ -15,38 +15,52 @@ fn main() {
         "Figure 9: dynamic MM energy normalized to 4K,TLB+PWC, scale = {}\n",
         args.scale.name()
     );
-    // The figure shows 2M, 1G, DVM-BM, DVM-PE, DVM-PE+ relative to 4K.
-    let mut table = Table::new(&[
-        "workload/graph",
-        "2M,TLB+PWC",
-        "1G,TLB+PWC",
-        "DVM-BM",
-        "DVM-PE",
-        "DVM-PE+",
-    ]);
-    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for (workload, dataset) in paper_pairs() {
-        if !args.wants(dataset) {
-            continue;
-        }
-        let graph = dataset.generate(args.scale.divisor(dataset));
-        let reports = run_paper_configs(&workload, &graph).expect("experiment failed");
-        let baseline = reports[0].mm_energy_pj.max(1e-9);
-        let mut row = vec![pair_label(&workload, dataset)];
-        for (i, report) in reports.iter().skip(1).take(5).enumerate() {
-            let normalized = report.mm_energy_pj / baseline;
+    let baseline = MmuConfig::Conventional {
+        page_size: PageSize::Size4K,
+    };
+    // The figure shows 2M, 1G, DVM-BM, DVM-PE, DVM-PE+ relative to 4K
+    // (Ideal spends nothing and is omitted).
+    let shown: Vec<MmuConfig> = MmuConfig::PAPER_SET
+        .iter()
+        .copied()
+        .filter(|&c| c != baseline && c != MmuConfig::Ideal)
+        .collect();
+    let names: Vec<&str> = shown.iter().map(|c| c.name()).collect();
+    let mut header = vec!["workload/graph"];
+    header.extend(&names);
+    let mut table = Table::new(&header);
+    let mut fig = FigureJson::new("fig9", args.scale.name(), &names);
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); shown.len()];
+
+    for cell in &args.run_graph_sweep(&MmuConfig::PAPER_SET) {
+        let base = cell
+            .report_for(baseline)
+            .expect("paper set includes 4K")
+            .mm_energy_pj
+            .max(1e-9);
+        let label = pair_label(&cell.workload, cell.dataset);
+        let mut row = vec![label.clone()];
+        let mut values = Vec::new();
+        for (i, &mmu) in shown.iter().enumerate() {
+            let report = cell.report_for(mmu).expect("scheme ran");
+            let normalized = report.mm_energy_pj / base;
             per_config[i].push(normalized);
             row.push(format!("{normalized:.3}"));
+            values.push(Json::Float(normalized));
         }
         table.row(&row);
-        eprint!(".");
+        fig.row_with_reports(&label, values, &cell.reports);
     }
-    eprintln!();
     let mut avg_row = vec!["geomean".to_string()];
     for values in &per_config {
         avg_row.push(format!("{:.3}", geomean(values)));
     }
     table.row(&avg_row);
+    fig.summary(
+        "geomean",
+        Json::Arr(per_config.iter().map(|v| Json::Float(geomean(v))).collect()),
+    );
+    args.emit_json(&fig);
     println!("{table}");
     println!("paper: DVM-PE uses ~0.24x the 4K baseline's dynamic energy");
     println!("(3.9x less than 2M); DVM-BM ~0.85x; 1G low due to few misses.");

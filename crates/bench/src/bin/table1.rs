@@ -2,11 +2,11 @@
 //! Permission Entries.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin table1 [--scale quick|paper|full]
+//! cargo run --release -p dvm-bench --bin table1 [--scale quick|paper|full] [--jobs N]
 //! ```
 
-use dvm_bench::HarnessArgs;
-use dvm_core::{page_table_study, Dataset, Workload};
+use dvm_bench::{FigureJson, HarnessArgs, Json};
+use dvm_core::{page_table_study, parallel_map_ordered, Dataset, Workload};
 use dvm_sim::Table;
 
 fn main() {
@@ -15,18 +15,11 @@ fn main() {
         "Table 1: page-table sizes (PageRank for graph inputs, CF for bipartite), scale = {}\n",
         args.scale.name()
     );
-    let mut table = Table::new(&[
-        "input",
-        "heap (MB)",
-        "page tables (KB)",
-        "% L1PTEs",
-        "with PEs (KB)",
-        "reduction",
-    ]);
-    for dataset in Dataset::ALL {
-        if !args.wants(dataset) {
-            continue;
-        }
+    let datasets: Vec<Dataset> = Dataset::ALL
+        .into_iter()
+        .filter(|&d| args.wants(d))
+        .collect();
+    let studies = parallel_map_ordered(&datasets, args.jobs, |&dataset| {
         let workload = if dataset.is_bipartite() {
             Workload::Cf {
                 iterations: 1,
@@ -36,21 +29,40 @@ fn main() {
             Workload::PageRank { iterations: 1 }
         };
         let graph = dataset.generate(args.scale.divisor(dataset));
-        let study = page_table_study(&graph, &workload).expect("study failed");
+        page_table_study(&graph, &workload).expect("study failed")
+    });
+
+    let columns = [
+        "heap (MB)",
+        "page tables (KB)",
+        "% L1PTEs",
+        "with PEs (KB)",
+        "reduction",
+    ];
+    let mut table = Table::new(&std::iter::once("input").chain(columns).collect::<Vec<_>>());
+    let mut fig = FigureJson::new("table1", args.scale.name(), &columns);
+    for (dataset, study) in datasets.iter().zip(&studies) {
+        let reduction = study.conventional_kb() as f64 / study.pe_kb().max(1) as f64;
         table.row(&[
             dataset.short_name().into(),
             format!("{}", study.heap_bytes >> 20),
             format!("{}", study.conventional_kb()),
             format!("{:.1}%", study.l1_fraction() * 100.0),
             format!("{}", study.pe_kb()),
-            format!(
-                "{:.0}x",
-                study.conventional_kb() as f64 / study.pe_kb().max(1) as f64
-            ),
+            format!("{reduction:.0}x"),
         ]);
-        eprint!(".");
+        fig.row(
+            dataset.short_name(),
+            vec![
+                Json::UInt(study.heap_bytes >> 20),
+                Json::UInt(study.conventional_kb()),
+                Json::Float(study.l1_fraction()),
+                Json::UInt(study.pe_kb()),
+                Json::Float(reduction),
+            ],
+        );
     }
-    eprintln!();
+    args.emit_json(&fig);
     println!("{table}");
     println!("paper: 616-13340 KB conventional, ~98-99% L1PTEs, 48-68 KB with PEs.");
 }

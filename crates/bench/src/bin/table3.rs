@@ -2,11 +2,11 @@
 //! synthetic stand-ins generated at the selected scale.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin table3 [--scale quick|paper|full]
+//! cargo run --release -p dvm-bench --bin table3 [--scale quick|paper|full] [--jobs N]
 //! ```
 
-use dvm_bench::HarnessArgs;
-use dvm_core::Dataset;
+use dvm_bench::{FigureJson, HarnessArgs, Json};
+use dvm_core::{parallel_map_ordered, Dataset};
 use dvm_sim::Table;
 
 fn main() {
@@ -15,8 +15,21 @@ fn main() {
         "Table 3: graph datasets (published vs generated stand-ins), scale = {}\n",
         args.scale.name()
     );
-    let mut table = Table::new(&[
-        "graph",
+    let datasets: Vec<Dataset> = Dataset::ALL
+        .into_iter()
+        .filter(|&d| args.wants(d))
+        .collect();
+    // Generation is the entire cost of this table; fan it out.
+    let generated = parallel_map_ordered(&datasets, args.jobs, |&dataset| {
+        let graph = dataset.generate(args.scale.divisor(dataset));
+        (
+            graph.num_vertices(),
+            graph.num_edges(),
+            graph.footprint_bytes(),
+        )
+    });
+
+    let columns = [
         "paper |V|",
         "paper |E|",
         "paper heap",
@@ -24,24 +37,35 @@ fn main() {
         "gen |V|",
         "gen |E|",
         "gen heap (MB)",
-    ]);
-    for dataset in Dataset::ALL {
-        if !args.wants(dataset) {
-            continue;
-        }
+    ];
+    let mut table = Table::new(&std::iter::once("graph").chain(columns).collect::<Vec<_>>());
+    let mut fig = FigureJson::new("table3", args.scale.name(), &columns);
+    for (dataset, &(vertices, edges, footprint)) in datasets.iter().zip(&generated) {
         let spec = dataset.spec();
-        let div = args.scale.divisor(dataset);
-        let graph = dataset.generate(div);
+        let div = args.scale.divisor(*dataset);
         table.row(&[
             dataset.short_name().into(),
             format!("{:.2}M", spec.vertices as f64 / 1e6),
             format!("{:.2}M", spec.edges as f64 / 1e6),
             format!("{:.2} GB", spec.heap_mib as f64 / 1024.0),
             format!("1/{div}"),
-            format!("{:.2}M", graph.num_vertices() as f64 / 1e6),
-            format!("{:.2}M", graph.num_edges() as f64 / 1e6),
-            format!("{}", graph.footprint_bytes() >> 20),
+            format!("{:.2}M", vertices as f64 / 1e6),
+            format!("{:.2}M", edges as f64 / 1e6),
+            format!("{}", footprint >> 20),
         ]);
+        fig.row(
+            dataset.short_name(),
+            vec![
+                Json::UInt(spec.vertices),
+                Json::UInt(spec.edges),
+                Json::UInt(spec.heap_mib),
+                Json::UInt(u64::from(div)),
+                Json::UInt(u64::from(vertices)),
+                Json::UInt(edges),
+                Json::UInt(footprint),
+            ],
+        );
     }
+    args.emit_json(&fig);
     println!("{table}");
 }

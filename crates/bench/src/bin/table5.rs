@@ -5,9 +5,11 @@
 //! tree and prints both side by side.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin table5
+//! cargo run --release -p dvm-bench --bin table5 [--json PATH]
 //! ```
 
+use dvm_bench::{FigureJson, HarnessArgs, Json};
+use dvm_core::parallel_map_ordered;
 use dvm_sim::Table;
 use std::path::Path;
 
@@ -23,6 +25,7 @@ fn loc(path: &Path) -> u64 {
 }
 
 fn main() {
+    let args = HarnessArgs::parse();
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
     let crates = manifest.parent().expect("crates dir");
     println!("Table 5: implementation size per affected feature\n");
@@ -56,12 +59,19 @@ fn main() {
             &["pagetable/src/bitmap.rs", "os/src/shbench.rs"],
         ),
     ];
+    let ours_counts = parallel_map_ordered(rows, args.jobs, |(_, _, files)| {
+        files.iter().map(|f| loc(&crates.join(f))).sum::<u64>()
+    });
 
     let mut table = Table::new(&["feature", "paper (Linux LoC)", "this repo (Rust LoC)"]);
+    let mut fig = FigureJson::new(
+        "table5",
+        args.scale.name(),
+        &["paper (Linux LoC)", "this repo (Rust LoC)"],
+    );
     let mut paper_total = 0u64;
     let mut ours_total = 0u64;
-    for (feature, paper_loc, files) in rows {
-        let ours: u64 = files.iter().map(|f| loc(&crates.join(f))).sum();
+    for ((feature, paper_loc, _), &ours) in rows.iter().zip(&ours_counts) {
         paper_total += paper_loc;
         ours_total += ours;
         table.row(&[
@@ -73,8 +83,18 @@ fn main() {
             },
             ours.to_string(),
         ]);
+        fig.row(feature, vec![Json::UInt(*paper_loc), Json::UInt(ours)]);
     }
-    table.row(&["total".into(), paper_total.to_string(), ours_total.to_string()]);
+    table.row(&[
+        "total".into(),
+        paper_total.to_string(),
+        ours_total.to_string(),
+    ]);
+    fig.summary(
+        "total",
+        Json::Arr(vec![Json::UInt(paper_total), Json::UInt(ours_total)]),
+    );
+    args.emit_json(&fig);
     println!("{table}");
     println!("paper total: 252 lines changed in Linux v4.10 (Table 5).");
 }

@@ -1,0 +1,311 @@
+//! A hand-rolled JSON emitter for machine-readable results.
+//!
+//! Every harness binary writes a `results/<name>_<scale>.json` next to
+//! its text table (when `--json` is given), so downstream tooling can
+//! diff runs without screen-scraping the aligned-column output. The
+//! emitter is ~150 lines of plain Rust rather than a serde dependency,
+//! keeping the workspace's zero-external-crate hermetic build.
+//!
+//! Output is deterministic: object keys keep insertion order, floats use
+//! Rust's shortest round-trip formatting, and nothing (timestamps, job
+//! counts, hostnames) that varies between equivalent runs is emitted —
+//! a parallel sweep's JSON is byte-identical to a serial one's.
+
+use dvm_core::GraphRunReport;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// A JSON value with deterministic rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (counters, cycles).
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Float; non-finite values render as `null`.
+    Float(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// `{"hits": h, "misses": m}` or `null` — the shape of the optional
+    /// cache statistics on [`GraphRunReport`].
+    pub fn hit_miss(stats: Option<(u64, u64)>) -> Json {
+        match stats {
+            Some((h, m)) => Json::obj([("hits", Json::UInt(h)), ("misses", Json::UInt(m))]),
+            None => Json::Null,
+        }
+    }
+
+    fn write_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        const INDENT: &str = "  ";
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::UInt(n) => write!(f, "{n}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::Float(x) if !x.is_finite() => f.write_str("null"),
+            // `{}` on f64 is shortest-round-trip and prints "1" for 1.0,
+            // which is still a valid JSON number.
+            Json::Float(x) => write!(f, "{x}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    return f.write_str("[]");
+                }
+                f.write_str("[\n")?;
+                for (i, item) in items.iter().enumerate() {
+                    f.write_str(&INDENT.repeat(depth + 1))?;
+                    item.write_indented(f, depth + 1)?;
+                    f.write_str(if i + 1 < items.len() { ",\n" } else { "\n" })?;
+                }
+                f.write_str(&INDENT.repeat(depth))?;
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    return f.write_str("{}");
+                }
+                f.write_str("{\n")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    f.write_str(&INDENT.repeat(depth + 1))?;
+                    write_escaped(f, k)?;
+                    f.write_str(": ")?;
+                    v.write_indented(f, depth + 1)?;
+                    f.write_str(if i + 1 < pairs.len() { ",\n" } else { "\n" })?;
+                }
+                f.write_str(&INDENT.repeat(depth))?;
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_indented(f, 0)
+    }
+}
+
+/// Serialize every metric of one experiment report.
+pub fn report_json(r: &GraphRunReport) -> Json {
+    Json::obj([
+        ("mmu", Json::Str(r.mmu.name().to_string())),
+        ("workload", Json::Str(r.workload.to_string())),
+        ("cycles", Json::UInt(r.cycles)),
+        ("accesses", Json::UInt(r.accesses)),
+        ("tlb", Json::hit_miss(r.tlb)),
+        ("ptc", Json::hit_miss(r.ptc)),
+        ("bitmap_cache", Json::hit_miss(r.bitmap_cache)),
+        ("walk_mem_refs", Json::UInt(r.walk_mem_refs)),
+        ("identity_validations", Json::UInt(r.identity_validations)),
+        ("fallback_translations", Json::UInt(r.fallback_translations)),
+        ("preload_squashes", Json::UInt(r.preload_squashes)),
+        ("mm_energy_pj", Json::Float(r.mm_energy_pj)),
+        ("dram_accesses", Json::UInt(r.dram_accesses)),
+        ("heap_bytes", Json::UInt(r.heap_bytes)),
+        ("edges_processed", Json::UInt(r.run.edges_processed)),
+        ("iterations", Json::UInt(u64::from(r.run.iterations))),
+    ])
+}
+
+/// Accumulates one harness's machine-readable output: the same grid as
+/// its text table (label + one value per column), plus optional raw
+/// per-scheme reports per row and figure-level summary entries.
+#[derive(Debug, Clone)]
+pub struct FigureJson {
+    experiment: String,
+    scale: String,
+    columns: Vec<String>,
+    rows: Vec<Json>,
+    summary: Vec<(String, Json)>,
+}
+
+impl FigureJson {
+    /// Start a document for `experiment` at `scale` with the given value
+    /// columns (row labels are implicit).
+    pub fn new(experiment: &str, scale: &str, columns: &[&str]) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            scale: scale.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            summary: Vec::new(),
+        }
+    }
+
+    /// Append a row of column values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the column count.
+    pub fn row(&mut self, label: &str, values: Vec<Json>) {
+        self.push_row(label, values, None);
+    }
+
+    /// Append a row carrying the full per-scheme reports it was derived
+    /// from (the raw material for result diffing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the column count.
+    pub fn row_with_reports(&mut self, label: &str, values: Vec<Json>, reports: &[GraphRunReport]) {
+        let raw = Json::Arr(reports.iter().map(report_json).collect());
+        self.push_row(label, values, Some(raw));
+    }
+
+    fn push_row(&mut self, label: &str, values: Vec<Json>, reports: Option<Json>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row arity {} != column arity {}",
+            values.len(),
+            self.columns.len()
+        );
+        let mut pairs = vec![
+            ("label".to_string(), Json::Str(label.to_string())),
+            ("values".to_string(), Json::Arr(values)),
+        ];
+        if let Some(raw) = reports {
+            pairs.push(("reports".to_string(), raw));
+        }
+        self.rows.push(Json::Obj(pairs));
+    }
+
+    /// Add a figure-level summary entry (e.g. the geomean row).
+    pub fn summary(&mut self, key: &str, value: Json) {
+        self.summary.push((key.to_string(), value));
+    }
+
+    /// The complete document.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("experiment".to_string(), Json::Str(self.experiment.clone())),
+            ("scale".to_string(), Json::Str(self.scale.clone())),
+            (
+                "columns".to_string(),
+                Json::Arr(self.columns.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("rows".to_string(), Json::Arr(self.rows.clone())),
+        ];
+        if !self.summary.is_empty() {
+            pairs.push(("summary".to_string(), Json::Obj(self.summary.clone())));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Render the document with a trailing newline.
+    pub fn render(&self) -> String {
+        format!("{}\n", self.to_json())
+    }
+
+    /// Write the document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_document() {
+        let mut fig = FigureJson::new("fig-test", "quick", &["a", "b"]);
+        fig.row("BFS/FR", vec![Json::Float(1.5), Json::UInt(7)]);
+        fig.row("odd \"label\"\n", vec![Json::Null, Json::Float(f64::NAN)]);
+        fig.summary("geomean", Json::Arr(vec![Json::Float(2.0)]));
+        let expected = concat!(
+            "{\n",
+            "  \"experiment\": \"fig-test\",\n",
+            "  \"scale\": \"quick\",\n",
+            "  \"columns\": [\n",
+            "    \"a\",\n",
+            "    \"b\"\n",
+            "  ],\n",
+            "  \"rows\": [\n",
+            "    {\n",
+            "      \"label\": \"BFS/FR\",\n",
+            "      \"values\": [\n",
+            "        1.5,\n",
+            "        7\n",
+            "      ]\n",
+            "    },\n",
+            "    {\n",
+            "      \"label\": \"odd \\\"label\\\"\\n\",\n",
+            "      \"values\": [\n",
+            "        null,\n",
+            "        null\n",
+            "      ]\n",
+            "    }\n",
+            "  ],\n",
+            "  \"summary\": {\n",
+            "    \"geomean\": [\n",
+            "      2\n",
+            "    ]\n",
+            "  }\n",
+            "}\n",
+        );
+        assert_eq!(fig.render(), expected);
+    }
+
+    #[test]
+    fn empty_containers_render_compact() {
+        assert_eq!(Json::Arr(Vec::new()).to_string(), "[]");
+        assert_eq!(Json::Obj(Vec::new()).to_string(), "{}");
+    }
+
+    #[test]
+    fn floats_render_shortest() {
+        assert_eq!(Json::Float(0.1).to_string(), "0.1");
+        assert_eq!(Json::Float(2.0).to_string(), "2");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn row_arity_checked() {
+        let mut fig = FigureJson::new("x", "quick", &["a"]);
+        fig.row("r", vec![]);
+    }
+}

@@ -6,6 +6,8 @@
 //! ```text
 //! --scale quick|paper|full   dataset sizing (default: quick)
 //! --datasets FR,Wiki,...     restrict to some inputs
+//! --jobs N                   worker threads (0 = all cores; default 1)
+//! --json PATH                also write machine-readable results
 //! ```
 //!
 //! * `quick` — minutes on a laptop; dataset stand-ins shrunk 8x further
@@ -13,9 +15,18 @@
 //! * `paper` — stand-ins sized so vertex counts approach the published
 //!   datasets (tens of minutes for Figure 8/9).
 //! * `full`  — unscaled Table 3 sizes (hours; needs ~16 GiB of host RAM).
+//!
+//! All binaries execute through [`dvm_core::sweep`], so `--jobs N` runs
+//! the shared-nothing (scheme × workload × dataset) grid on N threads
+//! while producing output byte-identical to the serial run.
 
-use dvm_core::{Dataset, Workload};
+pub mod json;
+
+pub use json::{report_json, FigureJson, Json};
+
+use dvm_core::{run_sweep, CellReports, Dataset, MmuConfig, SweepSpec, Workload};
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// Dataset scaling selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +80,10 @@ pub struct HarnessArgs {
     pub scale: Scale,
     /// Dataset filter (None = all).
     pub datasets: Option<Vec<String>>,
+    /// Sweep worker threads: `0` = all cores, `1` = serial (default).
+    pub jobs: usize,
+    /// Where to write the machine-readable results, if anywhere.
+    pub json: Option<PathBuf>,
 }
 
 impl HarnessArgs {
@@ -77,6 +92,8 @@ impl HarnessArgs {
     pub fn parse() -> Self {
         let mut scale = Scale::Quick;
         let mut datasets = None;
+        let mut jobs = 1usize;
+        let mut json = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -96,8 +113,29 @@ impl HarnessArgs {
                     let v = args.next().unwrap_or_default();
                     datasets = Some(v.split(',').map(|s| s.to_string()).collect());
                 }
+                "--jobs" => {
+                    let v = args.next().unwrap_or_default();
+                    jobs = match v.parse() {
+                        Ok(n) => n,
+                        Err(_) => {
+                            eprintln!("--jobs needs an integer (0 = all cores), got '{v}'");
+                            std::process::exit(2);
+                        }
+                    };
+                }
+                "--json" => {
+                    let v = args.next().unwrap_or_default();
+                    if v.is_empty() {
+                        eprintln!("--json needs a path");
+                        std::process::exit(2);
+                    }
+                    json = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--scale quick|paper|full] [--datasets FR,Wiki,...]");
+                    eprintln!(
+                        "usage: [--scale quick|paper|full] [--datasets FR,Wiki,...] \
+                         [--jobs N] [--json PATH]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -106,14 +144,50 @@ impl HarnessArgs {
                 }
             }
         }
-        Self { scale, datasets }
+        Self {
+            scale,
+            datasets,
+            jobs,
+            json,
+        }
     }
 
     /// `true` if `dataset` passed the filter.
     pub fn wants(&self, dataset: Dataset) -> bool {
         self.datasets
             .as_ref()
-            .map_or(true, |list| list.iter().any(|n| n == dataset.short_name()))
+            .is_none_or(|list| list.iter().any(|n| n == dataset.short_name()))
+    }
+
+    /// The paper pairs that pass the dataset filter, as a sweep spec over
+    /// `schemes` at the selected scale.
+    pub fn sweep_spec(&self, schemes: &[MmuConfig]) -> SweepSpec {
+        SweepSpec::for_pairs(
+            paper_pairs().into_iter().filter(|(_, d)| self.wants(*d)),
+            schemes,
+            |d| self.scale.divisor(d),
+        )
+    }
+
+    /// Run the filtered paper pairs under `schemes` on the sweep engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any experiment fails — harness binaries have no recovery
+    /// path.
+    pub fn run_graph_sweep(&self, schemes: &[MmuConfig]) -> Vec<CellReports> {
+        run_sweep(&self.sweep_spec(schemes), self.jobs).expect("experiment failed")
+    }
+
+    /// Write `fig` to the `--json` path, if one was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics on filesystem errors.
+    pub fn emit_json(&self, fig: &FigureJson) {
+        if let Some(path) = &self.json {
+            fig.write(path).expect("writing --json output failed");
+        }
     }
 }
 
@@ -187,5 +261,20 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn sweep_spec_respects_filter() {
+        let args = HarnessArgs {
+            scale: Scale::Quick,
+            datasets: Some(vec!["FR".into()]),
+            jobs: 1,
+            json: None,
+        };
+        let spec = args.sweep_spec(&[MmuConfig::Ideal]);
+        // FR appears once per graph workload (BFS, PageRank, SSSP).
+        assert_eq!(spec.cells.len(), 3);
+        assert!(spec.cells.iter().all(|c| c.dataset == Dataset::Flickr));
+        assert_eq!(spec.cells[0].divisor, Scale::Quick.divisor(Dataset::Flickr));
     }
 }

@@ -240,9 +240,12 @@ mod tests {
 
     #[test]
     fn auto_sizing_covers_1g_padding() {
-        let bytes = auto_machine_bytes(300 << 20, MmuConfig::Conventional {
-            page_size: PageSize::Size1G,
-        });
+        let bytes = auto_machine_bytes(
+            300 << 20,
+            MmuConfig::Conventional {
+                page_size: PageSize::Size1G,
+            },
+        );
         assert!(bytes >= 7 << 30);
     }
 }

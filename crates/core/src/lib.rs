@@ -44,10 +44,14 @@
 //! ```
 
 pub mod experiment;
+pub mod sweep;
 pub mod table1;
 
 pub use experiment::{
     flavor_for, run_graph_experiment, run_paper_configs, ExperimentConfig, GraphRunReport,
+};
+pub use sweep::{
+    effective_jobs, parallel_map_ordered, run_sweep, CellReports, SweepCell, SweepSpec,
 };
 pub use table1::{page_table_study, PageTableStudy};
 
@@ -60,6 +64,4 @@ pub use dvm_graph::Dataset;
 pub use dvm_mem::{DramConfig, MachineConfig};
 pub use dvm_mmu::MmuConfig;
 pub use dvm_os::{MapFlavor, Os, OsConfig, ShbenchConfig, ShbenchResult};
-pub use dvm_types::{
-    AccessKind, DvmError, Fault, PageSize, Permission, PhysAddr, VirtAddr,
-};
+pub use dvm_types::{AccessKind, DvmError, Fault, PageSize, Permission, PhysAddr, VirtAddr};

@@ -1,0 +1,306 @@
+//! The sweep engine: one shared execution path for every figure/table
+//! harness, replacing the hand-rolled serial loops the binaries used to
+//! carry individually.
+//!
+//! A [`SweepSpec`] describes a grid of (workload × dataset × scheme)
+//! cells; [`run_sweep`] executes the grid on a scoped-thread worker pool
+//! and returns results **in spec order**, so a parallel run's output is
+//! byte-identical to a serial one. Each dataset's graph is generated once
+//! per (dataset, divisor) key, shared between cells via [`Arc`], and
+//! dropped as soon as its last cell completes — a `--jobs 1` sweep
+//! therefore holds at most as many graphs in memory as the old serial
+//! loops did.
+//!
+//! Every cell is shared-nothing (its own `Os`, IOMMU, DRAM and
+//! accelerator instances), which is what makes the grid embarrassingly
+//! parallel; the only cross-cell state is the read-only input graph.
+
+use crate::experiment::{run_graph_experiment, ExperimentConfig, GraphRunReport};
+use dvm_accel::Workload;
+use dvm_graph::Dataset;
+use dvm_mmu::MmuConfig;
+use dvm_types::DvmError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cell group of a sweep: a (workload, dataset) pair evaluated under
+/// a list of MMU schemes.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Workload to run.
+    pub workload: Workload,
+    /// Input dataset; its graph is generated once and shared.
+    pub dataset: Dataset,
+    /// Power-of-two shrink factor passed to [`Dataset::generate`].
+    pub divisor: u32,
+    /// Schemes to evaluate, in output order.
+    pub schemes: Vec<MmuConfig>,
+}
+
+/// A grid of cells, executed in order.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSpec {
+    /// Cells in output order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepSpec {
+    /// Build a spec from (workload, dataset) pairs sharing one scheme set
+    /// and one divisor policy — the shape of Figures 2, 8 and 9.
+    pub fn for_pairs(
+        pairs: impl IntoIterator<Item = (Workload, Dataset)>,
+        schemes: &[MmuConfig],
+        divisor: impl Fn(Dataset) -> u32,
+    ) -> Self {
+        Self {
+            cells: pairs
+                .into_iter()
+                .map(|(workload, dataset)| SweepCell {
+                    workload,
+                    dataset,
+                    divisor: divisor(dataset),
+                    schemes: schemes.to_vec(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Results of one cell: the pair plus one report per scheme, in the
+/// cell's scheme order.
+#[derive(Debug, Clone)]
+pub struct CellReports {
+    /// Workload that ran.
+    pub workload: Workload,
+    /// Dataset it ran over.
+    pub dataset: Dataset,
+    /// One report per scheme, in the cell's scheme order.
+    pub reports: Vec<GraphRunReport>,
+}
+
+impl CellReports {
+    /// The report for a specific scheme, replacing the positional
+    /// `reports[6]`-style indexing the old binaries relied on.
+    pub fn report_for(&self, mmu: MmuConfig) -> Option<&GraphRunReport> {
+        self.reports.iter().find(|r| r.mmu == mmu)
+    }
+}
+
+/// Resolve a `--jobs` request: `0` means "all available cores".
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    }
+}
+
+/// Apply `f` to every item on a pool of `jobs` scoped worker threads and
+/// return the results **in item order** — the deterministic-ordering
+/// primitive under [`run_sweep`], exported because several harnesses
+/// (Figure 10's CPU grid, Table 4's shbench grid, the nested-translation
+/// study) have shared-nothing grids that are not graph sweeps.
+///
+/// `jobs == 1` (after [`effective_jobs`] resolution) degenerates to a
+/// plain in-order loop on the calling thread.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map_ordered<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A graph generated once and handed to every cell that needs it; the
+/// slot is emptied when the last unit referencing it completes so peak
+/// memory tracks the number of *in-flight* datasets, not the whole grid.
+struct SharedGraph {
+    dataset: Dataset,
+    divisor: u32,
+    slot: Mutex<Option<Arc<dvm_graph::Graph>>>,
+    remaining: AtomicUsize,
+}
+
+impl SharedGraph {
+    fn get(&self) -> Arc<dvm_graph::Graph> {
+        let mut slot = self.slot.lock().expect("graph slot poisoned");
+        slot.get_or_insert_with(|| Arc::new(self.dataset.generate(self.divisor)))
+            .clone()
+    }
+
+    fn release(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *self.slot.lock().expect("graph slot poisoned") = None;
+        }
+    }
+}
+
+/// Execute a sweep on `jobs` worker threads (`0` = all cores).
+///
+/// Results come back in spec order — cell by cell, scheme by scheme —
+/// regardless of `jobs`, so downstream formatting is reproducible across
+/// parallelism levels.
+///
+/// # Errors
+///
+/// Returns the first failing unit's error, in spec order. Remaining units
+/// still run to completion before the error is returned.
+pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> Result<Vec<CellReports>, DvmError> {
+    // One shared graph per distinct (dataset, divisor) key.
+    let mut shared: Vec<SharedGraph> = Vec::new();
+    let mut key_of_cell: Vec<usize> = Vec::with_capacity(spec.cells.len());
+    for cell in &spec.cells {
+        let key = shared
+            .iter()
+            .position(|s| s.dataset == cell.dataset && s.divisor == cell.divisor)
+            .unwrap_or_else(|| {
+                shared.push(SharedGraph {
+                    dataset: cell.dataset,
+                    divisor: cell.divisor,
+                    slot: Mutex::new(None),
+                    remaining: AtomicUsize::new(0),
+                });
+                shared.len() - 1
+            });
+        shared[key]
+            .remaining
+            .fetch_add(cell.schemes.len(), Ordering::Relaxed);
+        key_of_cell.push(key);
+    }
+
+    // Flatten to shared-nothing units: one (cell, scheme) experiment each.
+    struct Unit {
+        cell: usize,
+        workload: Workload,
+        mmu: MmuConfig,
+        key: usize,
+    }
+    let units: Vec<Unit> = spec
+        .cells
+        .iter()
+        .enumerate()
+        .flat_map(|(cell, c)| {
+            let key = key_of_cell[cell];
+            c.schemes.iter().map(move |&mmu| Unit {
+                cell,
+                workload: c.workload,
+                mmu,
+                key,
+            })
+        })
+        .collect();
+
+    let outcomes = parallel_map_ordered(&units, jobs, |unit| {
+        let graph = shared[unit.key].get();
+        let report =
+            run_graph_experiment(&unit.workload, &graph, &ExperimentConfig::for_mmu(unit.mmu));
+        drop(graph);
+        shared[unit.key].release();
+        report
+    });
+
+    // Reassemble in spec order; surface the first error in that order.
+    let mut results: Vec<CellReports> = spec
+        .cells
+        .iter()
+        .map(|c| CellReports {
+            workload: c.workload,
+            dataset: c.dataset,
+            reports: Vec::with_capacity(c.schemes.len()),
+        })
+        .collect();
+    for (unit, outcome) in units.iter().zip(outcomes) {
+        results[unit.cell].reports.push(outcome?);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map_ordered(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_serial() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map_ordered(&empty, 4, |&x| x).is_empty());
+        let items = [1u64, 2, 3];
+        assert_eq!(parallel_map_ordered(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn spec_builder_expands_pairs() {
+        let spec = SweepSpec::for_pairs(
+            [
+                (Workload::Bfs { root: 0 }, Dataset::Flickr),
+                (Workload::Bfs { root: 0 }, Dataset::Netflix),
+            ],
+            &[MmuConfig::Ideal],
+            |_| 1024,
+        );
+        assert_eq!(spec.cells.len(), 2);
+        assert_eq!(spec.cells[1].dataset, Dataset::Netflix);
+        assert_eq!(spec.cells[0].schemes, vec![MmuConfig::Ideal]);
+    }
+
+    #[test]
+    fn report_for_finds_scheme() {
+        let spec = SweepSpec::for_pairs(
+            [(Workload::Bfs { root: 0 }, Dataset::Flickr)],
+            &[MmuConfig::DvmPe { preload: true }, MmuConfig::Ideal],
+            |_| 1024,
+        );
+        let results = run_sweep(&spec, 1).unwrap();
+        assert_eq!(results.len(), 1);
+        let cell = &results[0];
+        assert_eq!(
+            cell.report_for(MmuConfig::Ideal).unwrap().mmu,
+            MmuConfig::Ideal
+        );
+        assert!(cell.report_for(MmuConfig::DvmBitmap).is_none());
+    }
+}

@@ -59,10 +59,7 @@ pub fn page_table_study(graph: &Graph, workload: &Workload) -> Result<PageTableS
         let pid = os.spawn()?;
         let g = layout::load_graph(&mut os, pid, graph, workload.prop_stride())?;
         heap_bytes = g.heap_bytes();
-        let report = os
-            .process(pid)?
-            .page_table
-            .size_report(&os.machine.mem);
+        let report = os.process(pid)?.page_table.size_report(&os.machine.mem);
         reports.push(report);
     }
     Ok(PageTableStudy {
@@ -82,8 +79,7 @@ mod tests {
         // A ~45 MiB heap: big enough that L1 tables dominate (the paper's
         // full-size rows are produced by the table1 harness binary).
         let graph = rmat(18, 12, RmatParams::default(), 2);
-        let study =
-            page_table_study(&graph, &Workload::PageRank { iterations: 1 }).unwrap();
+        let study = page_table_study(&graph, &Workload::PageRank { iterations: 1 }).unwrap();
         // Paper Table 1: L1 PTEs dominate conventional table bytes, and
         // PEs shrink the table by an order of magnitude.
         assert!(

@@ -5,8 +5,8 @@
 
 use dvm_energy::{EnergyAccount, EnergyParams, MmEvent};
 use dvm_mem::PhysMem;
-use dvm_pagetable::PageTable;
 use dvm_mmu::{Associativity, PtCache, PtCacheConfig, PtcLookup, Tlb, TlbConfig, TlbEntry};
+use dvm_pagetable::PageTable;
 use dvm_sim::{Counter, Cycles, RatioStat};
 use dvm_types::{PageSize, VirtAddr};
 

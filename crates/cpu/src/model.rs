@@ -191,7 +191,9 @@ mod tests {
             .unwrap()
             .overhead_percent();
         for w in [CpuWorkload::Bt, CpuWorkload::Cg] {
-            let o = evaluate(w, CpuScheme::Base4K, &cfg).unwrap().overhead_percent();
+            let o = evaluate(w, CpuScheme::Base4K, &cfg)
+                .unwrap()
+                .overhead_percent();
             assert!(mcf > o, "mcf {mcf:.1}% vs {w} {o:.1}%");
         }
     }

@@ -135,10 +135,26 @@ mod tests {
         Graph::from_edges(
             4,
             vec![
-                Edge { src: 0, dst: 1, weight: 1.0 },
-                Edge { src: 0, dst: 2, weight: 1.0 },
-                Edge { src: 1, dst: 3, weight: 1.0 },
-                Edge { src: 2, dst: 3, weight: 1.0 },
+                Edge {
+                    src: 0,
+                    dst: 1,
+                    weight: 1.0,
+                },
+                Edge {
+                    src: 0,
+                    dst: 2,
+                    weight: 1.0,
+                },
+                Edge {
+                    src: 1,
+                    dst: 3,
+                    weight: 1.0,
+                },
+                Edge {
+                    src: 2,
+                    dst: 3,
+                    weight: 1.0,
+                },
             ],
         )
     }
@@ -156,8 +172,16 @@ mod tests {
         let g = Graph::from_edges(
             3,
             vec![
-                Edge { src: 2, dst: 0, weight: 1.0 },
-                Edge { src: 0, dst: 1, weight: 1.0 },
+                Edge {
+                    src: 2,
+                    dst: 0,
+                    weight: 1.0,
+                },
+                Edge {
+                    src: 0,
+                    dst: 1,
+                    weight: 1.0,
+                },
             ],
         );
         assert_eq!(g.edges()[0].src, 0);
@@ -183,7 +207,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "beyond")]
     fn rejects_out_of_range_edges() {
-        Graph::from_edges(2, vec![Edge { src: 0, dst: 5, weight: 1.0 }]);
+        Graph::from_edges(
+            2,
+            vec![Edge {
+                src: 0,
+                dst: 5,
+                weight: 1.0,
+            }],
+        );
     }
 
     #[test]

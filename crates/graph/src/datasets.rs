@@ -151,8 +151,7 @@ impl Dataset {
             None => {
                 let target_v = (spec.vertices / scale_div as u64).max(1024);
                 let scale = 63 - target_v.next_power_of_two().leading_zeros();
-                let edgefactor =
-                    ((spec.edges / spec.vertices) as u32).max(1);
+                let edgefactor = ((spec.edges / spec.vertices) as u32).max(1);
                 rmat(scale, edgefactor, RmatParams::default(), seed)
             }
             Some((users, items)) => {

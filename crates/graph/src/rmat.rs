@@ -4,8 +4,7 @@
 //! collaborative-filtering graphs.
 
 use crate::csr::{Edge, Graph};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use dvm_sim::DetRng;
 
 /// R-MAT quadrant probabilities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,23 +51,23 @@ pub fn rmat(scale: u32, edgefactor: u32, params: RmatParams, seed: u64) -> Graph
     assert!((1..=31).contains(&scale), "scale out of range");
     let n = 1u32 << scale;
     let num_edges = n as u64 * edgefactor as u64;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     let mut edges = Vec::with_capacity(num_edges as usize);
     for _ in 0..num_edges {
         let (src, dst) = rmat_edge(scale, params, &mut rng);
-        let weight = rng.gen_range(1.0f32..64.0);
+        let weight = 1.0 + (rng.unit() * 63.0) as f32;
         edges.push(Edge { src, dst, weight });
     }
     Graph::from_edges(n, edges)
 }
 
-fn rmat_edge(scale: u32, params: RmatParams, rng: &mut SmallRng) -> (u32, u32) {
+fn rmat_edge(scale: u32, params: RmatParams, rng: &mut DetRng) -> (u32, u32) {
     let mut src = 0u32;
     let mut dst = 0u32;
     for _ in 0..scale {
         src <<= 1;
         dst <<= 1;
-        let r: f64 = rng.gen();
+        let r: f64 = rng.unit();
         if r < params.a {
             // top-left: neither bit set
         } else if r < params.a + params.b {
@@ -142,7 +141,10 @@ mod tests {
         // RMAT graphs are hub-heavy: the max out-degree should far exceed
         // the mean (16).
         let g = rmat(12, 16, RmatParams::default(), 3);
-        let max_deg = (0..g.num_vertices()).map(|v| g.out_degree(v)).max().unwrap();
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.out_degree(v))
+            .max()
+            .unwrap();
         assert!(max_deg > 100, "max degree {max_deg} not hub-like");
     }
 
@@ -154,7 +156,10 @@ mod tests {
             c: 0.25,
         };
         let g = rmat(12, 16, uniform, 3);
-        let max_deg = (0..g.num_vertices()).map(|v| g.out_degree(v)).max().unwrap();
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.out_degree(v))
+            .max()
+            .unwrap();
         assert!(max_deg < 60, "uniform max degree {max_deg} too skewed");
     }
 

@@ -159,7 +159,9 @@ impl BuddyAllocator {
             return Err(DvmError::InvalidArgument("cannot allocate zero frames"));
         }
         if align == 0 || !align.is_power_of_two() {
-            return Err(DvmError::InvalidArgument("alignment must be a power of two"));
+            return Err(DvmError::InvalidArgument(
+                "alignment must be a power of two",
+            ));
         }
         // Coalesce the free lists into address-ordered runs.
         let mut blocks: Vec<(u64, u64)> = Vec::new();
@@ -272,9 +274,9 @@ impl BuddyAllocator {
             Some(&count) if count == range.count => {
                 self.allocated.remove(&range.start);
             }
-            other => panic!(
-                "free of untracked range {range:?} (allocator has {other:?} at that start)"
-            ),
+            other => {
+                panic!("free of untracked range {range:?} (allocator has {other:?} at that start)")
+            }
         }
         self.release_span(range.start, range.count);
     }
@@ -367,7 +369,7 @@ impl BuddyAllocator {
 
     /// Free one naturally aligned block of `order`, merging with buddies.
     fn put_block(&mut self, mut start: u64, mut order: u32) {
-        debug_assert!(start % (1u64 << order) == 0, "unaligned block free");
+        debug_assert!(start.is_multiple_of(1u64 << order), "unaligned block free");
         loop {
             if order >= self.max_order {
                 break;
@@ -627,7 +629,10 @@ mod tests {
         assert!(!got.contains(&37));
         assert!(b.alloc_frames(1).is_err());
         // Free 37 and everything merges back.
-        b.free_frames(FrameRange { start: 37, count: 1 });
+        b.free_frames(FrameRange {
+            start: 37,
+            count: 1,
+        });
         for f in got {
             b.free_frames(FrameRange { start: f, count: 1 });
         }

@@ -74,7 +74,7 @@ impl Machine {
     pub fn new(config: MachineConfig) -> Self {
         assert!(config.mem_bytes > 0, "machine must have memory");
         assert!(
-            config.mem_bytes % PAGE_SIZE == 0,
+            config.mem_bytes.is_multiple_of(PAGE_SIZE),
             "memory size must be page aligned"
         );
         let frames = config.mem_bytes / PAGE_SIZE;

@@ -13,12 +13,12 @@
 
 use crate::ptcache::{PtCache, PtCacheConfig, PtcLookup};
 use crate::tlb::{Associativity, Tlb, TlbConfig, TlbEntry};
+use core::fmt;
 use dvm_energy::{EnergyAccount, EnergyParams, MmEvent};
 use dvm_mem::{Dram, PhysMem};
 use dvm_pagetable::{PageTable, PermBitmap, Walk, WalkOutcome};
 use dvm_sim::{Counter, Cycles, RatioStat};
 use dvm_types::{AccessKind, Fault, FaultKind, PageSize, Permission, PhysAddr, VirtAddr};
-use core::fmt;
 
 /// Memory-management scheme simulated by the IOMMU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,9 +43,15 @@ impl MmuConfig {
     /// The seven configurations evaluated in Figures 8 and 9, in the
     /// paper's order.
     pub const PAPER_SET: [MmuConfig; 7] = [
-        MmuConfig::Conventional { page_size: PageSize::Size4K },
-        MmuConfig::Conventional { page_size: PageSize::Size2M },
-        MmuConfig::Conventional { page_size: PageSize::Size1G },
+        MmuConfig::Conventional {
+            page_size: PageSize::Size4K,
+        },
+        MmuConfig::Conventional {
+            page_size: PageSize::Size2M,
+        },
+        MmuConfig::Conventional {
+            page_size: PageSize::Size1G,
+        },
         MmuConfig::DvmBitmap,
         MmuConfig::DvmPe { preload: false },
         MmuConfig::DvmPe { preload: true },
@@ -55,9 +61,15 @@ impl MmuConfig {
     /// The paper's display name for this configuration.
     pub fn name(&self) -> &'static str {
         match self {
-            MmuConfig::Conventional { page_size: PageSize::Size4K } => "4K,TLB+PWC",
-            MmuConfig::Conventional { page_size: PageSize::Size2M } => "2M,TLB+PWC",
-            MmuConfig::Conventional { page_size: PageSize::Size1G } => "1G,TLB+PWC",
+            MmuConfig::Conventional {
+                page_size: PageSize::Size4K,
+            } => "4K,TLB+PWC",
+            MmuConfig::Conventional {
+                page_size: PageSize::Size2M,
+            } => "2M,TLB+PWC",
+            MmuConfig::Conventional {
+                page_size: PageSize::Size1G,
+            } => "1G,TLB+PWC",
             MmuConfig::DvmBitmap => "DVM-BM",
             MmuConfig::DvmPe { preload: false } => "DVM-PE",
             MmuConfig::DvmPe { preload: true } => "DVM-PE+",
@@ -188,9 +200,7 @@ impl Iommu {
                     cache_l1: true,
                 })),
             ),
-            MmuConfig::DvmPe { .. } => {
-                (None, Some(PtCache::new(PtCacheConfig::paper_avc())), None)
-            }
+            MmuConfig::DvmPe { .. } => (None, Some(PtCache::new(PtCacheConfig::paper_avc())), None),
             MmuConfig::Ideal => (None, None, None),
         };
         Self {
@@ -301,12 +311,7 @@ impl Iommu {
         }
     }
 
-    fn check(
-        &mut self,
-        perms: Permission,
-        va: VirtAddr,
-        kind: AccessKind,
-    ) -> Result<(), Fault> {
+    fn check(&mut self, perms: Permission, va: VirtAddr, kind: AccessKind) -> Result<(), Fault> {
         if !perms.is_mapped() {
             return Err(self.fault(va, kind, FaultKind::NotMapped));
         }
@@ -509,7 +514,10 @@ impl Iommu {
         self.energy.record(tlb_event);
         let tlb_hit = self.tlb.as_mut().expect("fallback TLB").lookup(va);
         let word_pa = bitmap.entry_pa(vpn);
-        let cache = self.bitmap_cache.as_mut().expect("DVM-BM has a bitmap cache");
+        let cache = self
+            .bitmap_cache
+            .as_mut()
+            .expect("DVM-BM has a bitmap cache");
         let (hit, dav_latency) = match cache.access(word_pa, 2) {
             PtcLookup::Hit => (true, 1),
             _ => {

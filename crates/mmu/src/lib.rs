@@ -47,7 +47,7 @@ pub mod ptcache;
 pub mod tlb;
 
 pub use iommu::{Iommu, IommuStats, MmuConfig, Validation};
-pub use nested::{NestedScheme, NestedTranslation, NestedWalker};
 pub use memsys::MemSystem;
+pub use nested::{NestedScheme, NestedTranslation, NestedWalker};
 pub use ptcache::{PtCache, PtCacheConfig, PtcLookup};
 pub use tlb::{Associativity, Tlb, TlbConfig, TlbEntry};

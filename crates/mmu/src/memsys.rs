@@ -223,7 +223,12 @@ mod tests {
             Permission::ReadWrite,
         )
         .unwrap();
-        bitmap.set_bytes(&mut mem, VirtAddr::new(16 << 20), 1 << 20, Permission::ReadWrite);
+        bitmap.set_bytes(
+            &mut mem,
+            VirtAddr::new(16 << 20),
+            1 << 20,
+            Permission::ReadWrite,
+        );
         // A non-identity 4K page NOT in the bitmap (00 -> fallback).
         let alien_va = VirtAddr::new(64 << 20);
         let alien_pa = dvm_types::PhysAddr::new(32 << 20);
@@ -301,7 +306,9 @@ mod tests {
             mem: &mut mem,
             dram: &mut dram,
         };
-        let lat = sys.access(VirtAddr::new(16 << 20), AccessKind::Read).unwrap();
+        let lat = sys
+            .access(VirtAddr::new(16 << 20), AccessKind::Read)
+            .unwrap();
         assert_eq!(lat, sys.dram.config().occupancy_cycles);
         assert_eq!(sys.iommu.energy.total_pj(), 0.0);
     }

@@ -229,7 +229,11 @@ mod tests {
             c.access(PhysAddr::new(t), 2);
         }
         for &t in &tables {
-            assert_eq!(c.access(PhysAddr::new(t), 2), PtcLookup::Hit, "table {t:#x}");
+            assert_eq!(
+                c.access(PhysAddr::new(t), 2),
+                PtcLookup::Hit,
+                "table {t:#x}"
+            );
         }
     }
 

@@ -99,7 +99,10 @@ impl Tlb {
         let store = match config.assoc {
             Associativity::Full => Store::Full(HashMap::with_capacity(config.entries as usize)),
             Associativity::SetAssociative { ways } => {
-                assert!(ways > 0 && config.entries % ways == 0, "ways must divide entries");
+                assert!(
+                    ways > 0 && config.entries.is_multiple_of(ways),
+                    "ways must divide entries"
+                );
                 let sets = (config.entries / ways) as usize;
                 Store::Sets(vec![Vec::with_capacity(ways as usize); sets])
             }
@@ -247,7 +250,10 @@ mod tests {
         assert!(tlb.lookup(va_of(0, PageSize::Size4K)).is_some());
         tlb.insert(entry(99));
         assert!(tlb.lookup(va_of(0, PageSize::Size4K)).is_some());
-        assert!(tlb.lookup(va_of(1, PageSize::Size4K)).is_none(), "1 was LRU");
+        assert!(
+            tlb.lookup(va_of(1, PageSize::Size4K)).is_none(),
+            "1 was LRU"
+        );
         assert!(tlb.lookup(va_of(99, PageSize::Size4K)).is_some());
         assert_eq!(tlb.occupancy(), 4);
     }

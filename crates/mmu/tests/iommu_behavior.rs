@@ -26,7 +26,14 @@ fn rig(config: MmuConfig, span: u64) -> Rig {
     };
     match config {
         MmuConfig::Conventional { page_size } => pt
-            .map_identity_leaves(&mut mem, &mut alloc, base, span, Permission::ReadWrite, page_size)
+            .map_identity_leaves(
+                &mut mem,
+                &mut alloc,
+                base,
+                span,
+                Permission::ReadWrite,
+                page_size,
+            )
             .unwrap(),
         _ => pt
             .map_identity_pe(&mut mem, &mut alloc, base, span, Permission::ReadWrite)
@@ -60,7 +67,9 @@ fn sweep(iommu: &mut Iommu, rig: &mut Rig, accesses: u64, stride: u64) {
 
 #[test]
 fn conventional_charges_fa_tlb_energy_per_access() {
-    let config = MmuConfig::Conventional { page_size: PageSize::Size4K };
+    let config = MmuConfig::Conventional {
+        page_size: PageSize::Size4K,
+    };
     let mut rig = rig(config, 32 << 20);
     let mut iommu = Iommu::new(config, EnergyParams::default());
     sweep(&mut iommu, &mut rig, 1000, 64);
@@ -100,7 +109,9 @@ fn walker_occupancy_orders_schemes() {
     let span = 32 << 20;
     let mut busy = Vec::new();
     for config in [
-        MmuConfig::Conventional { page_size: PageSize::Size4K },
+        MmuConfig::Conventional {
+            page_size: PageSize::Size4K,
+        },
         MmuConfig::DvmPe { preload: false },
         MmuConfig::Ideal,
     ] {
@@ -116,7 +127,9 @@ fn walker_occupancy_orders_schemes() {
 
 #[test]
 fn flush_forgets_cached_state() {
-    let config = MmuConfig::Conventional { page_size: PageSize::Size4K };
+    let config = MmuConfig::Conventional {
+        page_size: PageSize::Size4K,
+    };
     let mut rig = rig(config, 1 << 20);
     let mut iommu = Iommu::new(config, EnergyParams::default());
     sweep(&mut iommu, &mut rig, 10, 64);
@@ -156,7 +169,9 @@ fn preload_counters_balance() {
 
 #[test]
 fn reset_stats_keeps_cached_state() {
-    let config = MmuConfig::Conventional { page_size: PageSize::Size2M };
+    let config = MmuConfig::Conventional {
+        page_size: PageSize::Size2M,
+    };
     let mut rig = rig(config, 4 << 20);
     let mut iommu = Iommu::new(config, EnergyParams::default());
     sweep(&mut iommu, &mut rig, 100, 4096);

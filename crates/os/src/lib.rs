@@ -36,7 +36,7 @@ pub mod shbench;
 pub mod swap;
 
 pub use malloc::{Malloc, MMAP_THRESHOLD, POOL_BYTES};
-pub use swap::SwapStore;
 pub use os::{MapFlavor, Os, OsConfig, OsStats};
 pub use process::{Backing, Pid, Process, Vma, VmaKind};
 pub use shbench::{ShbenchConfig, ShbenchResult};
+pub use swap::SwapStore;

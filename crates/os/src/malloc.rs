@@ -162,12 +162,14 @@ impl Malloc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvm_mem::MachineConfig;
     use crate::os::OsConfig;
+    use dvm_mem::MachineConfig;
 
     fn small_os() -> Os {
         Os::new(OsConfig {
-            machine: MachineConfig { mem_bytes: 256 << 20 },
+            machine: MachineConfig {
+                mem_bytes: 256 << 20,
+            },
             ..OsConfig::default()
         })
     }

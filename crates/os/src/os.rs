@@ -169,7 +169,8 @@ impl Os {
         // ASLR for the demand-paged area: 28 bits of entropy, page shifted,
         // parked above any possible physical address (§4.3.2).
         let demand_base = (1u64 << 46) + (self.rng.below(1 << 28) << 12);
-        self.processes.insert(pid, Process::new(pid, pt, demand_base));
+        self.processes
+            .insert(pid, Process::new(pid, pt, demand_base));
         Ok(pid)
     }
 
@@ -454,7 +455,11 @@ impl Os {
 
         for vma in parent_vmas {
             let writable = vma.perms.allows(AccessKind::Write);
-            let hw_perms = if writable { Permission::ReadOnly } else { vma.perms };
+            let hw_perms = if writable {
+                Permission::ReadOnly
+            } else {
+                vma.perms
+            };
 
             // Share every currently backing frame.
             for page in 0..vma.pages() {
@@ -673,10 +678,9 @@ impl Os {
                 Backing::Paged(frames) => {
                     for &f in frames {
                         self.machine.mem.discard_frame(f);
-                        self.machine.allocator.free_subrange(FrameRange {
-                            start: f,
-                            count: 1,
-                        });
+                        self.machine
+                            .allocator
+                            .free_subrange(FrameRange { start: f, count: 1 });
                     }
                 }
             }
@@ -710,9 +714,10 @@ impl Os {
         match self.frame_refs.get_mut(&frame) {
             None => {
                 self.machine.mem.discard_frame(frame);
-                self.machine
-                    .allocator
-                    .free_subrange(FrameRange { start: frame, count: 1 });
+                self.machine.allocator.free_subrange(FrameRange {
+                    start: frame,
+                    count: 1,
+                });
             }
             Some(n) if *n > 2 => *n -= 1,
             Some(_) => {
@@ -770,7 +775,9 @@ impl Os {
                     kind: FaultKind::Protection,
                 }));
             }
-            self.machine.mem.read_bytes(pa, &mut buf[offset..offset + n]);
+            self.machine
+                .mem
+                .read_bytes(pa, &mut buf[offset..offset + n]);
             offset += n;
         }
         Ok(())

@@ -82,7 +82,10 @@ impl Os {
 
         // Convert the PE (or leaf) to a not-present entry. (Direct field
         // access keeps `self.machine` borrowable alongside the process.)
-        let proc = self.processes.get_mut(&pid).expect("existence checked above");
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .expect("existence checked above");
         proc.page_table.unmap_region(
             &mut self.machine.mem,
             &mut self.machine.allocator,
@@ -146,7 +149,10 @@ impl Os {
             .mem
             .write_bytes(PhysAddr::from_frame(frame), &data);
 
-        let proc = self.processes.get_mut(&pid).expect("existence checked above");
+        let proc = self
+            .processes
+            .get_mut(&pid)
+            .expect("existence checked above");
         proc.page_table.remap_page(
             &mut self.machine.mem,
             &mut self.machine.allocator,
@@ -185,7 +191,9 @@ mod tests {
 
     fn small_os() -> Os {
         Os::new(OsConfig {
-            machine: MachineConfig { mem_bytes: 64 << 20 },
+            machine: MachineConfig {
+                mem_bytes: 64 << 20,
+            },
             ..OsConfig::default()
         })
     }
@@ -266,7 +274,11 @@ mod tests {
             if i == 5 {
                 assert!(os.translate(pid, buf + i * PAGE_SIZE).is_none());
             } else {
-                assert_eq!(os.read_u64(pid, buf + i * PAGE_SIZE).unwrap(), i, "page {i}");
+                assert_eq!(
+                    os.read_u64(pid, buf + i * PAGE_SIZE).unwrap(),
+                    i,
+                    "page {i}"
+                );
             }
         }
         os.swap_in(pid, victim, &mut store).unwrap();

@@ -7,7 +7,9 @@ use dvm_types::{DvmError, PageSize, Permission, VirtAddr, PAGE_SIZE};
 
 fn small_os() -> Os {
     Os::new(OsConfig {
-        machine: MachineConfig { mem_bytes: 256 << 20 },
+        machine: MachineConfig {
+            mem_bytes: 256 << 20,
+        },
         ..OsConfig::default()
     })
 }
@@ -15,7 +17,9 @@ fn small_os() -> Os {
 #[test]
 fn mmap_is_identity_until_memory_pressure() {
     let mut os = Os::new(OsConfig {
-        machine: MachineConfig { mem_bytes: 64 << 20 },
+        machine: MachineConfig {
+            mem_bytes: 64 << 20,
+        },
         ..OsConfig::default()
     });
     let pid = os.spawn().unwrap();
@@ -35,7 +39,10 @@ fn mmap_is_identity_until_memory_pressure() {
             Err(e) => panic!("unexpected: {e}"),
         }
     }
-    assert!(identity >= 6, "most of 64 MiB should identity-map: {identity}");
+    assert!(
+        identity >= 6,
+        "most of 64 MiB should identity-map: {identity}"
+    );
     // The Figure 7 fallback path engaged before hard failure (the final
     // attempt may fall back and then fail outright, so the stat can
     // exceed the successful-fallback count).
@@ -45,7 +52,9 @@ fn mmap_is_identity_until_memory_pressure() {
 #[test]
 fn demand_paged_fallback_is_usable_and_non_identity() {
     let mut os = Os::new(OsConfig {
-        machine: MachineConfig { mem_bytes: 256 << 20 },
+        machine: MachineConfig {
+            mem_bytes: 256 << 20,
+        },
         identity_enabled: false, // ablation: force the fallback path
         ..OsConfig::default()
     });
@@ -159,7 +168,9 @@ fn mprotect_changes_permissions_without_breaking_identity() {
 #[test]
 fn bitmap_tracks_mappings_when_enabled() {
     let mut os = Os::new(OsConfig {
-        machine: MachineConfig { mem_bytes: 256 << 20 },
+        machine: MachineConfig {
+            mem_bytes: 256 << 20,
+        },
         maintain_bitmap: true,
         ..OsConfig::default()
     });
@@ -167,10 +178,7 @@ fn bitmap_tracks_mappings_when_enabled() {
     let buf = os.mmap(pid, 128 << 10, Permission::ReadWrite).unwrap();
     let bitmap = os.bitmap.expect("bitmap maintained");
     let vpn = buf.raw() / PAGE_SIZE;
-    assert_eq!(
-        bitmap.perms_of(&os.machine.mem, vpn),
-        Permission::ReadWrite
-    );
+    assert_eq!(bitmap.perms_of(&os.machine.mem, vpn), Permission::ReadWrite);
     os.munmap(pid, buf).unwrap();
     assert_eq!(bitmap.perms_of(&os.machine.mem, vpn), Permission::None);
 }
@@ -178,7 +186,9 @@ fn bitmap_tracks_mappings_when_enabled() {
 #[test]
 fn bitmap_goes_conservative_on_cow() {
     let mut os = Os::new(OsConfig {
-        machine: MachineConfig { mem_bytes: 256 << 20 },
+        machine: MachineConfig {
+            mem_bytes: 256 << 20,
+        },
         maintain_bitmap: true,
         ..OsConfig::default()
     });
@@ -228,10 +238,7 @@ fn segment_kinds_are_recorded() {
     assert_eq!(proc.vma_at(code).unwrap().kind, VmaKind::Code);
     assert_eq!(proc.vma_at(stack).unwrap().kind, VmaKind::Stack);
     // Executing code is allowed, writing it is not.
-    assert_eq!(
-        os.translate(pid, code).unwrap().1,
-        Permission::ReadExec
-    );
+    assert_eq!(os.translate(pid, code).unwrap().1, Permission::ReadExec);
 }
 
 #[test]
@@ -239,7 +246,9 @@ fn aslr_varies_demand_area_between_seeds() {
     let mut bases = std::collections::HashSet::new();
     for seed in 0..8 {
         let mut os = Os::new(OsConfig {
-            machine: MachineConfig { mem_bytes: 64 << 20 },
+            machine: MachineConfig {
+                mem_bytes: 64 << 20,
+            },
             identity_enabled: false,
             aslr_seed: seed,
             ..OsConfig::default()

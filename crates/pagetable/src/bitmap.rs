@@ -80,13 +80,7 @@ impl PermBitmap {
     /// # Panics
     ///
     /// Panics if the range exceeds the bitmap's reach.
-    pub fn set_range(
-        &self,
-        mem: &mut PhysMem,
-        start_vpn: u64,
-        count: u64,
-        perms: Permission,
-    ) {
+    pub fn set_range(&self, mem: &mut PhysMem, start_vpn: u64, count: u64, perms: Permission) {
         assert!(
             start_vpn + count <= self.pages_covered,
             "bitmap range [{start_vpn}, +{count}) beyond reach {}",
@@ -103,7 +97,7 @@ impl PermBitmap {
 
     /// Record permissions for a byte range (4 KiB-aligned).
     pub fn set_bytes(&self, mem: &mut PhysMem, start: VirtAddr, len: u64, perms: Permission) {
-        debug_assert!(start.raw() % PAGE_SIZE == 0 && len % PAGE_SIZE == 0);
+        debug_assert!(start.raw().is_multiple_of(PAGE_SIZE) && len.is_multiple_of(PAGE_SIZE));
         self.set_range(mem, start.raw() / PAGE_SIZE, len / PAGE_SIZE, perms);
     }
 

@@ -4,7 +4,7 @@
 //! are L1 PTE pages, and Permission Entries eliminate almost all of them
 //! by terminating translation at L2 or above.
 
-use crate::entry::{ENTRIES_PER_TABLE};
+use crate::entry::ENTRIES_PER_TABLE;
 use crate::table::{PageTable, TOP_LEVEL};
 use crate::Pte;
 use dvm_mem::PhysMem;

@@ -21,9 +21,7 @@
 use crate::entry::{Pte, ENTRIES_PER_TABLE, ENTRY_BYTES, PE_FIELDS};
 use crate::walk::{Walk, WalkOutcome, WalkStep};
 use dvm_mem::{BuddyAllocator, FrameRange, PhysMem};
-use dvm_types::{
-    align_down, DvmError, PageSize, Permission, PhysAddr, VirtAddr, PAGE_SIZE,
-};
+use dvm_types::{align_down, DvmError, PageSize, Permission, PhysAddr, VirtAddr, PAGE_SIZE};
 
 /// Root level of the table (PML4).
 pub const TOP_LEVEL: u8 = 4;
@@ -293,7 +291,17 @@ impl PageTable {
         if let Some(va) = self.first_mapped_in(mem, start, len) {
             return Err(DvmError::VaRangeBusy { va, len });
         }
-        self.map_pe_rec(mem, alloc, TOP_LEVEL, self.root_frame, 0, lo, hi, perms, fields)
+        self.map_pe_rec(
+            mem,
+            alloc,
+            TOP_LEVEL,
+            self.root_frame,
+            0,
+            lo,
+            hi,
+            perms,
+            fields,
+        )
     }
 
     /// Identity-map `[start, start+len)` with conventional leaf PTEs,
@@ -320,10 +328,7 @@ impl PageTable {
         while cursor < hi {
             let mut chosen = PageSize::Size4K;
             for page in [PageSize::Size1G, PageSize::Size2M] {
-                if page <= max_page
-                    && cursor % page.bytes() == 0
-                    && cursor + page.bytes() <= hi
-                {
+                if page <= max_page && cursor % page.bytes() == 0 && cursor + page.bytes() <= hi {
                     chosen = page;
                     break;
                 }
@@ -393,7 +398,7 @@ impl PageTable {
         if len == 0 {
             return Err(DvmError::InvalidArgument("zero-length range"));
         }
-        if !start.is_page_aligned(PageSize::Size4K) || len % PAGE_SIZE != 0 {
+        if !start.is_page_aligned(PageSize::Size4K) || !len.is_multiple_of(PAGE_SIZE) {
             return Err(DvmError::InvalidArgument("range not 4K aligned"));
         }
         let hi = start
@@ -505,8 +510,8 @@ impl PageTable {
             // Effective slot: coarser when fewer fields are available.
             let slot = slot_span(level) * (PE_FIELDS as u64 / fields as u64);
             let pe_able = level >= 2
-                && seg_lo % slot == 0
-                && seg_hi % slot == 0
+                && seg_lo.is_multiple_of(slot)
+                && seg_hi.is_multiple_of(slot)
                 && (!pte.is_present() || pte.is_pe());
             if pe_able {
                 let mut pe = if pte.is_present() {
@@ -552,7 +557,15 @@ impl PageTable {
                     });
                 };
                 self.map_pe_rec(
-                    mem, alloc, level - 1, child, entry_lo, seg_lo, seg_hi, perms, fields,
+                    mem,
+                    alloc,
+                    level - 1,
+                    child,
+                    entry_lo,
+                    seg_lo,
+                    seg_hi,
+                    perms,
+                    fields,
                 )?;
             }
         }
@@ -586,7 +599,7 @@ impl PageTable {
             }
             if pte.is_pe() {
                 let slot = slot_span(level);
-                if seg_lo % slot == 0 && seg_hi % slot == 0 {
+                if seg_lo.is_multiple_of(slot) && seg_hi.is_multiple_of(slot) {
                     let mut pe = pte;
                     let f_lo = ((seg_lo - entry_lo) / slot) as usize;
                     let f_hi = ((seg_hi - entry_lo) / slot) as usize;
@@ -654,7 +667,7 @@ impl PageTable {
             }
             if pte.is_pe() {
                 let slot = slot_span(level);
-                if seg_lo % slot == 0 && seg_hi % slot == 0 {
+                if seg_lo.is_multiple_of(slot) && seg_hi.is_multiple_of(slot) {
                     let mut pe = pte;
                     let f_lo = ((seg_lo - entry_lo) / slot) as usize;
                     let f_hi = ((seg_hi - entry_lo) / slot) as usize;
@@ -666,14 +679,32 @@ impl PageTable {
                     Self::write_entry(mem, frame, idx, pe);
                 } else {
                     let child = self.demote_entry(mem, alloc, frame, idx, level, entry_lo)?;
-                    self.protect_rec(mem, alloc, level - 1, child, entry_lo, seg_lo, seg_hi, perms)?;
+                    self.protect_rec(
+                        mem,
+                        alloc,
+                        level - 1,
+                        child,
+                        entry_lo,
+                        seg_lo,
+                        seg_hi,
+                        perms,
+                    )?;
                 }
             } else if pte.is_leaf() {
                 if full || level == 1 {
                     Self::write_entry(mem, frame, idx, Pte::leaf(pte.pfn(), perms));
                 } else {
                     let child = self.demote_entry(mem, alloc, frame, idx, level, entry_lo)?;
-                    self.protect_rec(mem, alloc, level - 1, child, entry_lo, seg_lo, seg_hi, perms)?;
+                    self.protect_rec(
+                        mem,
+                        alloc,
+                        level - 1,
+                        child,
+                        entry_lo,
+                        seg_lo,
+                        seg_hi,
+                        perms,
+                    )?;
                 }
             } else {
                 self.protect_rec(

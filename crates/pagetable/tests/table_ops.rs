@@ -52,7 +52,10 @@ fn large_identity_region_uses_l3_pe() {
     match walk.outcome {
         WalkOutcome::PermissionEntry { perms, level } => {
             assert_eq!(perms, Permission::ReadOnly);
-            assert_eq!(level, 3, "64 MiB-aligned 128 MiB region should use an L3 PE");
+            assert_eq!(
+                level, 3,
+                "64 MiB-aligned 128 MiB region should use an L3 PE"
+            );
         }
         other => panic!("expected L3 PE, got {other:?}"),
     }
@@ -112,8 +115,14 @@ fn gaps_between_pe_slots_fault() {
     let mut pt = new_pt(&mut mem, &mut alloc);
     let base = VirtAddr::new(512 * MB);
     // Map only the first 128 KiB slot of a 2 MiB entry.
-    pt.map_identity_pe(&mut mem, &mut alloc, base, 128 * 1024, Permission::ReadWrite)
-        .unwrap();
+    pt.map_identity_pe(
+        &mut mem,
+        &mut alloc,
+        base,
+        128 * 1024,
+        Permission::ReadWrite,
+    )
+    .unwrap();
     // Probe inside the same 2 MiB entry but a different slot: PE with 00.
     let gap = base + 512 * 1024;
     match pt.walk(&mem, gap).outcome {
@@ -128,8 +137,14 @@ fn two_regions_share_one_pe() {
     let (mut mem, mut alloc) = setup();
     let mut pt = new_pt(&mut mem, &mut alloc);
     let base = VirtAddr::new(1024 * MB);
-    pt.map_identity_pe(&mut mem, &mut alloc, base, 128 * 1024, Permission::ReadWrite)
-        .unwrap();
+    pt.map_identity_pe(
+        &mut mem,
+        &mut alloc,
+        base,
+        128 * 1024,
+        Permission::ReadWrite,
+    )
+    .unwrap();
     pt.map_identity_pe(
         &mut mem,
         &mut alloc,
@@ -141,10 +156,7 @@ fn two_regions_share_one_pe() {
     // Both live in the same L2 PE with different slot permissions.
     let report = pt.size_report(&mem);
     assert_eq!(report.pe_entries[1], 1);
-    assert_eq!(
-        pt.translate(&mem, base).unwrap().1,
-        Permission::ReadWrite
-    );
+    assert_eq!(pt.translate(&mem, base).unwrap().1, Permission::ReadWrite);
     assert_eq!(
         pt.translate(&mem, base + 128 * 1024).unwrap().1,
         Permission::ReadOnly
@@ -161,12 +173,21 @@ fn double_map_is_busy_and_atomic() {
     let before = pt.size_report(&mem);
     // Overlapping map fails...
     let err = pt
-        .map_identity_pe(&mut mem, &mut alloc, base + MB, 2 * MB, Permission::ReadOnly)
+        .map_identity_pe(
+            &mut mem,
+            &mut alloc,
+            base + MB,
+            2 * MB,
+            Permission::ReadOnly,
+        )
         .unwrap_err();
     assert!(matches!(err, DvmError::VaRangeBusy { .. }));
     // ...and changed nothing.
     assert_eq!(pt.size_report(&mem), before);
-    assert_eq!(pt.translate(&mem, base + MB).unwrap().1, Permission::ReadWrite);
+    assert_eq!(
+        pt.translate(&mem, base + MB).unwrap().1,
+        Permission::ReadWrite
+    );
     assert_eq!(pt.translate(&mem, base + 3 * MB), None);
 }
 
@@ -176,8 +197,15 @@ fn map_page_non_identity_translation() {
     let mut pt = new_pt(&mut mem, &mut alloc);
     let va = VirtAddr::new(40 * MB);
     let pa = PhysAddr::new(80 * MB);
-    pt.map_page(&mut mem, &mut alloc, va, pa, PageSize::Size4K, Permission::ReadWrite)
-        .unwrap();
+    pt.map_page(
+        &mut mem,
+        &mut alloc,
+        va,
+        pa,
+        PageSize::Size4K,
+        Permission::ReadWrite,
+    )
+    .unwrap();
     let walk = pt.walk(&mem, va + 0x123);
     assert!(!walk.is_identity());
     assert_eq!(
@@ -194,8 +222,14 @@ fn map_page_into_pe_gap_demotes() {
     let mut pt = new_pt(&mut mem, &mut alloc);
     let base = VirtAddr::new(4096 * MB);
     // PE covering one slot; rest of the 2 MiB entry is a gap.
-    pt.map_identity_pe(&mut mem, &mut alloc, base, 128 * 1024, Permission::ReadWrite)
-        .unwrap();
+    pt.map_identity_pe(
+        &mut mem,
+        &mut alloc,
+        base,
+        128 * 1024,
+        Permission::ReadWrite,
+    )
+    .unwrap();
     // Map a non-identity page into the gap: forces PE demotion.
     let gap_va = base + 256 * 1024;
     let pa = PhysAddr::new(8 * MB);
@@ -339,7 +373,10 @@ fn protect_whole_pe_region() {
         .unwrap();
     pt.protect_region(&mut mem, &mut alloc, base, 2 * MB, Permission::ReadOnly)
         .unwrap();
-    assert_eq!(pt.translate(&mem, base + MB).unwrap().1, Permission::ReadOnly);
+    assert_eq!(
+        pt.translate(&mem, base + MB).unwrap().1,
+        Permission::ReadOnly
+    );
     // Still identity mapped (CoW marking must not break VA==PA).
     assert!(pt.walk(&mem, base + MB).is_identity());
 }
@@ -351,8 +388,14 @@ fn protect_single_page_demotes_but_preserves_translations() {
     let base = VirtAddr::new(10 * MB);
     pt.map_identity_pe(&mut mem, &mut alloc, base, 2 * MB, Permission::ReadWrite)
         .unwrap();
-    pt.protect_region(&mut mem, &mut alloc, base + 0x8000, 4096, Permission::ReadOnly)
-        .unwrap();
+    pt.protect_region(
+        &mut mem,
+        &mut alloc,
+        base + 0x8000,
+        4096,
+        Permission::ReadOnly,
+    )
+    .unwrap();
     assert_eq!(
         pt.translate(&mem, base + 0x8000),
         Some((PhysAddr::new(base.raw() + 0x8000), Permission::ReadOnly))
@@ -371,12 +414,21 @@ fn remap_page_breaks_identity_for_cow() {
     pt.map_identity_pe(&mut mem, &mut alloc, base, 2 * MB, Permission::ReadWrite)
         .unwrap();
     let copy_pa = PhysAddr::new(100 * MB);
-    pt.remap_page(&mut mem, &mut alloc, base + 0x5000, copy_pa, Permission::ReadWrite)
-        .unwrap();
+    pt.remap_page(
+        &mut mem,
+        &mut alloc,
+        base + 0x5000,
+        copy_pa,
+        Permission::ReadWrite,
+    )
+    .unwrap();
     // The remapped page is no longer identity.
     let walk = pt.walk(&mem, base + 0x5000);
     assert!(!walk.is_identity());
-    assert_eq!(walk.resolve(base + 0x5000), Some((copy_pa, Permission::ReadWrite)));
+    assert_eq!(
+        walk.resolve(base + 0x5000),
+        Some((copy_pa, Permission::ReadWrite))
+    );
     // Its neighbours still are.
     assert_eq!(
         pt.translate(&mem, base + 0x6000),
@@ -451,22 +503,43 @@ fn coarse_pe_fields_need_coarser_alignment() {
     let base = VirtAddr::new(128 * MB);
 
     // A 512 KiB-aligned, 512 KiB region maps as a PE even with 4 fields.
-    pt.map_identity_pe_granular(&mut mem, &mut alloc, base, 512 * 1024, Permission::ReadWrite, 4)
-        .unwrap();
+    pt.map_identity_pe_granular(
+        &mut mem,
+        &mut alloc,
+        base,
+        512 * 1024,
+        Permission::ReadWrite,
+        4,
+    )
+    .unwrap();
     assert!(pt.walk(&mem, base).is_identity());
 
     // A 128 KiB region (fine for 16 fields) falls back to leaves with 4.
     let base2 = VirtAddr::new(256 * MB);
-    pt.map_identity_pe_granular(&mut mem, &mut alloc, base2, 128 * 1024, Permission::ReadWrite, 4)
-        .unwrap();
+    pt.map_identity_pe_granular(
+        &mut mem,
+        &mut alloc,
+        base2,
+        128 * 1024,
+        Permission::ReadWrite,
+        4,
+    )
+    .unwrap();
     match pt.walk(&mem, base2).outcome {
         WalkOutcome::Leaf { page, .. } => assert_eq!(page, PageSize::Size4K),
         other => panic!("expected leaf fallback, got {other:?}"),
     }
     // Same region with 16 fields becomes a PE.
     let base3 = VirtAddr::new(512 * MB);
-    pt.map_identity_pe_granular(&mut mem, &mut alloc, base3, 128 * 1024, Permission::ReadWrite, 16)
-        .unwrap();
+    pt.map_identity_pe_granular(
+        &mut mem,
+        &mut alloc,
+        base3,
+        128 * 1024,
+        Permission::ReadWrite,
+        16,
+    )
+    .unwrap();
     assert!(pt.walk(&mem, base3).is_identity());
 }
 
@@ -480,10 +553,24 @@ fn coarse_pe_tables_are_bigger() {
     // Map 16 regions of 128 KiB at 2 MiB strides (each slot-aligned).
     for i in 0..16u64 {
         let base = VirtAddr::new(64 * MB + i * 2 * MB);
-        pt4.map_identity_pe_granular(&mut mem4, &mut alloc4, base, 128 * 1024, Permission::ReadWrite, 4)
-            .unwrap();
-        pt16.map_identity_pe_granular(&mut mem16, &mut alloc16, base, 128 * 1024, Permission::ReadWrite, 16)
-            .unwrap();
+        pt4.map_identity_pe_granular(
+            &mut mem4,
+            &mut alloc4,
+            base,
+            128 * 1024,
+            Permission::ReadWrite,
+            4,
+        )
+        .unwrap();
+        pt16.map_identity_pe_granular(
+            &mut mem16,
+            &mut alloc16,
+            base,
+            128 * 1024,
+            Permission::ReadWrite,
+            16,
+        )
+        .unwrap();
     }
     let coarse = pt4.size_report(&mem4);
     let fine = pt16.size_report(&mem16);

@@ -41,7 +41,11 @@ impl Histogram {
     /// Record one sample.
     #[inline]
     pub fn sample(&mut self, value: u64) {
-        let bucket = if value <= 1 { 0 } else { 63 - value.leading_zeros() as usize };
+        let bucket = if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
         self.buckets[bucket] += 1;
         self.count += 1;
         self.sum += value;
@@ -121,7 +125,14 @@ impl fmt::Display for Histogram {
                 continue;
             }
             let bar = "#".repeat((n * 40 / peak).max(1) as usize);
-            writeln!(f, "  [{:>10}, {:>10}) {:>10} {}", 1u64 << i, 1u64 << (i + 1), n, bar)?;
+            writeln!(
+                f,
+                "  [{:>10}, {:>10}) {:>10} {}",
+                1u64 << i,
+                1u64 << (i + 1),
+                n,
+                bar
+            )?;
         }
         Ok(())
     }

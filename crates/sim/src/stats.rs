@@ -218,7 +218,13 @@ impl MeanStat {
 
 impl fmt::Display for MeanStat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: mean {:.3} over {}", self.name, self.mean(), self.count)
+        write!(
+            f,
+            "{}: mean {:.3} over {}",
+            self.name,
+            self.mean(),
+            self.count
+        )
     }
 }
 

@@ -229,15 +229,14 @@ mod tests {
     fn page_base_alignment() {
         let va = VirtAddr::new(0x0040_0FFF);
         assert_eq!(va.page_base(PageSize::Size4K).raw(), 0x0040_0000);
-        assert!(va.page_base(PageSize::Size2M).is_page_aligned(PageSize::Size2M));
+        assert!(va
+            .page_base(PageSize::Size2M)
+            .is_page_aligned(PageSize::Size2M));
     }
 
     #[test]
     fn checked_add_overflow() {
         assert!(VirtAddr::new(u64::MAX).checked_add(1).is_none());
-        assert_eq!(
-            VirtAddr::new(10).checked_add(5),
-            Some(VirtAddr::new(15))
-        );
+        assert_eq!(VirtAddr::new(10).checked_add(5), Some(VirtAddr::new(15)));
     }
 }

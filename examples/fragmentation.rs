@@ -13,8 +13,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 1: shbench churn on a 4 GiB machine.
     println!("== shbench churn (4 GiB machine) ==");
     for (label, config) in [
-        ("small chunks (100..10K bytes)", ShbenchConfig::experiment1()),
-        ("large chunks (100K..10M bytes)", ShbenchConfig::experiment2()),
+        (
+            "small chunks (100..10K bytes)",
+            ShbenchConfig::experiment1(),
+        ),
+        (
+            "large chunks (100K..10M bytes)",
+            ShbenchConfig::experiment2(),
+        ),
         ("4 instances, large chunks", ShbenchConfig::experiment3()),
     ] {
         let mut os = Os::new(OsConfig {
@@ -34,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Part 2: fork + copy-on-write breaks identity only where written.
     println!("\n== fork / copy-on-write ==");
     let mut os = Os::new(OsConfig {
-        machine: MachineConfig { mem_bytes: 256 << 20 },
+        machine: MachineConfig {
+            mem_bytes: 256 << 20,
+        },
         ..OsConfig::default()
     });
     let parent = os.spawn()?;
@@ -48,9 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Child writes: gets a private, non-identity copy.
     os.write_u64(child, buf, 99)?;
     let (child_pa, _) = os.translate(child, buf).expect("mapped");
-    println!(
-        "child wrote -> private copy at {child_pa} (VA {buf}): identity broken for that page"
-    );
+    println!("child wrote -> private copy at {child_pa} (VA {buf}): identity broken for that page");
     assert_ne!(child_pa.raw(), buf.raw());
     assert_eq!(os.read_u64(child, buf)?, 99);
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build, and the tier-1 test suite.
+# Everything here runs with no network and no vendored crates — the
+# default workspace has zero external dependencies by design (see
+# DESIGN.md, "Sweep engine & hermetic build").
+#
+#   scripts/ci.sh
+#
+# The extended property/bench suite (proptest, criterion) lives in
+# exttests/ and is NOT run here because it needs crates.io access:
+#
+#   cargo test --manifest-path exttests/Cargo.toml
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release (tier-1)"
+cargo build --release
+
+echo "== cargo test (tier-1)"
+cargo test -q
+
+echo "== cargo test --workspace"
+cargo test --workspace -q
+
+echo "ci: all green"

@@ -2,24 +2,46 @@
 # Regenerate every table and figure of the paper into results/, then refresh
 # EXPERIMENTS.md. Usage:
 #
-#   scripts/reproduce_all.sh [quick|paper|full]
+#   scripts/reproduce_all.sh [quick|paper|full] [--jobs N]
 #
 # quick: minutes. paper: ~1-2 hours on one core (Figure 8/9 dominate).
 # full: unscaled Table 3 datasets; hours and ~16 GiB of host RAM.
+#
+# --jobs N fans each harness's grid across N worker threads (0 = all
+# cores). Output is byte-identical to a serial run; only wall-clock
+# changes. Each binary also writes results/<name>_<scale>.json, and the
+# script records per-binary wall-clock in results/BENCH_sweep.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCALE="${1:-quick}"
+SCALE="quick"
+JOBS=1
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        quick|paper|full) SCALE="$1"; shift ;;
+        --jobs) JOBS="$2"; shift 2 ;;
+        *) echo "usage: $0 [quick|paper|full] [--jobs N]" >&2; exit 2 ;;
+    esac
+done
+
 B=target/release
 mkdir -p results
 
 cargo build --release -p dvm-bench
 
 suffix="$SCALE"
+BENCH_ROWS=""
+now_ms() { python3 -c 'import time; print(int(time.time()*1000))'; }
 run() { # name, extra args...
     local name="$1"; shift
-    echo ">>> $name --scale $SCALE $*"
-    "$B/$name" --scale "$SCALE" "$@" > "results/${name}_${suffix}.txt"
+    echo ">>> $name --scale $SCALE --jobs $JOBS $*"
+    local t0 t1
+    t0=$(now_ms)
+    "$B/$name" --scale "$SCALE" --jobs "$JOBS" \
+        --json "results/${name}_${suffix}.json" "$@" \
+        > "results/${name}_${suffix}.txt"
+    t1=$(now_ms)
+    BENCH_ROWS+="    {\"bin\": \"$name\", \"wall_ms\": $((t1 - t0))},"$'\n'
 }
 
 run table3
@@ -29,8 +51,20 @@ run fig10
 run fig2
 run fig8
 run fig9
-"$B/table5" > results/table5.txt
-"$B/virt"   > results/virt.txt
+run table5
+run virt
+
+# Timing summary for this sweep (not diffed against serial output).
+{
+    echo "{"
+    echo "  \"scale\": \"$SCALE\","
+    echo "  \"jobs\": $JOBS,"
+    echo "  \"bins\": ["
+    printf '%s' "${BENCH_ROWS%,$'\n'}"
+    echo ""
+    echo "  ]"
+    echo "}"
+} > results/BENCH_sweep.json
 
 python3 scripts/fill_experiments.py
 echo "done: see results/ and EXPERIMENTS.md"

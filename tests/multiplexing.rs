@@ -75,7 +75,9 @@ fn accelerator_cannot_reach_another_process_even_at_identity_addresses() {
     // perfectly valid PA — but A's page table has no mapping for it, so
     // DAV rejects the access.
     let mut os = Os::new(OsConfig {
-        machine: MachineConfig { mem_bytes: 512 << 20 },
+        machine: MachineConfig {
+            mem_bytes: 512 << 20,
+        },
         ..OsConfig::default()
     });
     let pid_a = os.spawn().unwrap();

@@ -8,11 +8,13 @@ use dvm_core::{EnergyParams, MachineConfig, Os, OsConfig, Permission};
 use dvm_mem::{Dram, DramConfig};
 use dvm_mmu::{Iommu, MemSystem, MmuConfig};
 use dvm_os::SwapStore;
-use dvm_types::{AccessKind, FaultKind, VirtAddr, PAGE_SIZE};
+use dvm_types::{AccessKind, FaultKind, PAGE_SIZE};
 
 fn small_os(maintain_bitmap: bool) -> Os {
     Os::new(OsConfig {
-        machine: MachineConfig { mem_bytes: 256 << 20 },
+        machine: MachineConfig {
+            mem_bytes: 256 << 20,
+        },
         maintain_bitmap,
         ..OsConfig::default()
     })
@@ -104,7 +106,9 @@ fn swap_relieves_real_memory_pressure() {
     // Fill a small machine, then demonstrate the paper's reclamation
     // story: swap pages out, satisfy a new identity allocation, swap back.
     let mut os = Os::new(OsConfig {
-        machine: MachineConfig { mem_bytes: 32 << 20 },
+        machine: MachineConfig {
+            mem_bytes: 32 << 20,
+        },
         ..OsConfig::default()
     });
     let pid = os.spawn().unwrap();
@@ -125,13 +129,19 @@ fn swap_relieves_real_memory_pressure() {
     let victim = regions[regions.len() / 2];
     let mut store = SwapStore::new();
     for page in 0..256u64 {
-        os.swap_out(pid, victim + page * PAGE_SIZE, &mut store).unwrap();
+        os.swap_out(pid, victim + page * PAGE_SIZE, &mut store)
+            .unwrap();
     }
     assert_eq!(store.len(), 256);
 
     // The freed physical range can back a new identity mapping.
     let fresh = os.mmap(pid, 512 << 10, Permission::ReadWrite).unwrap();
-    assert!(os.process(pid).unwrap().vma_at(fresh).unwrap().is_identity());
+    assert!(os
+        .process(pid)
+        .unwrap()
+        .vma_at(fresh)
+        .unwrap()
+        .is_identity());
     os.write_u64(pid, fresh, 7).unwrap();
 
     // Steal two of the victim's frames explicitly so the demand-paged
@@ -144,7 +154,10 @@ fn swap_relieves_real_memory_pressure() {
     // rest re-identify — and every byte survives either way.
     let mut reidentified = 0;
     for page in 0..256u64 {
-        if os.swap_in(pid, victim + page * PAGE_SIZE, &mut store).unwrap() {
+        if os
+            .swap_in(pid, victim + page * PAGE_SIZE, &mut store)
+            .unwrap()
+        {
             reidentified += 1;
         }
     }
