@@ -3,34 +3,40 @@
 //! pages, and cDVM.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin fig10 [--scale quick|paper|full] [--jobs N]
+//! cargo run --release -p dvm-bench --bin fig10 [--scale smoke|quick|paper|full] [--jobs N] [--shards N]
 //! ```
 
-use dvm_bench::{FigureJson, HarnessArgs, Json, Scale};
-use dvm_core::{evaluate_cpu, parallel_map_ordered, CpuModelConfig, CpuScheme, CpuWorkload};
+use dvm_bench::{run_grid, BenchArgs, FigureJson, Json, Scale};
+use dvm_core::{evaluate_cpu, CpuModelConfig, CpuScheme, CpuWorkload};
 use dvm_sim::Table;
 
 fn main() {
-    let args = HarnessArgs::parse();
+    let args = BenchArgs::parse();
     let config = CpuModelConfig {
         accesses: match args.scale {
+            Scale::Smoke => 100_000,
             Scale::Quick => 500_000,
             _ => 2_000_000,
         },
         ..CpuModelConfig::default()
     };
-    println!(
+    args.banner(&format!(
         "Figure 10: CPU VM overheads vs ideal, scale = {} ({} accesses/run)\n",
         args.scale.name(),
         config.accesses
-    );
+    ));
     // The (workload × scheme) grid is shared-nothing, so it runs on the
-    // same ordered worker pool as the graph sweeps.
+    // sharded grid runner like every other harness.
     let units: Vec<(CpuWorkload, CpuScheme)> = CpuWorkload::ALL
         .iter()
         .flat_map(|&w| CpuScheme::ALL.iter().map(move |&s| (w, s)))
         .collect();
-    let overheads = parallel_map_ordered(&units, args.jobs, |&(workload, scheme)| {
+    let labels: Vec<String> = units
+        .iter()
+        .map(|(w, s)| format!("{}/{}", w.name(), s.name()))
+        .collect();
+    let overheads: Vec<f64> = run_grid(&args, "fig10", &labels, |i| {
+        let (workload, scheme) = units[i];
         evaluate_cpu(workload, scheme, &config)
             .expect("cpu model failed")
             .overhead_percent()

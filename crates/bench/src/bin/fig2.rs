@@ -2,19 +2,19 @@
 //! fully associative TLB, 4 KiB vs 2 MiB pages.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin fig2 [--scale quick|paper|full] [--jobs N]
+//! cargo run --release -p dvm-bench --bin fig2 [--scale smoke|quick|paper|full] [--jobs N] [--shards N]
 //! ```
 
-use dvm_bench::{pair_label, FigureJson, HarnessArgs, Json};
+use dvm_bench::{pair_label, run_sharded_sweep, BenchArgs, FigureJson, Json};
 use dvm_core::{MmuConfig, PageSize};
 use dvm_sim::Table;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    println!(
+    let args = BenchArgs::parse();
+    args.banner(&format!(
         "Figure 2: TLB miss rates (128-entry FA TLB), scale = {}\n",
         args.scale.name()
-    );
+    ));
     let schemes = [
         MmuConfig::Conventional {
             page_size: PageSize::Size4K,
@@ -23,7 +23,7 @@ fn main() {
             page_size: PageSize::Size2M,
         },
     ];
-    let cells = args.run_graph_sweep(&schemes);
+    let cells = run_sharded_sweep(&args, "fig2", &schemes);
 
     let mut table = Table::new(&["workload/graph", "4K pages", "2M pages"]);
     let mut fig = FigureJson::new("fig2", args.scale.name(), &["4K pages", "2M pages"]);

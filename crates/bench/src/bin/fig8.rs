@@ -2,19 +2,19 @@
 //! scheme, normalized to the Ideal (direct physical access) run.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin fig8 [--scale quick|paper|full] [--jobs N]
+//! cargo run --release -p dvm-bench --bin fig8 [--scale smoke|quick|paper|full] [--jobs N] [--shards N]
 //! ```
 
-use dvm_bench::{geomean, pair_label, FigureJson, HarnessArgs, Json};
+use dvm_bench::{geomean, pair_label, run_sharded_sweep, BenchArgs, FigureJson, Json};
 use dvm_core::MmuConfig;
 use dvm_sim::Table;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    println!(
+    let args = BenchArgs::parse();
+    args.banner(&format!(
         "Figure 8: execution time normalized to Ideal, scale = {}\n",
         args.scale.name()
-    );
+    ));
     // Ideal (== 1.0 by construction) is omitted as in the figure.
     let shown: Vec<MmuConfig> = MmuConfig::PAPER_SET
         .iter()
@@ -28,7 +28,7 @@ fn main() {
     let mut fig = FigureJson::new("fig8", args.scale.name(), &names);
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); shown.len()];
 
-    for cell in &args.run_graph_sweep(&MmuConfig::PAPER_SET) {
+    for cell in &run_sharded_sweep(&args, "fig8", &MmuConfig::PAPER_SET) {
         let ideal = cell
             .report_for(MmuConfig::Ideal)
             .expect("paper set includes Ideal")

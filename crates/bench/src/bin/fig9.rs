@@ -2,19 +2,19 @@
 //! validation, normalized to the 4K TLB+PWC baseline.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin fig9 [--scale quick|paper|full] [--jobs N]
+//! cargo run --release -p dvm-bench --bin fig9 [--scale smoke|quick|paper|full] [--jobs N] [--shards N]
 //! ```
 
-use dvm_bench::{geomean, pair_label, FigureJson, HarnessArgs, Json};
+use dvm_bench::{geomean, pair_label, run_sharded_sweep, BenchArgs, FigureJson, Json};
 use dvm_core::{MmuConfig, PageSize};
 use dvm_sim::Table;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    println!(
+    let args = BenchArgs::parse();
+    args.banner(&format!(
         "Figure 9: dynamic MM energy normalized to 4K,TLB+PWC, scale = {}\n",
         args.scale.name()
-    );
+    ));
     let baseline = MmuConfig::Conventional {
         page_size: PageSize::Size4K,
     };
@@ -32,7 +32,7 @@ fn main() {
     let mut fig = FigureJson::new("fig9", args.scale.name(), &names);
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); shown.len()];
 
-    for cell in &args.run_graph_sweep(&MmuConfig::PAPER_SET) {
+    for cell in &run_sharded_sweep(&args, "fig9", &MmuConfig::PAPER_SET) {
         let base = cell
             .report_for(baseline)
             .expect("paper set includes 4K")

@@ -1,0 +1,84 @@
+//! Compare a committed golden result document against a freshly
+//! generated one. Exit 0 when they agree, 1 on drift, 2 on structural
+//! problems (unreadable file, invalid JSON, header mismatch).
+//!
+//! ```text
+//! cargo run --release -p dvm-bench --bin resultdiff -- GOLDEN FRESH [--rel-tol X]
+//! ```
+
+use dvm_bench::{diff_json, parse, validate_header, Json};
+use std::path::Path;
+
+const USAGE: &str = "usage: resultdiff GOLDEN FRESH [--rel-tol X]";
+
+fn structural(msg: &str) -> ! {
+    eprintln!("resultdiff: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| structural(&format!("cannot read {path}: {e}")));
+    let doc =
+        parse(&text).unwrap_or_else(|e| structural(&format!("{path} is not valid JSON: {e}")));
+    validate_header(&doc, None).unwrap_or_else(|e| structural(&format!("{path}: {e}")));
+    doc
+}
+
+fn main() {
+    let mut rel_tol = 0.0f64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rel-tol" => {
+                let v = args.next().unwrap_or_default();
+                rel_tol = v
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| {
+                        structural(&format!("--rel-tol needs a non-negative number, got '{v}'"))
+                    });
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [golden_path, fresh_path] = paths.as_slice() else {
+        structural(USAGE);
+    };
+
+    let golden = load(golden_path);
+    let fresh = load(fresh_path);
+    let experiment = golden
+        .expect_str("experiment")
+        .unwrap_or_else(|e| structural(&e));
+    validate_header(&fresh, Some(experiment))
+        .unwrap_or_else(|e| structural(&format!("{fresh_path}: {e}")));
+
+    let diffs = diff_json(&golden, &fresh, rel_tol);
+    if diffs.is_empty() {
+        println!(
+            "resultdiff: {experiment}: {} matches {}",
+            Path::new(fresh_path).display(),
+            Path::new(golden_path).display()
+        );
+        return;
+    }
+    const SHOWN: usize = 20;
+    eprintln!(
+        "resultdiff: {experiment}: {} divergence(s) between {golden_path} and {fresh_path}:",
+        diffs.len()
+    );
+    for diff in diffs.iter().take(SHOWN) {
+        eprintln!("  {diff}");
+    }
+    if diffs.len() > SHOWN {
+        eprintln!("  ... and {} more", diffs.len() - SHOWN);
+    }
+    std::process::exit(1);
+}

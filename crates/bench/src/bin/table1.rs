@@ -2,24 +2,29 @@
 //! Permission Entries.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin table1 [--scale quick|paper|full] [--jobs N]
+//! cargo run --release -p dvm-bench --bin table1 [--scale smoke|quick|paper|full] [--jobs N] [--shards N]
 //! ```
 
-use dvm_bench::{FigureJson, HarnessArgs, Json};
-use dvm_core::{page_table_study, parallel_map_ordered, Dataset, Workload};
+use dvm_bench::{run_grid, BenchArgs, FigureJson, Json};
+use dvm_core::{page_table_study, Dataset, PageTableStudy, Workload};
 use dvm_sim::Table;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    println!(
+    let args = BenchArgs::parse();
+    args.banner(&format!(
         "Table 1: page-table sizes (PageRank for graph inputs, CF for bipartite), scale = {}\n",
         args.scale.name()
-    );
+    ));
     let datasets: Vec<Dataset> = Dataset::ALL
         .into_iter()
         .filter(|&d| args.wants(d))
         .collect();
-    let studies = parallel_map_ordered(&datasets, args.jobs, |&dataset| {
+    let labels: Vec<String> = datasets
+        .iter()
+        .map(|d| d.short_name().to_string())
+        .collect();
+    let studies: Vec<PageTableStudy> = run_grid(&args, "table1", &labels, |i| {
+        let dataset = datasets[i];
         let workload = if dataset.is_bipartite() {
             Workload::Cf {
                 iterations: 1,
@@ -28,7 +33,7 @@ fn main() {
         } else {
             Workload::PageRank { iterations: 1 }
         };
-        let graph = dataset.generate(args.scale.divisor(dataset));
+        let graph = args.generate_graph(dataset);
         page_table_study(&graph, &workload).expect("study failed")
     });
 

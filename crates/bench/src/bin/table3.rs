@@ -2,31 +2,35 @@
 //! synthetic stand-ins generated at the selected scale.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin table3 [--scale quick|paper|full] [--jobs N]
+//! cargo run --release -p dvm-bench --bin table3 [--scale smoke|quick|paper|full] [--jobs N] [--shards N]
 //! ```
 
-use dvm_bench::{FigureJson, HarnessArgs, Json};
-use dvm_core::{parallel_map_ordered, Dataset};
+use dvm_bench::{run_grid, BenchArgs, FigureJson, Json};
+use dvm_core::Dataset;
 use dvm_sim::Table;
 
 fn main() {
-    let args = HarnessArgs::parse();
-    println!(
+    let args = BenchArgs::parse();
+    args.banner(&format!(
         "Table 3: graph datasets (published vs generated stand-ins), scale = {}\n",
         args.scale.name()
-    );
+    ));
     let datasets: Vec<Dataset> = Dataset::ALL
         .into_iter()
         .filter(|&d| args.wants(d))
         .collect();
+    let labels: Vec<String> = datasets
+        .iter()
+        .map(|d| d.short_name().to_string())
+        .collect();
     // Generation is the entire cost of this table; fan it out.
-    let generated = parallel_map_ordered(&datasets, args.jobs, |&dataset| {
-        let graph = dataset.generate(args.scale.divisor(dataset));
-        (
-            graph.num_vertices(),
+    let generated: Vec<[u64; 3]> = run_grid(&args, "table3", &labels, |i| {
+        let graph = args.generate_graph(datasets[i]);
+        [
+            u64::from(graph.num_vertices()),
             graph.num_edges(),
             graph.footprint_bytes(),
-        )
+        ]
     });
 
     let columns = [
@@ -40,7 +44,7 @@ fn main() {
     ];
     let mut table = Table::new(&std::iter::once("graph").chain(columns).collect::<Vec<_>>());
     let mut fig = FigureJson::new("table3", args.scale.name(), &columns);
-    for (dataset, &(vertices, edges, footprint)) in datasets.iter().zip(&generated) {
+    for (dataset, &[vertices, edges, footprint]) in datasets.iter().zip(&generated) {
         let spec = dataset.spec();
         let div = args.scale.divisor(*dataset);
         table.row(&[
@@ -60,7 +64,7 @@ fn main() {
                 Json::UInt(spec.edges),
                 Json::UInt(spec.heap_mib),
                 Json::UInt(u64::from(div)),
-                Json::UInt(u64::from(vertices)),
+                Json::UInt(vertices),
                 Json::UInt(edges),
                 Json::UInt(footprint),
             ],

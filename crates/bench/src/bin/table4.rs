@@ -2,41 +2,46 @@
 //! identity mapping under shbench churn, for 16/32/64 GiB machines.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin table4 [--scale quick|paper|full] [--jobs N]
+//! cargo run --release -p dvm-bench --bin table4 [--scale smoke|quick|paper|full] [--jobs N] [--shards N]
 //! ```
 //!
-//! `quick` uses 4/8/16 GiB machines; `paper`/`full` the published
+//! `smoke`/`quick` use 4/8/16 GiB machines; `paper`/`full` the published
 //! 16/32/64 GiB.
 
-use dvm_bench::{FigureJson, HarnessArgs, Json, Scale};
-use dvm_core::{parallel_map_ordered, MachineConfig, Os, OsConfig, ShbenchConfig};
+use dvm_bench::{run_grid, BenchArgs, FigureJson, Json, Scale};
+use dvm_core::{MachineConfig, Os, OsConfig, ShbenchConfig};
 use dvm_os::shbench;
 use dvm_sim::Table;
 
 type Experiment = (&'static str, fn() -> ShbenchConfig);
 
 fn main() {
-    let args = HarnessArgs::parse();
+    let args = BenchArgs::parse();
     let gib: &[u64] = match args.scale {
-        Scale::Quick => &[4, 8, 16],
+        Scale::Smoke | Scale::Quick => &[4, 8, 16],
         _ => &[16, 32, 64],
     };
-    println!(
+    args.banner(&format!(
         "Table 4: % of memory identity-mapped at first failure (shbench), scale = {}\n",
         args.scale.name()
-    );
+    ));
     let experiments: [Experiment; 3] = [
         ("expt 1 (small)", ShbenchConfig::experiment1),
         ("expt 2 (large)", ShbenchConfig::experiment2),
         ("expt 3 (4x large)", ShbenchConfig::experiment3),
     ];
     // Every (machine size, experiment) cell builds its own OS, so the
-    // grid is shared-nothing and runs on the ordered worker pool.
+    // grid is shared-nothing and runs on the sharded grid runner.
     let units: Vec<(u64, usize)> = gib
         .iter()
         .flat_map(|&g| (0..experiments.len()).map(move |e| (g, e)))
         .collect();
-    let percents = parallel_map_ordered(&units, args.jobs, |&(g, e)| {
+    let labels: Vec<String> = units
+        .iter()
+        .map(|&(g, e)| format!("{g}GB/{}", experiments[e].0))
+        .collect();
+    let percents: Vec<f64> = run_grid(&args, "table4", &labels, |i| {
+        let (g, e) = units[i];
         let mut os = Os::new(OsConfig {
             machine: MachineConfig { mem_bytes: g << 30 },
             ..OsConfig::default()

@@ -8,8 +8,7 @@
 //! cargo run --release -p dvm-bench --bin table5 [--json PATH]
 //! ```
 
-use dvm_bench::{FigureJson, HarnessArgs, Json};
-use dvm_core::parallel_map_ordered;
+use dvm_bench::{run_grid, BenchArgs, FigureJson, Json};
 use dvm_sim::Table;
 use std::path::Path;
 
@@ -25,12 +24,12 @@ fn loc(path: &Path) -> u64 {
 }
 
 fn main() {
-    let args = HarnessArgs::parse();
+    let args = BenchArgs::parse();
     let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
     let crates = manifest.parent().expect("crates dir");
-    println!("Table 5: implementation size per affected feature\n");
-    println!("(The paper patched Linux; we built the substrate from scratch, so");
-    println!("our column is the size of the module implementing each feature.)\n");
+    args.banner("Table 5: implementation size per affected feature\n");
+    args.banner("(The paper patched Linux; we built the substrate from scratch, so");
+    args.banner("our column is the size of the module implementing each feature.)\n");
 
     let rows: &[(&str, u64, &[&str])] = &[
         (
@@ -59,8 +58,12 @@ fn main() {
             &["pagetable/src/bitmap.rs", "os/src/shbench.rs"],
         ),
     ];
-    let ours_counts = parallel_map_ordered(rows, args.jobs, |(_, _, files)| {
-        files.iter().map(|f| loc(&crates.join(f))).sum::<u64>()
+    let labels: Vec<String> = rows
+        .iter()
+        .map(|(feature, _, _)| feature.to_string())
+        .collect();
+    let ours_counts: Vec<u64> = run_grid(&args, "table5", &labels, |i| {
+        rows[i].2.iter().map(|f| loc(&crates.join(f))).sum::<u64>()
     });
 
     let mut table = Table::new(&["feature", "paper (Linux LoC)", "this repo (Rust LoC)"]);

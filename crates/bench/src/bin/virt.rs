@@ -5,11 +5,10 @@
 //! can eliminate it entirely.
 //!
 //! ```text
-//! cargo run --release -p dvm-bench --bin virt [--jobs N] [--json PATH]
+//! cargo run --release -p dvm-bench --bin virt [--jobs N] [--shards N] [--json PATH]
 //! ```
 
-use dvm_bench::{FigureJson, HarnessArgs, Json};
-use dvm_core::parallel_map_ordered;
+use dvm_bench::{run_grid, BenchArgs, FigureJson, Json};
 use dvm_mem::{BuddyAllocator, Dram, DramConfig, PhysMem};
 use dvm_mmu::{NestedScheme, NestedWalker};
 use dvm_pagetable::PageTable;
@@ -88,20 +87,24 @@ fn measure(scheme: NestedScheme, span: u64, base: VirtAddr, translations: u64) -
 }
 
 fn main() {
-    let args = HarnessArgs::parse();
+    let args = BenchArgs::parse();
     let span: u64 = 256 << 20;
     let base = VirtAddr::new(1 << 30);
     let translations = 200_000u64;
-    println!(
+    args.banner(&format!(
         "Nested translation (guest heap {} MiB, {} random translations)\n",
         span >> 20,
         translations
-    );
+    ));
 
     // Each scheme builds its own memory, page tables and walker; the four
-    // measurements run on the shared ordered worker pool.
-    let results = parallel_map_ordered(&NestedScheme::ALL, args.jobs, |&scheme| {
-        measure(scheme, span, base, translations)
+    // measurements run on the sharded grid runner.
+    let labels: Vec<String> = NestedScheme::ALL
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
+    let results: Vec<[f64; 3]> = run_grid(&args, "virt", &labels, |i| {
+        measure(NestedScheme::ALL[i], span, base, translations)
     });
 
     let columns = [

@@ -1,0 +1,467 @@
+//! The one command line shared by every bench binary.
+//!
+//! Before this module, each of the nine binaries carried its own ad-hoc
+//! `std::env::args()` loop; they now parse through [`BenchArgs`] once and
+//! stay declarative (a [`dvm_core::SweepSpec`] or item grid plus a
+//! formatter). Parsing is pure ([`BenchArgs::try_parse`] takes any
+//! iterator and returns typed errors), so the grammar is unit-testable;
+//! [`BenchArgs::parse`] is the process-facing wrapper that prints usage
+//! and exits.
+//!
+//! ```text
+//! --scale smoke|quick|paper|full  dataset sizing (default: quick)
+//! --datasets FR,Wiki,...          restrict to some inputs
+//! --jobs N                        worker threads per process (0 = all cores)
+//! --json PATH                     also write the machine-readable document
+//! --shards N                      fan the grid out over N worker processes
+//! --shard I/N                     run only shard I, write a fragment, exit
+//! --shard-out PATH                fragment path (only with --shard)
+//! --merge-dir DIR                 merge fragments written by --shard workers
+//! --cache-dir DIR                 on-disk dataset cache (see dvm-graph)
+//! --progress                      per-cell progress lines on stderr
+//! ```
+
+use crate::{paper_pairs, FigureJson, Scale};
+use dvm_core::{MmuConfig, SweepSpec};
+use dvm_graph::{Dataset, DatasetCache};
+use std::fmt;
+use std::path::PathBuf;
+
+/// A worker's slice of the grid: shard `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Zero-based shard index.
+    pub index: usize,
+    /// Total shards the grid is split into.
+    pub count: usize,
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Which of the three sharding roles this process plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRole {
+    /// Run the whole grid in this process (the default).
+    Single,
+    /// Spawn `N` worker processes and merge their fragments.
+    Coordinator(usize),
+    /// Run one shard and write a fragment (no stdout contract).
+    Worker(Shard),
+    /// Merge fragments other workers already wrote (e.g. on other
+    /// machines) without running anything.
+    Merge,
+}
+
+/// Typed options for a bench binary.
+#[derive(Debug)]
+pub struct BenchArgs {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Dataset filter (None = all).
+    pub datasets: Option<Vec<String>>,
+    /// Sweep worker threads per process: `0` = all cores, `1` = serial.
+    pub jobs: usize,
+    /// Where to write the machine-readable results, if anywhere.
+    pub json: Option<PathBuf>,
+    /// Coordinator: number of worker processes to spawn.
+    pub shards: Option<usize>,
+    /// Worker: the slice of the grid this process runs.
+    pub shard: Option<Shard>,
+    /// Worker: where to write the fragment (defaults to
+    /// `results/shards/<experiment>_shard<I>of<N>.json`).
+    pub shard_out: Option<PathBuf>,
+    /// Merge fragments from this directory instead of running.
+    pub merge_dir: Option<PathBuf>,
+    /// Opened dataset cache, when `--cache-dir` was given.
+    pub cache: Option<DatasetCache>,
+    /// Emit per-cell progress on stderr.
+    pub progress: bool,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// The usage text printed on `--help` and after errors.
+pub const USAGE: &str = "usage: [--scale smoke|quick|paper|full] [--datasets FR,Wiki,...]
+       [--jobs N] [--json PATH] [--progress] [--cache-dir DIR]
+       [--shards N | --shard I/N [--shard-out PATH] | --merge-dir DIR]
+
+  --scale      dataset sizing (default: quick; smoke is for CI/tests)
+  --datasets   comma-separated short names; others are skipped
+  --jobs       worker threads per process (0 = all cores, default 1)
+  --json       also write the machine-readable document to PATH
+  --progress   per-cell progress lines on stderr (stdout is untouched)
+  --cache-dir  load/store generated datasets in an on-disk cache
+  --shards     fan the grid out over N worker processes and merge
+  --shard      run only shard I of N and write a fragment, then exit
+  --shard-out  fragment path for --shard (default results/shards/...)
+  --merge-dir  merge fragments already written by --shard workers";
+
+impl BenchArgs {
+    /// Parse an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] describing the first problem; `--help`
+    /// surfaces as an error containing the usage text so [`parse`]
+    /// can exit 0.
+    ///
+    /// [`parse`]: BenchArgs::parse
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
+        let mut scale = Scale::Quick;
+        let mut datasets = None;
+        let mut jobs = 1usize;
+        let mut json = None;
+        let mut shards = None;
+        let mut shard = None;
+        let mut shard_out = None;
+        let mut merge_dir = None;
+        let mut cache_dir: Option<PathBuf> = None;
+        let mut progress = false;
+
+        let mut args = args.into_iter();
+        let value_of = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .filter(|v| !v.is_empty())
+                .ok_or_else(|| err(format!("{flag} needs a value")))
+        };
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = value_of("--scale", &mut args)?;
+                    scale = Scale::from_name(&v).ok_or_else(|| {
+                        err(format!("unknown scale '{v}' (smoke|quick|paper|full)"))
+                    })?;
+                }
+                "--datasets" => {
+                    let v = value_of("--datasets", &mut args)?;
+                    let names: Vec<String> = v.split(',').map(str::to_string).collect();
+                    for name in &names {
+                        if !Dataset::ALL.iter().any(|d| d.short_name() == name) {
+                            return Err(err(format!(
+                                "unknown dataset '{name}' (expected one of {})",
+                                Dataset::ALL.map(|d| d.short_name()).join(", ")
+                            )));
+                        }
+                    }
+                    datasets = Some(names);
+                }
+                "--jobs" => {
+                    let v = value_of("--jobs", &mut args)?;
+                    jobs = v.parse().map_err(|_| {
+                        err(format!(
+                            "--jobs needs an integer (0 = all cores), got '{v}'"
+                        ))
+                    })?;
+                }
+                "--json" => json = Some(PathBuf::from(value_of("--json", &mut args)?)),
+                "--shards" => {
+                    let v = value_of("--shards", &mut args)?;
+                    let n: usize = v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        err(format!("--shards needs a positive integer, got '{v}'"))
+                    })?;
+                    shards = Some(n);
+                }
+                "--shard" => {
+                    let v = value_of("--shard", &mut args)?;
+                    let (i, n) = v
+                        .split_once('/')
+                        .ok_or_else(|| err(format!("--shard needs I/N (e.g. 0/4), got '{v}'")))?;
+                    let parsed = (i.parse::<usize>(), n.parse::<usize>());
+                    shard = match parsed {
+                        (Ok(index), Ok(count)) if count >= 1 && index < count => {
+                            Some(Shard { index, count })
+                        }
+                        _ => {
+                            return Err(err(format!(
+                                "--shard needs I/N with I < N and N >= 1, got '{v}'"
+                            )))
+                        }
+                    };
+                }
+                "--shard-out" => {
+                    shard_out = Some(PathBuf::from(value_of("--shard-out", &mut args)?));
+                }
+                "--merge-dir" => {
+                    merge_dir = Some(PathBuf::from(value_of("--merge-dir", &mut args)?));
+                }
+                "--cache-dir" => {
+                    cache_dir = Some(PathBuf::from(value_of("--cache-dir", &mut args)?));
+                }
+                "--progress" => progress = true,
+                "--help" | "-h" => return Err(err(USAGE)),
+                other => {
+                    return Err(err(format!("unknown argument '{other}'\n\n{USAGE}")));
+                }
+            }
+        }
+
+        let roles = [shards.is_some(), shard.is_some(), merge_dir.is_some()];
+        if roles.iter().filter(|&&r| r).count() > 1 {
+            return Err(err(
+                "--shards, --shard and --merge-dir are mutually exclusive",
+            ));
+        }
+        if shard_out.is_some() && shard.is_none() {
+            return Err(err("--shard-out only makes sense with --shard"));
+        }
+        let cache = match cache_dir {
+            None => None,
+            Some(dir) => Some(
+                DatasetCache::new(&dir)
+                    .map_err(|e| err(format!("cannot open --cache-dir {}: {e}", dir.display())))?,
+            ),
+        };
+        Ok(Self {
+            scale,
+            datasets,
+            jobs,
+            json,
+            shards,
+            shard,
+            shard_out,
+            merge_dir,
+            cache,
+            progress,
+        })
+    }
+
+    /// Parse `std::env::args`; prints usage and exits on `--help` (0) or
+    /// bad input (2).
+    pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(CliError(msg)) if msg == USAGE => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(CliError(msg)) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// This process's sharding role.
+    pub fn role(&self) -> ShardRole {
+        if let Some(shard) = self.shard {
+            ShardRole::Worker(shard)
+        } else if let Some(n) = self.shards {
+            ShardRole::Coordinator(n)
+        } else if self.merge_dir.is_some() {
+            ShardRole::Merge
+        } else {
+            ShardRole::Single
+        }
+    }
+
+    /// `true` if `dataset` passed the filter.
+    pub fn wants(&self, dataset: Dataset) -> bool {
+        self.datasets
+            .as_ref()
+            .is_none_or(|list| list.iter().any(|n| n == dataset.short_name()))
+    }
+
+    /// Print a banner line on stdout — skipped in worker mode, whose
+    /// stdout is not part of the output contract.
+    pub fn banner(&self, line: &str) {
+        if self.shard.is_none() {
+            println!("{line}");
+        }
+    }
+
+    /// The paper pairs that pass the dataset filter, as a sweep spec over
+    /// `schemes` at the selected scale.
+    pub fn sweep_spec(&self, schemes: &[MmuConfig]) -> SweepSpec {
+        SweepSpec::for_pairs(
+            paper_pairs().into_iter().filter(|(_, d)| self.wants(*d)),
+            schemes,
+            |d| self.scale.divisor(d),
+        )
+    }
+
+    /// Write `fig` to the `--json` path, if one was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics on filesystem errors.
+    pub fn emit_json(&self, fig: &FigureJson) {
+        if let Some(path) = &self.json {
+            fig.write(path).expect("writing --json output failed");
+        }
+    }
+
+    /// Generate (or load through the cache) one dataset at the selected
+    /// scale.
+    pub fn generate_graph(&self, dataset: Dataset) -> dvm_graph::Graph {
+        let divisor = self.scale.divisor(dataset);
+        match &self.cache {
+            Some(cache) => cache.get_or_generate(dataset, divisor),
+            None => dataset.generate(divisor),
+        }
+    }
+
+    /// Report cache statistics on stderr, if a cache is in use. Called by
+    /// the grid runners once results are in; the format is stable so
+    /// `reproduce_all.sh` can scrape the counts into `BENCH_sweep.json`.
+    pub fn report_cache_stats(&self) {
+        if let Some(cache) = &self.cache {
+            if cache.hits() + cache.misses() > 0 {
+                eprintln!(
+                    "dataset-cache: hits={} misses={} rejected={} dir={}",
+                    cache.hits(),
+                    cache.misses(),
+                    cache.rejected(),
+                    cache.dir().display()
+                );
+            }
+        }
+    }
+
+    /// The argv a coordinator hands to worker `index` of `count`:
+    /// everything the worker needs to build the identical grid, minus the
+    /// coordinator-only flags.
+    pub fn worker_argv(
+        &self,
+        index: usize,
+        count: usize,
+        fragment: &std::path::Path,
+    ) -> Vec<String> {
+        let mut argv = vec!["--scale".to_string(), self.scale.name().to_string()];
+        if let Some(datasets) = &self.datasets {
+            argv.push("--datasets".to_string());
+            argv.push(datasets.join(","));
+        }
+        argv.push("--jobs".to_string());
+        argv.push(self.jobs.to_string());
+        if let Some(cache) = &self.cache {
+            argv.push("--cache-dir".to_string());
+            argv.push(cache.dir().display().to_string());
+        }
+        if self.progress {
+            argv.push("--progress".to_string());
+        }
+        argv.push("--shard".to_string());
+        argv.push(format!("{index}/{count}"));
+        argv.push("--shard-out".to_string());
+        argv.push(fragment.display().to_string());
+        argv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, CliError> {
+        BenchArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_the_old_harness() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.scale, Scale::Quick);
+        assert_eq!(args.jobs, 1);
+        assert!(args.datasets.is_none() && args.json.is_none());
+        assert_eq!(args.role(), ShardRole::Single);
+        assert!(!args.progress && args.cache.is_none());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let args = parse(&[
+            "--scale",
+            "smoke",
+            "--datasets",
+            "FR,NF",
+            "--jobs",
+            "0",
+            "--json",
+            "out.json",
+            "--progress",
+        ])
+        .unwrap();
+        assert_eq!(args.scale, Scale::Smoke);
+        assert_eq!(
+            args.datasets.as_deref(),
+            Some(&["FR".to_string(), "NF".to_string()][..])
+        );
+        assert_eq!(args.jobs, 0);
+        assert_eq!(args.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert!(args.progress);
+        assert!(args.wants(Dataset::Flickr));
+        assert!(!args.wants(Dataset::Wikipedia));
+    }
+
+    #[test]
+    fn shard_roles_parse_and_exclude_each_other() {
+        assert_eq!(
+            parse(&["--shard", "1/3"]).unwrap().role(),
+            ShardRole::Worker(Shard { index: 1, count: 3 })
+        );
+        assert_eq!(
+            parse(&["--shards", "4"]).unwrap().role(),
+            ShardRole::Coordinator(4)
+        );
+        assert_eq!(
+            parse(&["--merge-dir", "d"]).unwrap().role(),
+            ShardRole::Merge
+        );
+        assert!(parse(&["--shard", "3/3"]).is_err());
+        assert!(parse(&["--shard", "x/3"]).is_err());
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards", "2", "--shard", "0/2"]).is_err());
+        assert!(parse(&["--shard-out", "f.json"]).is_err());
+    }
+
+    #[test]
+    fn bad_input_is_described() {
+        assert!(parse(&["--scale", "huge"])
+            .unwrap_err()
+            .0
+            .contains("unknown scale"));
+        assert!(parse(&["--datasets", "FR,Nope"])
+            .unwrap_err()
+            .0
+            .contains("unknown dataset"));
+        assert!(parse(&["--jobs", "many"])
+            .unwrap_err()
+            .0
+            .contains("integer"));
+        assert!(parse(&["--jobs"]).unwrap_err().0.contains("needs a value"));
+        assert!(parse(&["--frobnicate"]).unwrap_err().0.contains("usage:"));
+    }
+
+    #[test]
+    fn worker_argv_round_trips_through_the_parser() {
+        let coordinator = parse(&["--scale", "smoke", "--datasets", "FR", "--jobs", "2"]).unwrap();
+        let argv = coordinator.worker_argv(1, 2, std::path::Path::new("frag.json"));
+        let worker = BenchArgs::try_parse(argv).unwrap();
+        assert_eq!(worker.scale, coordinator.scale);
+        assert_eq!(worker.datasets, coordinator.datasets);
+        assert_eq!(worker.jobs, coordinator.jobs);
+        assert_eq!(
+            worker.role(),
+            ShardRole::Worker(Shard { index: 1, count: 2 })
+        );
+        assert_eq!(
+            worker.shard_out.as_deref(),
+            Some(std::path::Path::new("frag.json"))
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Result diffing: compare two emitted documents (a committed golden vs
+//! a fresh run) and report every divergence with a JSON-path label.
+//!
+//! The default comparison is exact — the whole point of the
+//! deterministic emitter is that equivalent runs are byte-identical — but
+//! a relative tolerance can be supplied for cross-machine comparisons
+//! where a future change might legitimately perturb floating-point
+//! results.
+
+use crate::Json;
+
+/// Compare `golden` against `fresh`, appending one line per divergence
+/// (path, golden value, fresh value). `rel_tol == 0.0` demands exact
+/// equality; a positive tolerance admits numeric drift up to
+/// `rel_tol * max(|golden|, |fresh|)`.
+pub fn diff_json(golden: &Json, fresh: &Json, rel_tol: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    diff_at("$", golden, fresh, rel_tol, &mut out);
+    out
+}
+
+fn numbers_close(a: &Json, b: &Json, rel_tol: f64) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            let scale = x.abs().max(y.abs());
+            (x - y).abs() <= rel_tol * scale
+        }
+        _ => false,
+    }
+}
+
+fn diff_at(path: &str, golden: &Json, fresh: &Json, rel_tol: f64, out: &mut Vec<String>) {
+    if golden == fresh {
+        return;
+    }
+    match (golden, fresh) {
+        (Json::Obj(g), Json::Obj(f)) => {
+            for (key, gv) in g {
+                match fresh.get(key) {
+                    Some(fv) => diff_at(&format!("{path}.{key}"), gv, fv, rel_tol, out),
+                    None => out.push(format!("{path}.{key}: missing from fresh document")),
+                }
+            }
+            for (key, _) in f {
+                if golden.get(key).is_none() {
+                    out.push(format!("{path}.{key}: not present in golden document"));
+                }
+            }
+        }
+        (Json::Arr(g), Json::Arr(f)) => {
+            if g.len() != f.len() {
+                out.push(format!(
+                    "{path}: golden has {} elements, fresh has {}",
+                    g.len(),
+                    f.len()
+                ));
+                return;
+            }
+            for (i, (gv, fv)) in g.iter().zip(f).enumerate() {
+                diff_at(&format!("{path}[{i}]"), gv, fv, rel_tol, out);
+            }
+        }
+        _ if rel_tol > 0.0 && numbers_close(golden, fresh, rel_tol) => {}
+        _ => out.push(format!("{path}: golden {golden} != fresh {fresh}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn identical_documents_have_no_diffs() {
+        let doc = parse("{\"a\": [1, 2.5, \"x\"], \"b\": {\"c\": null}}").unwrap();
+        assert!(diff_json(&doc, &doc, 0.0).is_empty());
+    }
+
+    #[test]
+    fn divergences_are_path_labeled() {
+        let golden = parse("{\"rows\": [{\"label\": \"a\", \"values\": [1, 2]}]}").unwrap();
+        let fresh = parse("{\"rows\": [{\"label\": \"a\", \"values\": [1, 3]}]}").unwrap();
+        let diffs = diff_json(&golden, &fresh, 0.0);
+        assert_eq!(diffs, vec!["$.rows[0].values[1]: golden 2 != fresh 3"]);
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_reported() {
+        let golden = parse("{\"a\": 1, \"b\": 2}").unwrap();
+        let fresh = parse("{\"a\": 1, \"c\": 3}").unwrap();
+        let diffs = diff_json(&golden, &fresh, 0.0);
+        assert_eq!(diffs.len(), 2);
+        assert!(diffs[0].contains("$.b") && diffs[0].contains("missing"));
+        assert!(diffs[1].contains("$.c") && diffs[1].contains("not present"));
+    }
+
+    #[test]
+    fn length_mismatch_short_circuits() {
+        let golden = parse("[1, 2, 3]").unwrap();
+        let fresh = parse("[1]").unwrap();
+        let diffs = diff_json(&golden, &fresh, 0.0);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("3 elements"));
+    }
+
+    #[test]
+    fn relative_tolerance_admits_small_numeric_drift() {
+        let golden = parse("{\"x\": 100.0, \"y\": \"s\"}").unwrap();
+        let fresh = parse("{\"x\": 100.5, \"y\": \"s\"}").unwrap();
+        assert_eq!(diff_json(&golden, &fresh, 0.0).len(), 1);
+        assert!(diff_json(&golden, &fresh, 0.01).is_empty());
+        assert_eq!(diff_json(&golden, &fresh, 0.001).len(), 1);
+        // Tolerance never excuses non-numeric divergence.
+        let fresh_str = parse("{\"x\": 100.0, \"y\": \"t\"}").unwrap();
+        assert_eq!(diff_json(&golden, &fresh_str, 0.5).len(), 1);
+    }
+
+    #[test]
+    fn integer_vs_float_of_same_value_is_exact_inequality_but_tolerant_match() {
+        // An emitted 2.0 renders as "2" and parses back as UInt — these
+        // never actually diverge in our own documents, but cross-tool
+        // documents might mix kinds.
+        let a = Json::UInt(2);
+        let b = Json::Float(2.0);
+        assert_eq!(diff_json(&a, &b, 0.0).len(), 1);
+        assert!(diff_json(&a, &b, 1e-12).is_empty());
+    }
+}

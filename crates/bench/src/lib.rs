@@ -1,15 +1,21 @@
 //! Shared plumbing for the benchmark harness binaries that regenerate
 //! every table and figure of the paper (see DESIGN.md §5 for the index).
 //!
-//! Each binary accepts:
+//! The crate is organised as three layers the binaries compose:
 //!
-//! ```text
-//! --scale quick|paper|full   dataset sizing (default: quick)
-//! --datasets FR,Wiki,...     restrict to some inputs
-//! --jobs N                   worker threads (0 = all cores; default 1)
-//! --json PATH                also write machine-readable results
-//! ```
+//! * [`cli`] — the one typed command line ([`BenchArgs`]) every binary
+//!   parses, including the sharding flags,
+//! * [`shard`] — the multi-process sweep runner: a coordinator respawns
+//!   the binary as `--shard I/N` workers, collects raw-result fragments
+//!   and formats the merged grid exactly once, so N-shard output is
+//!   byte-identical to the serial run,
+//! * [`json`] — the hand-rolled JSON layer: [`JsonDoc`] builder (every
+//!   document opens with `schema_version` + `experiment`), renderer,
+//!   parser and header validation.
 //!
+//! Scales:
+//!
+//! * `smoke` — seconds; for tests and CI gates only.
 //! * `quick` — minutes on a laptop; dataset stand-ins shrunk 8x further
 //!   than `paper`. Shapes hold because footprints still exceed TLB reach.
 //! * `paper` — stand-ins sized so vertex counts approach the published
@@ -17,20 +23,28 @@
 //! * `full`  — unscaled Table 3 sizes (hours; needs ~16 GiB of host RAM).
 //!
 //! All binaries execute through [`dvm_core::sweep`], so `--jobs N` runs
-//! the shared-nothing (scheme × workload × dataset) grid on N threads
-//! while producing output byte-identical to the serial run.
+//! the shared-nothing (scheme × workload × dataset) grid on N threads —
+//! and `--shards N` across N processes — while producing output
+//! byte-identical to the serial run.
 
+pub mod cli;
+pub mod diff;
 pub mod json;
+pub mod shard;
 
-pub use json::{report_json, FigureJson, Json};
+pub use cli::{BenchArgs, CliError, Shard, ShardRole};
+pub use diff::diff_json;
+pub use json::{parse, report_json, validate_header, FigureJson, Json, JsonDoc, SCHEMA_VERSION};
+pub use shard::{run_grid, run_sharded_sweep, ShardValue};
 
-use dvm_core::{run_sweep, CellReports, Dataset, MmuConfig, SweepSpec, Workload};
+use dvm_core::{Dataset, Workload};
 use std::fmt::Write as _;
-use std::path::PathBuf;
 
 /// Dataset scaling selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// 64x smaller than `quick`; seconds end to end, for tests/CI.
+    Smoke,
     /// 8x smaller than `paper`; default.
     Quick,
     /// Near-published sizes.
@@ -43,9 +57,21 @@ impl Scale {
     /// Human name.
     pub fn name(&self) -> &'static str {
         match self {
+            Scale::Smoke => "smoke",
             Scale::Quick => "quick",
             Scale::Paper => "paper",
             Scale::Full => "full",
+        }
+    }
+
+    /// Inverse of [`Scale::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            "full" => Some(Scale::Full),
+            _ => None,
         }
     }
 
@@ -54,7 +80,8 @@ impl Scale {
     /// exceeds the 512 KiB reach of the 128-entry 4K TLB, and (b) most
     /// footprints exceed the 256 MiB reach of the 2M TLB — the property
     /// behind the paper's "2M pages barely help" observation — while edge
-    /// counts stay tractable.
+    /// counts stay tractable. `smoke` keeps none of those properties; it
+    /// only exercises the machinery.
     pub fn divisor(&self, dataset: Dataset) -> u32 {
         let paper = match dataset {
             Dataset::Flickr => 1,
@@ -69,124 +96,7 @@ impl Scale {
             Scale::Full => 1,
             Scale::Paper => paper,
             Scale::Quick => paper * 4,
-        }
-    }
-}
-
-/// Parsed harness options.
-#[derive(Debug, Clone)]
-pub struct HarnessArgs {
-    /// Selected scale.
-    pub scale: Scale,
-    /// Dataset filter (None = all).
-    pub datasets: Option<Vec<String>>,
-    /// Sweep worker threads: `0` = all cores, `1` = serial (default).
-    pub jobs: usize,
-    /// Where to write the machine-readable results, if anywhere.
-    pub json: Option<PathBuf>,
-}
-
-impl HarnessArgs {
-    /// Parse `std::env::args`; exits with usage help on `--help` or bad
-    /// input.
-    pub fn parse() -> Self {
-        let mut scale = Scale::Quick;
-        let mut datasets = None;
-        let mut jobs = 1usize;
-        let mut json = None;
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--scale" => {
-                    let v = args.next().unwrap_or_default();
-                    scale = match v.as_str() {
-                        "quick" => Scale::Quick,
-                        "paper" => Scale::Paper,
-                        "full" => Scale::Full,
-                        other => {
-                            eprintln!("unknown scale '{other}' (quick|paper|full)");
-                            std::process::exit(2);
-                        }
-                    };
-                }
-                "--datasets" => {
-                    let v = args.next().unwrap_or_default();
-                    datasets = Some(v.split(',').map(|s| s.to_string()).collect());
-                }
-                "--jobs" => {
-                    let v = args.next().unwrap_or_default();
-                    jobs = match v.parse() {
-                        Ok(n) => n,
-                        Err(_) => {
-                            eprintln!("--jobs needs an integer (0 = all cores), got '{v}'");
-                            std::process::exit(2);
-                        }
-                    };
-                }
-                "--json" => {
-                    let v = args.next().unwrap_or_default();
-                    if v.is_empty() {
-                        eprintln!("--json needs a path");
-                        std::process::exit(2);
-                    }
-                    json = Some(PathBuf::from(v));
-                }
-                "--help" | "-h" => {
-                    eprintln!(
-                        "usage: [--scale quick|paper|full] [--datasets FR,Wiki,...] \
-                         [--jobs N] [--json PATH]"
-                    );
-                    std::process::exit(0);
-                }
-                other => {
-                    eprintln!("unknown argument '{other}'");
-                    std::process::exit(2);
-                }
-            }
-        }
-        Self {
-            scale,
-            datasets,
-            jobs,
-            json,
-        }
-    }
-
-    /// `true` if `dataset` passed the filter.
-    pub fn wants(&self, dataset: Dataset) -> bool {
-        self.datasets
-            .as_ref()
-            .is_none_or(|list| list.iter().any(|n| n == dataset.short_name()))
-    }
-
-    /// The paper pairs that pass the dataset filter, as a sweep spec over
-    /// `schemes` at the selected scale.
-    pub fn sweep_spec(&self, schemes: &[MmuConfig]) -> SweepSpec {
-        SweepSpec::for_pairs(
-            paper_pairs().into_iter().filter(|(_, d)| self.wants(*d)),
-            schemes,
-            |d| self.scale.divisor(d),
-        )
-    }
-
-    /// Run the filtered paper pairs under `schemes` on the sweep engine.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any experiment fails — harness binaries have no recovery
-    /// path.
-    pub fn run_graph_sweep(&self, schemes: &[MmuConfig]) -> Vec<CellReports> {
-        run_sweep(&self.sweep_spec(schemes), self.jobs).expect("experiment failed")
-    }
-
-    /// Write `fig` to the `--json` path, if one was given.
-    ///
-    /// # Panics
-    ///
-    /// Panics on filesystem errors.
-    pub fn emit_json(&self, fig: &FigureJson) {
-        if let Some(path) = &self.json {
-            fig.write(path).expect("writing --json output failed");
+            Scale::Smoke => paper * 256,
         }
     }
 }
@@ -240,6 +150,7 @@ pub fn geomean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dvm_core::MmuConfig;
 
     #[test]
     fn fifteen_pairs_in_paper_order() {
@@ -254,7 +165,16 @@ mod tests {
         for ds in Dataset::ALL {
             assert_eq!(Scale::Full.divisor(ds), 1);
             assert_eq!(Scale::Quick.divisor(ds), Scale::Paper.divisor(ds) * 4);
+            assert_eq!(Scale::Smoke.divisor(ds), Scale::Quick.divisor(ds) * 64);
         }
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for scale in [Scale::Smoke, Scale::Quick, Scale::Paper, Scale::Full] {
+            assert_eq!(Scale::from_name(scale.name()), Some(scale));
+        }
+        assert_eq!(Scale::from_name("huge"), None);
     }
 
     #[test]
@@ -265,12 +185,7 @@ mod tests {
 
     #[test]
     fn sweep_spec_respects_filter() {
-        let args = HarnessArgs {
-            scale: Scale::Quick,
-            datasets: Some(vec!["FR".into()]),
-            jobs: 1,
-            json: None,
-        };
+        let args = BenchArgs::try_parse(["--datasets".to_string(), "FR".to_string()]).unwrap();
         let spec = args.sweep_spec(&[MmuConfig::Ideal]);
         // FR appears once per graph workload (BFS, PageRank, SSSP).
         assert_eq!(spec.cells.len(), 3);

@@ -1,0 +1,181 @@
+//! The sharding contract, end to end over real binaries: an N-shard run
+//! produces byte-identical stdout and `--json` output to a serial run,
+//! whether the shards are spawned by a coordinator (`--shards N`) or run
+//! by hand and merged later (`--shard I/N` + `--merge-dir`).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dvm-shard-merge-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(exe: &str, args: &[&str]) -> Output {
+    let output = Command::new(exe).args(args).output().expect("binary ran");
+    assert!(
+        output.status.success(),
+        "{exe} {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    output
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn fig2_sharded_runs_match_serial_byte_for_byte() {
+    let exe = env!("CARGO_BIN_EXE_fig2");
+    let dir = scratch("fig2");
+    let serial_json = dir.join("serial.json");
+    let serial = run(
+        exe,
+        &[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "1",
+            "--json",
+            serial_json.to_str().unwrap(),
+        ],
+    );
+
+    for shards in ["2", "3"] {
+        let sharded_json = dir.join(format!("sharded{shards}.json"));
+        let sharded = run(
+            exe,
+            &[
+                "--scale",
+                "smoke",
+                "--jobs",
+                "1",
+                "--shards",
+                shards,
+                "--json",
+                sharded_json.to_str().unwrap(),
+            ],
+        );
+        assert_eq!(
+            serial.stdout, sharded.stdout,
+            "stdout of --shards {shards} differs from serial"
+        );
+        assert_eq!(
+            read(&serial_json),
+            read(&sharded_json),
+            "--json of --shards {shards} differs from serial"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig2_manual_shards_merge_through_merge_dir() {
+    let exe = env!("CARGO_BIN_EXE_fig2");
+    let dir = scratch("fig2-manual");
+    let serial_json = dir.join("serial.json");
+    let serial = run(
+        exe,
+        &[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "1",
+            "--json",
+            serial_json.to_str().unwrap(),
+        ],
+    );
+
+    // Run the two workers by hand (multi-machine workflow), sharing an
+    // on-disk dataset cache, then merge their fragments.
+    let frags = dir.join("frags");
+    let cache = dir.join("cache");
+    for i in 0..2 {
+        let out = frags.join(format!("fig2_shard{i}of2.json"));
+        let worker = run(
+            exe,
+            &[
+                "--scale",
+                "smoke",
+                "--shard",
+                &format!("{i}/2"),
+                "--shard-out",
+                out.to_str().unwrap(),
+                "--cache-dir",
+                cache.to_str().unwrap(),
+            ],
+        );
+        // Worker stdout carries no banner; cache stats go to stderr.
+        assert!(worker.stdout.is_empty(), "worker stdout should be empty");
+        assert!(
+            String::from_utf8_lossy(&worker.stderr).contains("dataset-cache:"),
+            "worker stderr should report cache stats"
+        );
+    }
+    let merged_json = dir.join("merged.json");
+    let merged = run(
+        exe,
+        &[
+            "--scale",
+            "smoke",
+            "--merge-dir",
+            frags.to_str().unwrap(),
+            "--json",
+            merged_json.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(serial.stdout, merged.stdout);
+    assert_eq!(read(&serial_json), read(&merged_json));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn grid_binary_shards_match_serial_byte_for_byte() {
+    // virt runs the non-sweep grid path (run_grid); it has no datasets,
+    // so it is the cheapest end-to-end check of that runner.
+    let exe = env!("CARGO_BIN_EXE_virt");
+    let dir = scratch("virt");
+    let serial_json = dir.join("serial.json");
+    let serial = run(exe, &["--json", serial_json.to_str().unwrap()]);
+    let sharded_json = dir.join("sharded.json");
+    let sharded = run(
+        exe,
+        &["--shards", "2", "--json", sharded_json.to_str().unwrap()],
+    );
+    assert_eq!(serial.stdout, sharded.stdout);
+    assert_eq!(read(&serial_json), read(&sharded_json));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn second_cached_run_skips_generation() {
+    let exe = env!("CARGO_BIN_EXE_table3");
+    let dir = scratch("cache-counts");
+    let cache = dir.join("cache");
+    let args = [
+        "--scale",
+        "smoke",
+        "--datasets",
+        "FR,NF",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+    ];
+    let first = run(exe, &args);
+    let second = run(exe, &args);
+    let stderr_of = |o: &Output| String::from_utf8_lossy(&o.stderr).to_string();
+    assert!(
+        stderr_of(&first).contains("hits=0 misses=2"),
+        "first run should generate both datasets: {}",
+        stderr_of(&first)
+    );
+    assert!(
+        stderr_of(&second).contains("hits=2 misses=0"),
+        "second run should hit the cache twice: {}",
+        stderr_of(&second)
+    );
+    assert_eq!(first.stdout, second.stdout);
+    let _ = std::fs::remove_dir_all(&dir);
+}

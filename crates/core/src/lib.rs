@@ -51,7 +51,8 @@ pub use experiment::{
     flavor_for, run_graph_experiment, run_paper_configs, ExperimentConfig, GraphRunReport,
 };
 pub use sweep::{
-    effective_jobs, parallel_map_ordered, run_sweep, CellReports, SweepCell, SweepSpec,
+    effective_jobs, parallel_map_ordered, run_sweep, run_sweep_opts, CellReports, SweepCell,
+    SweepOptions, SweepProgress, SweepSpec,
 };
 pub use table1::{page_table_study, PageTableStudy};
 
@@ -60,7 +61,7 @@ pub use table1::{page_table_study, PageTableStudy};
 pub use dvm_accel::{AccelConfig, RunResult, Workload};
 pub use dvm_cpu::{evaluate as evaluate_cpu, CpuModelConfig, CpuRunReport, CpuScheme, CpuWorkload};
 pub use dvm_energy::{EnergyAccount, EnergyParams, MmEvent};
-pub use dvm_graph::Dataset;
+pub use dvm_graph::{Dataset, DatasetCache};
 pub use dvm_mem::{DramConfig, MachineConfig};
 pub use dvm_mmu::MmuConfig;
 pub use dvm_os::{MapFlavor, Os, OsConfig, ShbenchConfig, ShbenchResult};

@@ -17,7 +17,7 @@
 
 use crate::experiment::{run_graph_experiment, ExperimentConfig, GraphRunReport};
 use dvm_accel::Workload;
-use dvm_graph::Dataset;
+use dvm_graph::{Dataset, DatasetCache};
 use dvm_mmu::MmuConfig;
 use dvm_types::DvmError;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -63,6 +63,83 @@ impl SweepSpec {
                 })
                 .collect(),
         }
+    }
+
+    /// The sub-spec a shard worker runs: cells `index, index + count,
+    /// index + 2*count, ...` (round-robin, so the heavy datasets — which
+    /// cluster in spec order — spread across shards). The global indices
+    /// of the selected cells are `shard_indices(index, count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count`.
+    pub fn shard(&self, index: usize, count: usize) -> SweepSpec {
+        SweepSpec {
+            cells: self
+                .shard_indices(index, count)
+                .map(|i| self.cells[i].clone())
+                .collect(),
+        }
+    }
+
+    /// Global cell indices belonging to shard `index` of `count`, in the
+    /// order [`SweepSpec::shard`] emits them.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count`.
+    pub fn shard_indices(&self, index: usize, count: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(index < count, "shard {index} out of {count}");
+        (index..self.cells.len()).step_by(count)
+    }
+}
+
+/// Progress snapshot handed to [`SweepOptions::progress`] after each
+/// (cell, scheme) unit completes.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepProgress<'a> {
+    /// Units finished so far (across all worker threads).
+    pub done: usize,
+    /// Total units in the sweep.
+    pub total: usize,
+    /// Workload of the unit that just finished.
+    pub workload: &'a str,
+    /// Dataset of the unit that just finished.
+    pub dataset: &'a str,
+    /// Scheme of the unit that just finished.
+    pub scheme: &'a str,
+}
+
+/// Knobs for [`run_sweep_opts`]; [`run_sweep`] is the plain-`jobs`
+/// shorthand.
+#[derive(Default)]
+pub struct SweepOptions<'a> {
+    /// Worker threads (`0` = all cores, `1` = serial).
+    pub jobs: usize,
+    /// Load/store generated graphs through an on-disk cache.
+    pub cache: Option<&'a DatasetCache>,
+    /// Invoked after every completed unit, from worker threads. Must not
+    /// touch stdout: the byte-identical output contract lives there.
+    pub progress: Option<&'a (dyn Fn(SweepProgress<'_>) + Sync)>,
+}
+
+impl<'a> SweepOptions<'a> {
+    /// Options equivalent to the `run_sweep(spec, jobs)` shorthand.
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self {
+            jobs,
+            ..Self::default()
+        }
+    }
+}
+
+impl std::fmt::Debug for SweepOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepOptions")
+            .field("jobs", &self.jobs)
+            .field("cache", &self.cache.map(|c| c.dir().to_path_buf()))
+            .field("progress", &self.progress.is_some())
+            .finish()
     }
 }
 
@@ -154,10 +231,15 @@ struct SharedGraph {
 }
 
 impl SharedGraph {
-    fn get(&self) -> Arc<dvm_graph::Graph> {
+    fn get(&self, cache: Option<&DatasetCache>) -> Arc<dvm_graph::Graph> {
         let mut slot = self.slot.lock().expect("graph slot poisoned");
-        slot.get_or_insert_with(|| Arc::new(self.dataset.generate(self.divisor)))
-            .clone()
+        slot.get_or_insert_with(|| {
+            Arc::new(match cache {
+                Some(cache) => cache.get_or_generate(self.dataset, self.divisor),
+                None => self.dataset.generate(self.divisor),
+            })
+        })
+        .clone()
     }
 
     fn release(&self) {
@@ -178,6 +260,22 @@ impl SharedGraph {
 /// Returns the first failing unit's error, in spec order. Remaining units
 /// still run to completion before the error is returned.
 pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> Result<Vec<CellReports>, DvmError> {
+    run_sweep_opts(spec, &SweepOptions::with_jobs(jobs))
+}
+
+/// [`run_sweep`] with the full option set: worker threads, the on-disk
+/// dataset cache, and per-unit progress reporting. Neither option
+/// perturbs results — a cached, progress-reporting run returns exactly
+/// what a bare serial run does.
+///
+/// # Errors
+///
+/// Returns the first failing unit's error, in spec order. Remaining units
+/// still run to completion before the error is returned.
+pub fn run_sweep_opts(
+    spec: &SweepSpec,
+    options: &SweepOptions<'_>,
+) -> Result<Vec<CellReports>, DvmError> {
     // One shared graph per distinct (dataset, divisor) key.
     let mut shared: Vec<SharedGraph> = Vec::new();
     let mut key_of_cell: Vec<usize> = Vec::with_capacity(spec.cells.len());
@@ -204,6 +302,7 @@ pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> Result<Vec<CellReports>, DvmE
     struct Unit {
         cell: usize,
         workload: Workload,
+        dataset_name: &'static str,
         mmu: MmuConfig,
         key: usize,
     }
@@ -216,18 +315,30 @@ pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> Result<Vec<CellReports>, DvmE
             c.schemes.iter().map(move |&mmu| Unit {
                 cell,
                 workload: c.workload,
+                dataset_name: c.dataset.short_name(),
                 mmu,
                 key,
             })
         })
         .collect();
 
-    let outcomes = parallel_map_ordered(&units, jobs, |unit| {
-        let graph = shared[unit.key].get();
+    let total = units.len();
+    let done = AtomicUsize::new(0);
+    let outcomes = parallel_map_ordered(&units, options.jobs, |unit| {
+        let graph = shared[unit.key].get(options.cache);
         let report =
             run_graph_experiment(&unit.workload, &graph, &ExperimentConfig::for_mmu(unit.mmu));
         drop(graph);
         shared[unit.key].release();
+        if let Some(progress) = options.progress {
+            progress(SweepProgress {
+                done: done.fetch_add(1, Ordering::AcqRel) + 1,
+                total,
+                workload: unit.workload.name(),
+                dataset: unit.dataset_name,
+                scheme: unit.mmu.name(),
+            });
+        }
         report
     });
 
@@ -285,6 +396,101 @@ mod tests {
         assert_eq!(spec.cells.len(), 2);
         assert_eq!(spec.cells[1].dataset, Dataset::Netflix);
         assert_eq!(spec.cells[0].schemes, vec![MmuConfig::Ideal]);
+    }
+
+    #[test]
+    fn shard_partitions_round_robin() {
+        let spec = SweepSpec::for_pairs(
+            [
+                (Workload::Bfs { root: 0 }, Dataset::Flickr),
+                (Workload::Bfs { root: 0 }, Dataset::Netflix),
+                (Workload::Bfs { root: 0 }, Dataset::Bip1),
+                (Workload::Bfs { root: 0 }, Dataset::Bip2),
+                (Workload::Bfs { root: 0 }, Dataset::Wikipedia),
+            ],
+            &[MmuConfig::Ideal],
+            |_| 1024,
+        );
+        let shard0 = spec.shard(0, 2);
+        let shard1 = spec.shard(1, 2);
+        assert_eq!(
+            shard0.cells.iter().map(|c| c.dataset).collect::<Vec<_>>(),
+            vec![Dataset::Flickr, Dataset::Bip1, Dataset::Wikipedia]
+        );
+        assert_eq!(
+            shard1.cells.iter().map(|c| c.dataset).collect::<Vec<_>>(),
+            vec![Dataset::Netflix, Dataset::Bip2]
+        );
+        assert_eq!(spec.shard_indices(1, 2).collect::<Vec<_>>(), vec![1, 3]);
+        // Every cell lands in exactly one shard.
+        let mut seen: Vec<usize> = (0..3)
+            .flat_map(|i| spec.shard_indices(i, 3).collect::<Vec<_>>())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..spec.cells.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn shard_index_must_be_below_count() {
+        SweepSpec::default().shard(2, 2);
+    }
+
+    #[test]
+    fn options_do_not_perturb_results_and_progress_counts_units() {
+        use std::sync::Mutex;
+        let spec = SweepSpec::for_pairs(
+            [
+                (Workload::Bfs { root: 0 }, Dataset::Flickr),
+                (Workload::PageRank { iterations: 1 }, Dataset::Flickr),
+            ],
+            &[MmuConfig::Ideal, MmuConfig::DvmPe { preload: false }],
+            |_| 1024,
+        );
+        let plain = run_sweep(&spec, 1).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("dvm-sweep-opts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DatasetCache::new(&dir).unwrap();
+        let events: Mutex<Vec<(usize, usize, String)>> = Mutex::new(Vec::new());
+        let record = |p: SweepProgress<'_>| {
+            events.lock().unwrap().push((
+                p.done,
+                p.total,
+                format!("{}/{} {}", p.workload, p.dataset, p.scheme),
+            ));
+        };
+        let options = SweepOptions {
+            jobs: 2,
+            cache: Some(&cache),
+            progress: Some(&record),
+        };
+        let opted = run_sweep_opts(&spec, &options).unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{opted:?}"));
+
+        let events = events.into_inner().unwrap();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|(_, total, _)| *total == 4));
+        let mut dones: Vec<usize> = events.iter().map(|(done, _, _)| *done).collect();
+        dones.sort_unstable();
+        assert_eq!(dones, vec![1, 2, 3, 4]);
+        assert!(events.iter().any(|(_, _, label)| label == "BFS/FR Ideal"));
+        // One distinct (dataset, divisor) key: generated once, missed once.
+        assert_eq!(cache.misses(), 1);
+
+        // A second cached run hits instead of generating, same results.
+        let rerun = run_sweep_opts(
+            &spec,
+            &SweepOptions {
+                jobs: 1,
+                cache: Some(&cache),
+                progress: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{rerun:?}"));
+        assert_eq!(cache.hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! On-disk CSR dataset cache.
+//!
+//! `paper`/`full` sweeps regenerate multi-GiB R-MAT stand-ins on every
+//! run, so sweep start-up used to be minutes of generator time before the
+//! first experiment cycle ran. The cache stores each generated graph in a
+//! versioned binary file keyed by `(dataset, divisor, seed)` so any later
+//! run — including every worker process of a sharded sweep — loads the
+//! CSR arrays back in seconds.
+//!
+//! The format is deliberately boring: a fixed little-endian header
+//! carrying the key and an FNV-1a checksum, followed by the raw edge
+//! list. A loaded graph is rebuilt through [`Graph::from_edges`], the
+//! same constructor the generators use, so a cache hit is structurally
+//! identical (`==`) to regeneration. Every validation failure — short
+//! file, bad magic, version or key mismatch, checksum mismatch, edge out
+//! of range — falls back to regeneration and rewrites the entry, so a
+//! corrupt or stale cache can slow a run down but never change its
+//! output.
+//!
+//! Writes go through a temp file plus atomic rename, which makes
+//! concurrent shard workers filling the same cache directory safe: the
+//! last writer wins with a complete file, and readers never observe a
+//! partial entry.
+
+use crate::csr::{Edge, Graph};
+use crate::datasets::Dataset;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bump whenever the on-disk layout (header or payload) changes; older
+/// entries are then treated as misses and rewritten.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// `b"DVMGCSR\0"` — identifies a cache entry regardless of version.
+const MAGIC: [u8; 8] = *b"DVMGCSR\0";
+
+/// Header: magic + version + seed + divisor + num_vertices + num_edges +
+/// payload checksum.
+const HEADER_BYTES: usize = 8 + 4 + 8 + 4 + 4 + 8 + 8;
+
+/// Bytes per serialized edge: src u32, dst u32, weight f32 bits.
+const EDGE_BYTES: usize = 12;
+
+/// A directory of cached dataset graphs plus hit/miss accounting.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dvm_graph::{Dataset, DatasetCache};
+/// let cache = DatasetCache::new("results/.dataset-cache").unwrap();
+/// let first = cache.get_or_generate(Dataset::Flickr, 1024); // miss: generates + stores
+/// let again = cache.get_or_generate(Dataset::Flickr, 1024); // hit: loads from disk
+/// assert_eq!(first, again);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct DatasetCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl DatasetCache {
+    /// Open (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Graphs served from disk.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Graphs that had to be generated (absent or invalid entries).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries that existed but failed validation (subset of misses).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The entry path for a key. One file per `(dataset, divisor)`; the
+    /// seed and version ride in the header (and the name, so stale
+    /// versions are simply different files).
+    pub fn entry_path(&self, dataset: Dataset, divisor: u32) -> PathBuf {
+        self.dir.join(format!(
+            "{}_div{}_v{}.csr",
+            dataset.short_name(),
+            divisor,
+            CACHE_FORMAT_VERSION
+        ))
+    }
+
+    /// Load the graph for `(dataset, divisor)` from disk, or generate and
+    /// store it. Never fails: every cache problem degrades to
+    /// regeneration, and a failed store only warns on stderr.
+    pub fn get_or_generate(&self, dataset: Dataset, divisor: u32) -> Graph {
+        let path = self.entry_path(dataset, divisor);
+        match std::fs::read(&path) {
+            Ok(bytes) => match decode(&bytes, dataset.seed(), divisor) {
+                Some(graph) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return graph;
+                }
+                None => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(_) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let graph = dataset.generate(divisor);
+        if let Err(e) = self.store(&path, dataset.seed(), divisor, &graph) {
+            eprintln!(
+                "dataset-cache: failed to store {} ({e}); continuing uncached",
+                path.display()
+            );
+        }
+        graph
+    }
+
+    /// Serialize `graph` to `path` via a temp file + atomic rename.
+    fn store(&self, path: &Path, seed: u64, divisor: u32, graph: &Graph) -> io::Result<()> {
+        let payload = encode_payload(graph);
+        let mut bytes = Vec::with_capacity(HEADER_BYTES + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&CACHE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&seed.to_le_bytes());
+        bytes.extend_from_slice(&divisor.to_le_bytes());
+        bytes.extend_from_slice(&graph.num_vertices().to_le_bytes());
+        bytes.extend_from_slice(&graph.num_edges().to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        // Unique temp name per process so concurrent shard workers never
+        // interleave writes; rename is atomic on POSIX.
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// The edge array as raw little-endian bytes, in CSR order.
+fn encode_payload(graph: &Graph) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(graph.edges().len() * EDGE_BYTES);
+    for e in graph.edges() {
+        payload.extend_from_slice(&e.src.to_le_bytes());
+        payload.extend_from_slice(&e.dst.to_le_bytes());
+        payload.extend_from_slice(&e.weight.to_bits().to_le_bytes());
+    }
+    payload
+}
+
+/// Validate and decode a cache entry; `None` means "treat as a miss".
+fn decode(bytes: &[u8], want_seed: u64, want_divisor: u32) -> Option<Graph> {
+    if bytes.len() < HEADER_BYTES || bytes[..8] != MAGIC {
+        return None;
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+    if u32_at(8) != CACHE_FORMAT_VERSION || u64_at(12) != want_seed || u32_at(20) != want_divisor {
+        return None;
+    }
+    let num_vertices = u32_at(24);
+    let num_edges = u64_at(28);
+    let checksum = u64_at(36);
+    let payload = &bytes[HEADER_BYTES..];
+    if payload.len() as u64 != num_edges.checked_mul(EDGE_BYTES as u64)?
+        || fnv1a(payload) != checksum
+    {
+        return None;
+    }
+    let mut edges = Vec::with_capacity(num_edges as usize);
+    for chunk in payload.chunks_exact(EDGE_BYTES) {
+        let src = u32::from_le_bytes(chunk[0..4].try_into().unwrap());
+        let dst = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        if src >= num_vertices || dst >= num_vertices {
+            return None;
+        }
+        edges.push(Edge {
+            src,
+            dst,
+            weight: f32::from_bits(u32::from_le_bytes(chunk[8..12].try_into().unwrap())),
+        });
+    }
+    Some(Graph::from_edges(num_vertices, edges))
+}
+
+/// 64-bit FNV-1a over `bytes` — cheap, dependency-free corruption check.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dvm-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bit_flips() {
+        let dir = scratch_dir("flip");
+        let cache = DatasetCache::new(&dir).unwrap();
+        let graph = cache.get_or_generate(Dataset::Flickr, 1024);
+        let path = cache.entry_path(Dataset::Flickr, 1024);
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(decode(&bytes, Dataset::Flickr.seed(), 1024).is_some());
+        // Truncated payload.
+        assert!(decode(&bytes[..bytes.len() - 1], Dataset::Flickr.seed(), 1024).is_none());
+        // A single flipped payload bit fails the checksum.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        assert!(decode(&corrupt, Dataset::Flickr.seed(), 1024).is_none());
+        // Wrong key.
+        assert!(decode(&bytes, Dataset::Flickr.seed() ^ 1, 1024).is_none());
+        assert!(decode(&bytes, Dataset::Flickr.seed(), 512).is_none());
+        drop(graph);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_then_decode_round_trips() {
+        let dir = scratch_dir("roundtrip");
+        let cache = DatasetCache::new(&dir).unwrap();
+        let generated = Dataset::Netflix.generate(1024);
+        let loaded = cache.get_or_generate(Dataset::Netflix, 1024);
+        assert_eq!(generated, loaded);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.get_or_generate(Dataset::Netflix, 1024), generated);
+        assert_eq!(cache.hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -134,6 +134,12 @@ impl Dataset {
         self.spec().bipartite.is_some()
     }
 
+    /// The R-MAT seed [`Dataset::generate`] uses — part of the on-disk
+    /// cache key, so stale entries are detected if seeding ever changes.
+    pub fn seed(&self) -> u64 {
+        0xD5A7 ^ (*self as u64)
+    }
+
     /// Generate the synthetic stand-in, shrunk by `scale_div` (a power of
     /// two; 1 = full published size). Deterministic per dataset.
     ///
@@ -146,7 +152,7 @@ impl Dataset {
             "scale_div must be a power of two"
         );
         let spec = self.spec();
-        let seed = 0xD5A7 ^ (*self as u64);
+        let seed = self.seed();
         match spec.bipartite {
             None => {
                 let target_v = (spec.vertices / scale_div as u64).max(1024);

@@ -17,10 +17,12 @@
 //! assert_eq!(g.num_vertices(), 4096);
 //! ```
 
+pub mod cache;
 pub mod csr;
 pub mod datasets;
 pub mod rmat;
 
+pub use cache::{DatasetCache, CACHE_FORMAT_VERSION};
 pub use csr::{Edge, Graph};
 pub use datasets::{Dataset, DatasetSpec};
 pub use rmat::{rmat, to_bipartite, RmatParams};

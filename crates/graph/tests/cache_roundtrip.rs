@@ -1,0 +1,87 @@
+//! The dataset cache's contract: a hit is indistinguishable from
+//! regeneration, and any damaged or stale entry silently falls back to
+//! the generator (and is repaired on disk).
+
+use dvm_graph::{Dataset, DatasetCache};
+use std::path::PathBuf;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dvm-cache-roundtrip-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn hit_equals_regeneration_across_cache_instances() {
+    let dir = scratch_dir("hit");
+    let expected = Dataset::Flickr.generate(1024);
+
+    // First instance populates the entry.
+    let cache = DatasetCache::new(&dir).unwrap();
+    assert_eq!(cache.get_or_generate(Dataset::Flickr, 1024), expected);
+    assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+    // A fresh instance (fresh process, in real use) loads it from disk.
+    let reopened = DatasetCache::new(&dir).unwrap();
+    assert_eq!(reopened.get_or_generate(Dataset::Flickr, 1024), expected);
+    assert_eq!((reopened.hits(), reopened.misses()), (1, 0));
+    assert_eq!(reopened.rejected(), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn distinct_divisors_are_distinct_entries() {
+    let dir = scratch_dir("divisors");
+    let cache = DatasetCache::new(&dir).unwrap();
+    let big = cache.get_or_generate(Dataset::Bip1, 512);
+    let small = cache.get_or_generate(Dataset::Bip1, 1024);
+    assert_ne!(big, small);
+    assert_eq!(cache.misses(), 2);
+    // Both entries now hit independently.
+    assert_eq!(cache.get_or_generate(Dataset::Bip1, 512), big);
+    assert_eq!(cache.get_or_generate(Dataset::Bip1, 1024), small);
+    assert_eq!(cache.hits(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_entry_falls_back_and_is_repaired() {
+    let dir = scratch_dir("corrupt");
+    let expected = Dataset::Rmat24.generate(1024);
+
+    let cache = DatasetCache::new(&dir).unwrap();
+    cache.get_or_generate(Dataset::Rmat24, 1024);
+    let path = cache.entry_path(Dataset::Rmat24, 1024);
+
+    // Flip one payload byte: the checksum must reject the entry.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let reopened = DatasetCache::new(&dir).unwrap();
+    assert_eq!(reopened.get_or_generate(Dataset::Rmat24, 1024), expected);
+    assert_eq!(reopened.rejected(), 1);
+    assert_eq!(reopened.misses(), 1);
+
+    // The bad entry was rewritten; the next lookup is a clean hit.
+    assert_eq!(reopened.get_or_generate(Dataset::Rmat24, 1024), expected);
+    assert_eq!(reopened.hits(), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_file_falls_back_cleanly() {
+    let dir = scratch_dir("garbage");
+    let cache = DatasetCache::new(&dir).unwrap();
+    let path = cache.entry_path(Dataset::Wikipedia, 1024);
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, b"not a cache entry").unwrap();
+    let expected = Dataset::Wikipedia.generate(1024);
+    assert_eq!(cache.get_or_generate(Dataset::Wikipedia, 1024), expected);
+    assert_eq!(cache.rejected(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Offline CI gate: formatting, lints, build, and the tier-1 test suite.
+# Offline CI gate: formatting, lints, build, the tier-1 test suite, the
+# multi-process shard-merge determinism check, and a golden-result diff.
 # Everything here runs with no network and no vendored crates — the
 # default workspace has zero external dependencies by design (see
 # DESIGN.md, "Sweep engine & hermetic build").
@@ -27,5 +28,30 @@ cargo test -q
 
 echo "== cargo test --workspace"
 cargo test --workspace -q
+
+echo "== shard-merge determinism (fig2, quick scale, 2 shards)"
+# A coordinator-merged 2-shard run must be byte-identical to the serial
+# run — text table and JSON document alike. The shared dataset cache
+# means the second run skips regeneration entirely.
+SHARD_TMP=$(mktemp -d)
+trap 'rm -rf "$SHARD_TMP"' EXIT
+target/release/fig2 --scale quick --datasets FR --jobs 1 \
+    --cache-dir "$SHARD_TMP/cache" \
+    --json "$SHARD_TMP/serial.json" > "$SHARD_TMP/serial.txt"
+target/release/fig2 --scale quick --datasets FR --jobs 1 --shards 2 \
+    --cache-dir "$SHARD_TMP/cache" \
+    --json "$SHARD_TMP/sharded.json" > "$SHARD_TMP/sharded.txt"
+cmp "$SHARD_TMP/serial.txt" "$SHARD_TMP/sharded.txt"
+cmp "$SHARD_TMP/serial.json" "$SHARD_TMP/sharded.json"
+echo "fig2 sharded output is byte-identical to serial"
+
+echo "== golden-result diff (virt, fig10, table4, quick scale)"
+# Regenerate the cheap quick-scale documents and diff them against the
+# committed goldens; the full set is checked by reproduce_all.sh +
+# scripts/diff_results.sh.
+target/release/virt --json "$SHARD_TMP/virt_quick.json" > /dev/null
+target/release/fig10 --scale quick --json "$SHARD_TMP/fig10_quick.json" > /dev/null
+target/release/table4 --scale quick --json "$SHARD_TMP/table4_quick.json" > /dev/null
+scripts/diff_results.sh "$SHARD_TMP" virt fig10 table4
 
 echo "ci: all green"

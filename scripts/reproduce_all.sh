@@ -2,29 +2,36 @@
 # Regenerate every table and figure of the paper into results/, then refresh
 # EXPERIMENTS.md. Usage:
 #
-#   scripts/reproduce_all.sh [quick|paper|full] [--jobs N]
+#   scripts/reproduce_all.sh [smoke|quick|paper|full] [--jobs N] [--shards N]
 #
 # quick: minutes. paper: ~1-2 hours on one core (Figure 8/9 dominate).
 # full: unscaled Table 3 datasets; hours and ~16 GiB of host RAM.
+# smoke: seconds; only checks the machinery.
 #
 # --jobs N fans each harness's grid across N worker threads (0 = all
-# cores). Output is byte-identical to a serial run; only wall-clock
-# changes. Each binary also writes results/<name>_<scale>.json, and the
-# script records per-binary wall-clock in results/BENCH_sweep.json.
+# cores); --shards N fans it across N worker processes. Output is
+# byte-identical to a serial run either way; only wall-clock changes.
+# Generated datasets are cached under results/.dataset-cache, so repeat
+# runs skip regeneration. Each binary writes results/<name>_<scale>.json,
+# and the script records per-binary wall-clock and dataset-cache hit/miss
+# counts in results/BENCH_sweep.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="quick"
 JOBS=1
+SHARDS=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
-        quick|paper|full) SCALE="$1"; shift ;;
+        smoke|quick|paper|full) SCALE="$1"; shift ;;
         --jobs) JOBS="$2"; shift 2 ;;
-        *) echo "usage: $0 [quick|paper|full] [--jobs N]" >&2; exit 2 ;;
+        --shards) SHARDS="$2"; shift 2 ;;
+        *) echo "usage: $0 [smoke|quick|paper|full] [--jobs N] [--shards N]" >&2; exit 2 ;;
     esac
 done
 
 B=target/release
+CACHE_DIR=results/.dataset-cache
 mkdir -p results
 
 cargo build --release -p dvm-bench
@@ -32,16 +39,36 @@ cargo build --release -p dvm-bench
 suffix="$SCALE"
 BENCH_ROWS=""
 now_ms() { python3 -c 'import time; print(int(time.time()*1000))'; }
+# Sum `hits=`/`misses=` across every dataset-cache stderr line (each
+# shard worker prints its own).
+cache_count() { # key, stderr-file
+    awk -v key="$1" '/^dataset-cache:/ {
+        for (i = 1; i <= NF; i++)
+            if (split($i, kv, "=") == 2 && kv[1] == key) total += kv[2]
+    } END { print total + 0 }' "$2"
+}
 run() { # name, extra args...
     local name="$1"; shift
-    echo ">>> $name --scale $SCALE --jobs $JOBS $*"
-    local t0 t1
+    local extra=()
+    if [[ $SHARDS -gt 0 ]]; then
+        extra+=(--shards "$SHARDS")
+    fi
+    echo ">>> $name --scale $SCALE --jobs $JOBS ${extra[*]} $*"
+    local t0 t1 err
+    err=$(mktemp)
     t0=$(now_ms)
     "$B/$name" --scale "$SCALE" --jobs "$JOBS" \
+        --cache-dir "$CACHE_DIR" "${extra[@]}" \
         --json "results/${name}_${suffix}.json" "$@" \
-        > "results/${name}_${suffix}.txt"
+        > "results/${name}_${suffix}.txt" \
+        2> "$err" || { cat "$err" >&2; rm -f "$err"; exit 1; }
     t1=$(now_ms)
-    BENCH_ROWS+="    {\"bin\": \"$name\", \"wall_ms\": $((t1 - t0))},"$'\n'
+    cat "$err" >&2
+    local hits misses
+    hits=$(cache_count hits "$err")
+    misses=$(cache_count misses "$err")
+    rm -f "$err"
+    BENCH_ROWS+="    {\"bin\": \"$name\", \"wall_ms\": $((t1 - t0)), \"cache_hits\": $hits, \"cache_misses\": $misses},"$'\n'
 }
 
 run table3
@@ -54,11 +81,14 @@ run fig9
 run table5
 run virt
 
-# Timing summary for this sweep (not diffed against serial output).
+# Timing + cache summary for this sweep (not diffed against goldens).
 {
     echo "{"
+    echo "  \"schema_version\": 1,"
+    echo "  \"experiment\": \"bench-sweep\","
     echo "  \"scale\": \"$SCALE\","
     echo "  \"jobs\": $JOBS,"
+    echo "  \"shards\": $SHARDS,"
     echo "  \"bins\": ["
     printf '%s' "${BENCH_ROWS%,$'\n'}"
     echo ""
