@@ -32,13 +32,7 @@
 //! // lets the memory system borrow `os.machine.mem` mutably.
 //! let pt = os.process(pid)?.page_table;
 //! let bitmap = os.bitmap;
-//! let mut sys = MemSystem {
-//!     iommu: &mut iommu,
-//!     pt: &pt,
-//!     bitmap: bitmap.as_ref(),
-//!     mem: &mut os.machine.mem,
-//!     dram: &mut dram,
-//! };
+//! let mut sys = MemSystem::new(&mut iommu, &pt, bitmap.as_ref(), &mut os.machine.mem, &mut dram);
 //! let result = run(&workload, &g, &mut sys, &AccelConfig::default())?;
 //! println!("BFS took {} cycles", result.cycles);
 //! # Ok(())

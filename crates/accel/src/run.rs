@@ -209,8 +209,7 @@ impl Engines {
 
 fn peek_u32(sys: &MemSystem, va: VirtAddr) -> u32 {
     let (pa, _) = sys
-        .pt
-        .translate(sys.mem, va)
+        .untimed_translate(va)
         .unwrap_or_else(|| panic!("untimed read of unmapped {va}"));
     sys.mem.read_u32(pa)
 }
@@ -221,8 +220,7 @@ fn peek_f32(sys: &MemSystem, va: VirtAddr) -> f32 {
 
 fn poke_u32(sys: &mut MemSystem, va: VirtAddr, value: u32) {
     let (pa, _) = sys
-        .pt
-        .translate(sys.mem, va)
+        .untimed_translate(va)
         .unwrap_or_else(|| panic!("untimed write of unmapped {va}"));
     sys.mem.write_u32(pa, value);
 }
@@ -231,47 +229,69 @@ fn poke_f32(sys: &mut MemSystem, va: VirtAddr, value: f32) {
     poke_u32(sys, va, value.to_bits());
 }
 
+/// Largest factor vector (in bytes) the batched helpers handle on the
+/// stack; larger vectors fall back to per-lane accesses.
+const VEC_BUF_BYTES: usize = 512;
+
 /// Untimed read of `k` contiguous f32 lanes with a single translation
 /// (the vector is page-contained: strides divide the page size).
 fn peek_vec(sys: &MemSystem, va: VirtAddr, k: u64, out: &mut Vec<f32>) {
     let (pa, _) = sys
-        .pt
-        .translate(sys.mem, va)
+        .untimed_translate(va)
         .unwrap_or_else(|| panic!("untimed read of unmapped {va}"));
     out.clear();
-    for f in 0..k {
-        out.push(sys.mem.read_f32(pa + f * 4));
+    let len = k as usize * 4;
+    if len <= VEC_BUF_BYTES {
+        let mut buf = [0u8; VEC_BUF_BYTES];
+        sys.mem.read_bytes(pa, &mut buf[..len]);
+        out.extend(
+            buf[..len]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+        );
+    } else {
+        for f in 0..k {
+            out.push(sys.mem.read_f32(pa + f * 4));
+        }
     }
 }
 
 /// Untimed write of lanes `1..k` (lane 0 is written by the timed store).
 fn poke_vec_tail(sys: &mut MemSystem, va: VirtAddr, values: &[f32]) {
     let (pa, _) = sys
-        .pt
-        .translate(sys.mem, va)
+        .untimed_translate(va)
         .unwrap_or_else(|| panic!("untimed write of unmapped {va}"));
-    for (f, v) in values.iter().enumerate().skip(1) {
-        sys.mem.write_f32(pa + f as u64 * 4, *v);
+    let tail = &values[1..];
+    let len = tail.len() * 4;
+    if len <= VEC_BUF_BYTES {
+        let mut buf = [0u8; VEC_BUF_BYTES];
+        for (chunk, v) in buf.chunks_exact_mut(4).zip(tail) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        sys.mem.write_bytes(pa + 4, &buf[..len]);
+    } else {
+        for (f, v) in values.iter().enumerate().skip(1) {
+            sys.mem.write_f32(pa + f as u64 * 4, *v);
+        }
     }
 }
 
 /// Host-side memset of a `u32` array (page-chunked, untimed).
 fn memset_u32(sys: &mut MemSystem, base: VirtAddr, count: u64, value: u32) {
+    // One full page of the fill pattern, sliced per chunk. `base` is
+    // 4-aligned and pages are 4-aligned, so chunks are whole words.
     let mut buf = Vec::with_capacity(PAGE_SIZE as usize);
+    for _ in 0..PAGE_SIZE / 4 {
+        buf.extend_from_slice(&value.to_le_bytes());
+    }
     let total = count * 4;
     let mut done = 0u64;
     while done < total {
         let va = base + done;
         let in_page = PAGE_SIZE - (va.raw() % PAGE_SIZE);
         let n = in_page.min(total - done);
-        buf.clear();
-        // `base` is 4-aligned and pages are 4-aligned, so chunks are whole
-        // words.
-        for _ in 0..n / 4 {
-            buf.extend_from_slice(&value.to_le_bytes());
-        }
-        let (pa, _) = sys.pt.translate(sys.mem, va).expect("mapped");
-        sys.mem.write_bytes(pa, &buf);
+        let (pa, _) = sys.untimed_translate(va).expect("mapped");
+        sys.mem.write_bytes(pa, &buf[..n as usize]);
         done += n;
     }
 }
@@ -540,16 +560,19 @@ fn run_cf(
 ) -> Result<RunResult, Fault> {
     assert!(features > 0, "CF needs at least one feature");
     let mut engines = Engines::new(cfg, sys);
-    // Deterministic small initial factors (one translation per vertex).
+    // Deterministic small initial factors (one translation and one byte
+    // write per vertex).
+    let mut row = Vec::with_capacity(features as usize * 4);
     for v in 0..g.num_vertices {
         let (pa, _) = sys
-            .pt
-            .translate(sys.mem, g.prop_entry(v))
+            .untimed_translate(g.prop_entry(v))
             .expect("prop array mapped");
+        row.clear();
         for f in 0..features {
             let seed = ((v as u64 * 31 + f as u64 * 7) % 97) as f32;
-            sys.mem.write_f32(pa + f as u64 * 4, 0.05 + seed / 1000.0);
+            row.extend_from_slice(&(0.05 + seed / 1000.0).to_le_bytes());
         }
+        sys.mem.write_bytes(pa, &row);
     }
     let mut edges_processed = 0u64;
     let k = features as u64;

@@ -27,13 +27,7 @@ fn revoked_permissions_abort_the_offload() {
     let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt,
-        bitmap: None,
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
     let fault = run(&workload, &g, &mut sys, &AccelConfig::default()).unwrap_err();
     assert_eq!(fault.kind, FaultKind::Protection);
     assert!(g.temp_va.raw() <= fault.va.raw());
@@ -59,13 +53,7 @@ fn unmapped_graph_memory_faults_as_not_mapped() {
     let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: false }, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt,
-        bitmap: None,
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
     let fault = run(&workload, &g, &mut sys, &AccelConfig::default()).unwrap_err();
     assert_eq!(fault.kind, FaultKind::NotMapped);
 }
@@ -94,13 +82,7 @@ fn faults_do_not_corrupt_other_processes() {
     let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(a).unwrap().page_table;
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt,
-        bitmap: None,
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
     // SSSP initialization writes the prop array through the OS... it is
     // done untimed by the runner, so the fault comes from the timed path.
     let result = run(&workload, &g, &mut sys, &AccelConfig::default());

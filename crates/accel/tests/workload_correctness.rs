@@ -38,13 +38,13 @@ fn run_workload(
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
     let bitmap = os.bitmap;
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt,
-        bitmap: bitmap.as_ref(),
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(
+        &mut iommu,
+        &pt,
+        bitmap.as_ref(),
+        &mut os.machine.mem,
+        &mut dram,
+    );
     let result = run(workload, &g, &mut sys, &AccelConfig::default()).unwrap();
     let props_u32 = dvm_accel::dump_props_u32(&sys, &g);
     let props_f32 = dvm_accel::dump_props_f32(&sys, &g);
@@ -124,13 +124,7 @@ fn cf_matches_reference_sgd() {
         let mut iommu = Iommu::new(config, EnergyParams::default());
         let mut dram = Dram::new(DramConfig::default());
         let pt = os.process(pid).unwrap().page_table;
-        let mut sys = MemSystem {
-            iommu: &mut iommu,
-            pt: &pt,
-            bitmap: None,
-            mem: &mut os.machine.mem,
-            dram: &mut dram,
-        };
+        let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
         run(&workload, &g, &mut sys, &AccelConfig::default()).unwrap();
         // Dump all 8 features per vertex.
         let mut got = Vec::new();

@@ -21,10 +21,11 @@
 //! --progress                      per-cell progress lines on stderr
 //! ```
 
-use crate::{paper_pairs, FigureJson, Scale};
+use crate::{paper_pairs, FigureJson, ReportCache, Scale};
 use dvm_core::{MmuConfig, SweepSpec};
 use dvm_graph::{Dataset, DatasetCache};
 use std::fmt;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// A worker's slice of the grid: shard `index` of `count`.
@@ -78,6 +79,10 @@ pub struct BenchArgs {
     pub merge_dir: Option<PathBuf>,
     /// Opened dataset cache, when `--cache-dir` was given.
     pub cache: Option<DatasetCache>,
+    /// Opened per-unit report cache, when `--report-cache` was given.
+    pub reports: Option<ReportCache>,
+    /// Print the dataset cache's on-disk state and exit (no sweep).
+    pub cache_stats: bool,
     /// Emit per-cell progress on stderr.
     pub progress: bool,
 }
@@ -99,18 +104,21 @@ fn err(msg: impl Into<String>) -> CliError {
 /// The usage text printed on `--help` and after errors.
 pub const USAGE: &str = "usage: [--scale smoke|quick|paper|full] [--datasets FR,Wiki,...]
        [--jobs N] [--json PATH] [--progress] [--cache-dir DIR]
+       [--cache-stats] [--report-cache DIR]
        [--shards N | --shard I/N [--shard-out PATH] | --merge-dir DIR]
 
-  --scale      dataset sizing (default: quick; smoke is for CI/tests)
-  --datasets   comma-separated short names; others are skipped
-  --jobs       worker threads per process (0 = all cores, default 1)
-  --json       also write the machine-readable document to PATH
-  --progress   per-cell progress lines on stderr (stdout is untouched)
-  --cache-dir  load/store generated datasets in an on-disk cache
-  --shards     fan the grid out over N worker processes and merge
-  --shard      run only shard I of N and write a fragment, then exit
-  --shard-out  fragment path for --shard (default results/shards/...)
-  --merge-dir  merge fragments already written by --shard workers";
+  --scale        dataset sizing (default: quick; smoke is for CI/tests)
+  --datasets     comma-separated short names; others are skipped
+  --jobs         worker threads per process (0 = all cores, default 1)
+  --json         also write the machine-readable document to PATH
+  --progress     per-cell progress lines on stderr (stdout is untouched)
+  --cache-dir    load/store generated datasets in an on-disk cache
+  --cache-stats  print the dataset cache's entries and exit (no sweep)
+  --report-cache reuse per-unit sweep reports across figure binaries
+  --shards       fan the grid out over N worker processes and merge
+  --shard        run only shard I of N and write a fragment, then exit
+  --shard-out    fragment path for --shard (default results/shards/...)
+  --merge-dir    merge fragments already written by --shard workers";
 
 impl BenchArgs {
     /// Parse an argument list (without the program name).
@@ -132,6 +140,8 @@ impl BenchArgs {
         let mut shard_out = None;
         let mut merge_dir = None;
         let mut cache_dir: Option<PathBuf> = None;
+        let mut report_dir: Option<PathBuf> = None;
+        let mut cache_stats = false;
         let mut progress = false;
 
         let mut args = args.into_iter();
@@ -203,6 +213,10 @@ impl BenchArgs {
                 "--cache-dir" => {
                     cache_dir = Some(PathBuf::from(value_of("--cache-dir", &mut args)?));
                 }
+                "--report-cache" => {
+                    report_dir = Some(PathBuf::from(value_of("--report-cache", &mut args)?));
+                }
+                "--cache-stats" => cache_stats = true,
                 "--progress" => progress = true,
                 "--help" | "-h" => return Err(err(USAGE)),
                 other => {
@@ -220,6 +234,9 @@ impl BenchArgs {
         if shard_out.is_some() && shard.is_none() {
             return Err(err("--shard-out only makes sense with --shard"));
         }
+        if cache_stats && cache_dir.is_none() {
+            return Err(err("--cache-stats needs --cache-dir"));
+        }
         let cache = match cache_dir {
             None => None,
             Some(dir) => Some(
@@ -227,6 +244,13 @@ impl BenchArgs {
                     .map_err(|e| err(format!("cannot open --cache-dir {}: {e}", dir.display())))?,
             ),
         };
+        let reports =
+            match report_dir {
+                None => None,
+                Some(dir) => Some(ReportCache::new(&dir).map_err(|e| {
+                    err(format!("cannot open --report-cache {}: {e}", dir.display()))
+                })?),
+            };
         Ok(Self {
             scale,
             datasets,
@@ -237,15 +261,24 @@ impl BenchArgs {
             shard_out,
             merge_dir,
             cache,
+            reports,
+            cache_stats,
             progress,
         })
     }
 
     /// Parse `std::env::args`; prints usage and exits on `--help` (0) or
-    /// bad input (2).
+    /// bad input (2). `--cache-stats` prints the dataset cache's on-disk
+    /// state and exits 0 without running anything.
     pub fn parse() -> Self {
         match Self::try_parse(std::env::args().skip(1)) {
-            Ok(args) => args,
+            Ok(args) => {
+                if args.cache_stats {
+                    print!("{}", args.cache_stats_text());
+                    std::process::exit(0);
+                }
+                args
+            }
             Err(CliError(msg)) if msg == USAGE => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
@@ -255,6 +288,66 @@ impl BenchArgs {
                 std::process::exit(2);
             }
         }
+    }
+
+    /// The `--cache-stats` report: one line per wanted dataset at the
+    /// selected scale — present entries with their size on disk, absent
+    /// ones marked — plus hit/miss counters and a byte total.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `--cache-dir` was given (parsing enforces this for
+    /// `--cache-stats`).
+    pub fn cache_stats_text(&self) -> String {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("--cache-stats requires --cache-dir");
+        let mut out = format!(
+            "dataset cache {} (scale {}):\n",
+            cache.dir().display(),
+            self.scale.name()
+        );
+        let mut present = 0usize;
+        let mut total_bytes = 0u64;
+        for dataset in Dataset::ALL {
+            if !self.wants(dataset) {
+                continue;
+            }
+            let divisor = self.scale.divisor(dataset);
+            let path = cache.entry_path(dataset, divisor);
+            match std::fs::metadata(&path) {
+                Ok(meta) => {
+                    present += 1;
+                    total_bytes += meta.len();
+                    let _ = writeln!(
+                        out,
+                        "  {:<5} div{:<4} {:>12} bytes  {}",
+                        dataset.short_name(),
+                        divisor,
+                        meta.len(),
+                        path.file_name().unwrap_or_default().to_string_lossy()
+                    );
+                }
+                Err(_) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<5} div{:<4} {:>12}        {}",
+                        dataset.short_name(),
+                        divisor,
+                        "absent",
+                        path.file_name().unwrap_or_default().to_string_lossy()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {present} present, {total_bytes} bytes total; this process: hits={} misses={}",
+            cache.hits(),
+            cache.misses()
+        );
+        out
     }
 
     /// This process's sharding role.
@@ -331,6 +424,16 @@ impl BenchArgs {
                 );
             }
         }
+        if let Some(reports) = &self.reports {
+            if reports.hits() + reports.misses() > 0 {
+                eprintln!(
+                    "report-cache: hits={} misses={} dir={}",
+                    reports.hits(),
+                    reports.misses(),
+                    reports.dir().display()
+                );
+            }
+        }
     }
 
     /// The argv a coordinator hands to worker `index` of `count`:
@@ -352,6 +455,10 @@ impl BenchArgs {
         if let Some(cache) = &self.cache {
             argv.push("--cache-dir".to_string());
             argv.push(cache.dir().display().to_string());
+        }
+        if let Some(reports) = &self.reports {
+            argv.push("--report-cache".to_string());
+            argv.push(reports.dir().display().to_string());
         }
         if self.progress {
             argv.push("--progress".to_string());
@@ -445,6 +552,32 @@ mod tests {
             .contains("integer"));
         assert!(parse(&["--jobs"]).unwrap_err().0.contains("needs a value"));
         assert!(parse(&["--frobnicate"]).unwrap_err().0.contains("usage:"));
+    }
+
+    #[test]
+    fn cache_stats_needs_the_cache_dir() {
+        assert!(parse(&["--cache-stats"])
+            .unwrap_err()
+            .0
+            .contains("--cache-dir"));
+        let dir = std::env::temp_dir().join(format!("dvm-cli-stats-{}", std::process::id()));
+        let args = parse(&["--cache-stats", "--cache-dir", dir.to_str().unwrap()]).unwrap();
+        assert!(args.cache_stats);
+        let text = args.cache_stats_text();
+        assert!(text.contains("absent") && text.contains("bytes total"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_cache_flag_opens_and_propagates_to_workers() {
+        let dir = std::env::temp_dir().join(format!("dvm-cli-rc-{}", std::process::id()));
+        let args = parse(&["--report-cache", dir.to_str().unwrap()]).unwrap();
+        let reports = args.reports.as_ref().expect("report cache opened");
+        assert_eq!(reports.dir(), dir.as_path());
+        let argv = args.worker_argv(0, 2, std::path::Path::new("frag.json"));
+        let pos = argv.iter().position(|a| a == "--report-cache").unwrap();
+        assert_eq!(argv[pos + 1], dir.display().to_string());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

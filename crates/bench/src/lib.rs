@@ -30,11 +30,13 @@
 pub mod cli;
 pub mod diff;
 pub mod json;
+pub mod reportcache;
 pub mod shard;
 
 pub use cli::{BenchArgs, CliError, Shard, ShardRole};
 pub use diff::diff_json;
 pub use json::{parse, report_json, validate_header, FigureJson, Json, JsonDoc, SCHEMA_VERSION};
+pub use reportcache::ReportCache;
 pub use shard::{run_grid, run_sharded_sweep, ShardValue};
 
 use dvm_core::{Dataset, Workload};

@@ -1,0 +1,282 @@
+//! On-disk memo of per-unit sweep reports.
+//!
+//! Figures 2, 8 and 9 sweep the *same* (workload × dataset × scheme)
+//! grid — fig2 a 2-scheme subset, fig8 and fig9 the full 7-scheme set —
+//! and each binary used to re-simulate every unit from scratch. A
+//! [`ReportCache`] plugged into [`dvm_core::SweepOptions::reports`]
+//! records each unit's [`GraphRunReport`] as it completes and replays it
+//! on the next request, so one simulation pass serves every figure that
+//! shares the grid.
+//!
+//! Correctness rests on the same round-trip contract as the shard
+//! fragments: entries hold exactly the [`report_json`] serialization the
+//! formatters consume, and re-serializing a reconstructed report yields
+//! the bytes it was parsed from (asserted by the fragment tests in
+//! [`crate::shard`]). A cached run's output is therefore byte-identical
+//! to an uncached one. Simulations are deterministic, so the *values*
+//! are the runs' values — the cache only skips redundant replay.
+//!
+//! Entries are keyed by the full unit identity (workload with all its
+//! parameters, dataset, shrink divisor, MMU scheme); the key is stored
+//! inside the entry and cross-checked on load, so a filename collision
+//! degrades to a miss, never a wrong report. Writes go through a
+//! temp-file rename, so concurrent shard workers sharing a directory
+//! see only complete entries. The cache is meant to live for one
+//! `reproduce_all.sh` invocation (the script clears it up front):
+//! entries do not try to survive simulator changes.
+
+use crate::shard::report_from_json;
+use crate::{parse, report_json, validate_header, Json, JsonDoc};
+use dvm_core::{GraphRunReport, ReportStore, UnitKey};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Directory-backed store of per-unit sweep reports.
+#[derive(Debug)]
+pub struct ReportCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ReportCache {
+    /// Open (creating if needed) a report cache in `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory-creation failure.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Units served from disk.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Units that had to be simulated (no entry, or a stale/foreign one).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The canonical textual identity of a unit. Uses the `Debug` forms
+    /// of the workload and scheme so every parameter (PageRank iteration
+    /// count, CF feature count, page size, preload flag, ...) is part of
+    /// the key.
+    fn key_string(key: &UnitKey<'_>) -> String {
+        format!(
+            "{:?}|{}|div{}|{:?}",
+            key.workload,
+            key.dataset.short_name(),
+            key.divisor,
+            key.mmu
+        )
+    }
+
+    /// Where the entry for `key` lives: a readable slug plus an FNV-1a
+    /// hash of the exact key (the slug alone is lossy).
+    pub fn entry_path(&self, key: &UnitKey<'_>) -> PathBuf {
+        let text = Self::key_string(key);
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let slug: String = text
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        self.dir.join(format!("{slug}-{hash:016x}.json"))
+    }
+}
+
+impl ReportStore for ReportCache {
+    fn load(&self, key: &UnitKey<'_>) -> Option<GraphRunReport> {
+        let path = self.entry_path(key);
+        let loaded = (|| {
+            let text = std::fs::read_to_string(&path).ok()?;
+            let doc = parse(&text).ok()?;
+            validate_header(&doc, Some("report-cache")).ok()?;
+            if doc.expect_str("kind") != Ok("unit-report")
+                || doc.expect_str("key") != Ok(&Self::key_string(key))
+            {
+                return None;
+            }
+            report_from_json(doc.get("report")?, key.mmu, key.workload).ok()
+        })();
+        match &loaded {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        loaded
+    }
+
+    fn store(&self, key: &UnitKey<'_>, report: &GraphRunReport) {
+        let doc = JsonDoc::new("report-cache")
+            .field("kind", Json::Str("unit-report".to_string()))
+            .field("key", Json::Str(Self::key_string(key)))
+            .field("report", report_json(report))
+            .build();
+        let path = self.entry_path(key);
+        // Write-then-rename so a concurrently reading worker never sees
+        // a torn entry; a lost race overwrites with identical content.
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if std::fs::write(&tmp, format!("{doc}\n")).is_ok() && std::fs::rename(&tmp, &path).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_core::{
+        run_graph_experiment, run_sweep_opts, Dataset, ExperimentConfig, MmuConfig, SweepOptions,
+        SweepSpec, Workload,
+    };
+    use dvm_graph::rmat;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dvm-reportcache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips_serialized_form() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ReportCache::new(&dir).unwrap();
+        let graph = rmat(10, 4, dvm_graph::RmatParams::default(), 3);
+        let workload = Workload::Bfs { root: 0 };
+        for mmu in [
+            MmuConfig::Conventional {
+                page_size: dvm_types::PageSize::Size4K,
+            },
+            MmuConfig::DvmPe { preload: true },
+            MmuConfig::Ideal,
+        ] {
+            let report =
+                run_graph_experiment(&workload, &graph, &ExperimentConfig::for_mmu(mmu)).unwrap();
+            let key = UnitKey {
+                workload: &workload,
+                dataset: Dataset::Rmat24,
+                divisor: 999,
+                mmu,
+            };
+            assert!(cache.load(&key).is_none(), "cold cache must miss");
+            cache.store(&key, &report);
+            let loaded = cache.load(&key).expect("stored entry loads");
+            // The serialized form — everything the formatters read — is
+            // identical; that is the byte-identity contract.
+            assert_eq!(report_json(&loaded), report_json(&report));
+        }
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_mismatch_degrades_to_miss() {
+        let dir = tmp_dir("mismatch");
+        let cache = ReportCache::new(&dir).unwrap();
+        let graph = rmat(10, 4, dvm_graph::RmatParams::default(), 3);
+        let workload = Workload::Bfs { root: 0 };
+        let report = run_graph_experiment(
+            &workload,
+            &graph,
+            &ExperimentConfig::for_mmu(MmuConfig::Ideal),
+        )
+        .unwrap();
+        let key = UnitKey {
+            workload: &workload,
+            dataset: Dataset::Flickr,
+            divisor: 64,
+            mmu: MmuConfig::Ideal,
+        };
+        cache.store(&key, &report);
+        // Same path contents, different expected key (divisor differs):
+        // copy the entry onto the other key's path to force a collision.
+        let other = UnitKey { divisor: 65, ..key };
+        std::fs::copy(cache.entry_path(&key), cache.entry_path(&other)).unwrap();
+        assert!(cache.load(&other).is_none(), "foreign entry must not load");
+        // Distinct workload parameters key distinct entries.
+        let rooted = Workload::Bfs { root: 7 };
+        let rekeyed = UnitKey {
+            workload: &rooted,
+            ..key
+        };
+        assert_ne!(cache.entry_path(&key), cache.entry_path(&rekeyed));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_reuses_cached_units_without_perturbing_results() {
+        let dir = tmp_dir("sweep");
+        let cache = ReportCache::new(&dir).unwrap();
+        let spec = SweepSpec::for_pairs(
+            [
+                (Workload::Bfs { root: 0 }, Dataset::Flickr),
+                (Workload::PageRank { iterations: 1 }, Dataset::Flickr),
+            ],
+            &[MmuConfig::Ideal, MmuConfig::DvmPe { preload: false }],
+            |_| 1024,
+        );
+        let plain = dvm_core::run_sweep(&spec, 1).unwrap();
+        let first = run_sweep_opts(
+            &spec,
+            &SweepOptions {
+                reports: Some(&cache),
+                ..SweepOptions::with_jobs(1)
+            },
+        )
+        .unwrap();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 4);
+        let second = run_sweep_opts(
+            &spec,
+            &SweepOptions {
+                reports: Some(&cache),
+                ..SweepOptions::with_jobs(1)
+            },
+        )
+        .unwrap();
+        assert_eq!(cache.hits(), 4, "second sweep replays every unit");
+        for (a, b) in plain.iter().zip(&second) {
+            for (ra, rb) in a.reports.iter().zip(&b.reports) {
+                assert_eq!(report_json(ra), report_json(rb));
+            }
+        }
+        // A scheme the cache has not seen still simulates.
+        let wider = SweepSpec::for_pairs(
+            [(Workload::Bfs { root: 0 }, Dataset::Flickr)],
+            &[MmuConfig::Ideal, MmuConfig::DvmBitmap],
+            |_| 1024,
+        );
+        let mixed = run_sweep_opts(
+            &wider,
+            &SweepOptions {
+                reports: Some(&cache),
+                ..SweepOptions::with_jobs(1)
+            },
+        )
+        .unwrap();
+        assert_eq!(mixed[0].reports.len(), 2);
+        assert_eq!(cache.hits(), 5);
+        assert_eq!(cache.misses(), 5);
+        drop(first);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

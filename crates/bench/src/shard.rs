@@ -13,10 +13,12 @@
 //! `--jobs 1` run by construction.
 //!
 //! Workers' stdout is discarded (their banner lines are not part of any
-//! contract); stderr is inherited so `--progress` lines and
-//! dataset-cache statistics stream through. `--merge-dir DIR` skips the
-//! spawning and merges fragments some other machine's workers already
-//! wrote — the multi-host workflow.
+//! contract). Without `--progress`, stderr is inherited so dataset-cache
+//! statistics stream through; with it, the coordinator pipes each
+//! worker's stderr and merges the N per-shard `progress:` streams into
+//! one global `done/total` count (other lines pass through verbatim).
+//! `--merge-dir DIR` skips the spawning and merges fragments some other
+//! machine's workers already wrote — the multi-host workflow.
 //!
 //! Reconstructed [`GraphRunReport`]s carry only the fields
 //! [`report_json`] serializes; `engine_cycles`, `walker_cycles` and the
@@ -173,7 +175,7 @@ impl ShardValue for dvm_core::PageTableStudy {
 /// in the context of the cell (`mmu`, `workload`) the coordinator's own
 /// spec says the unit belongs to — the names stored in the fragment are
 /// cross-checked against that context.
-fn report_from_json(
+pub(crate) fn report_from_json(
     obj: &Json,
     mmu: MmuConfig,
     workload: &Workload,
@@ -364,28 +366,49 @@ fn write_fragment(
 
 /// Respawn this executable as `count` shard workers, wait for all of
 /// them, and return their parsed fragments. Worker stdout is discarded —
-/// banners belong to the coordinator; stderr is inherited.
-fn spawn_workers(args: &BenchArgs, experiment: &str, count: usize) -> Result<Vec<Json>, String> {
+/// banners belong to the coordinator. Under `--progress` each worker's
+/// stderr is piped through [`collapse_progress`] so the user sees one
+/// `done/total_units` count over the whole grid instead of `count`
+/// interleaved per-shard counts; otherwise stderr is inherited.
+fn spawn_workers(
+    args: &BenchArgs,
+    experiment: &str,
+    count: usize,
+    total_units: usize,
+) -> Result<Vec<Json>, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate own executable: {e}"))?;
     let dir = std::env::temp_dir().join(format!("dvm-shards-{experiment}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let done = std::sync::Arc::new(AtomicUsize::new(0));
     let result = (|| {
         let paths: Vec<PathBuf> = (0..count)
             .map(|i| dir.join(fragment_name(experiment, i, count)))
             .collect();
         let mut children = Vec::with_capacity(count);
         for (i, path) in paths.iter().enumerate() {
-            let child = Command::new(&exe)
+            let mut command = Command::new(&exe);
+            command
                 .args(args.worker_argv(i, count, path))
-                .stdout(Stdio::null())
+                .stdout(Stdio::null());
+            if args.progress {
+                command.stderr(Stdio::piped());
+            }
+            let mut child = command
                 .spawn()
                 .map_err(|e| format!("spawning shard {i}/{count} failed: {e}"))?;
-            children.push(child);
+            let relay = child.stderr.take().map(|stderr| {
+                let done = std::sync::Arc::clone(&done);
+                std::thread::spawn(move || relay_worker_stderr(stderr, &done, total_units))
+            });
+            children.push((child, relay));
         }
-        for (i, mut child) in children.into_iter().enumerate() {
+        for (i, (mut child, relay)) in children.into_iter().enumerate() {
             let status = child
                 .wait()
                 .map_err(|e| format!("waiting on shard {i} failed: {e}"))?;
+            if let Some(relay) = relay {
+                let _ = relay.join();
+            }
             if !status.success() {
                 return Err(format!("shard {i}/{count} exited with {status}"));
             }
@@ -394,6 +417,33 @@ fn spawn_workers(args: &BenchArgs, experiment: &str, count: usize) -> Result<Vec
     })();
     let _ = std::fs::remove_dir_all(&dir);
     result
+}
+
+/// Stream one worker's stderr to ours, collapsing its `progress:` lines
+/// into the shared global count; everything else (dataset-cache
+/// statistics, diagnostics) passes through untouched.
+fn relay_worker_stderr(stderr: std::process::ChildStderr, done: &AtomicUsize, total: usize) {
+    use std::io::BufRead as _;
+    for line in std::io::BufReader::new(stderr).lines() {
+        let Ok(line) = line else { return };
+        match collapse_progress(&line, done, total) {
+            Some(merged) => eprintln!("{merged}"),
+            None => eprintln!("{line}"),
+        }
+    }
+}
+
+/// If `line` is a worker `progress:` line, bump the global counter and
+/// return the merged `progress: done/total (unit label)` form — the
+/// worker's own shard tag and per-shard count are dropped, the unit
+/// label (the text in the final parentheses) is kept.
+fn collapse_progress(line: &str, done: &AtomicUsize, total: usize) -> Option<String> {
+    let rest = line.strip_prefix("progress: ")?;
+    let label = rest
+        .rfind('(')
+        .map_or(rest, |open| rest[open + 1..].trim_end_matches(')'));
+    let n = done.fetch_add(1, Ordering::AcqRel) + 1;
+    Some(format!("progress: {n}/{total} ({label})"))
 }
 
 fn read_fragment(path: &Path) -> Result<Json, String> {
@@ -460,8 +510,9 @@ pub fn run_sharded_sweep(
             std::process::exit(0);
         }
         ShardRole::Coordinator(count) => {
-            let fragments =
-                spawn_workers(args, experiment, count).unwrap_or_else(|e| fail(experiment, &e));
+            let total_units = spec.cells.iter().map(|cell| cell.schemes.len()).sum();
+            let fragments = spawn_workers(args, experiment, count, total_units)
+                .unwrap_or_else(|e| fail(experiment, &e));
             cells_from_fragments(args, experiment, &spec, &fragments)
         }
         ShardRole::Merge => {
@@ -543,6 +594,10 @@ fn sweep_with_options(
         } else {
             None
         },
+        reports: args
+            .reports
+            .as_ref()
+            .map(|cache| cache as &dyn dvm_core::ReportStore),
     };
     run_sweep_opts(spec, &options).expect("experiment failed")
 }
@@ -583,8 +638,8 @@ where
             std::process::exit(0);
         }
         ShardRole::Coordinator(count) => {
-            let fragments =
-                spawn_workers(args, experiment, count).unwrap_or_else(|e| fail(experiment, &e));
+            let fragments = spawn_workers(args, experiment, count, labels.len())
+                .unwrap_or_else(|e| fail(experiment, &e));
             grid_from_fragments(args, experiment, labels, &fragments)
         }
         ShardRole::Merge => {
@@ -799,6 +854,43 @@ mod tests {
             .contains("1 of 2"));
         // Empty set.
         assert!(merge_fragments(&[], "t", "smoke", 2).is_err());
+    }
+
+    #[test]
+    fn interleaved_worker_progress_collapses_into_one_count() {
+        let done = AtomicUsize::new(0);
+        // Two workers over a 4-unit grid, lines arriving interleaved:
+        // shard tags and per-shard counts vanish, labels survive, and
+        // the merged count runs 1..=4 in arrival order.
+        let lines = [
+            "progress: shard 0/2 1/2 (BFS/FR 4K)",
+            "progress: shard 1/2 1/2 (BFS/Wiki 2M)",
+            "progress: shard 1/2 2/2 (CF/NF Ideal)",
+            "progress: shard 0/2 2/2 (SSSP/LJ DVM)",
+        ];
+        let merged: Vec<String> = lines
+            .iter()
+            .filter_map(|line| collapse_progress(line, &done, 4))
+            .collect();
+        assert_eq!(
+            merged,
+            [
+                "progress: 1/4 (BFS/FR 4K)",
+                "progress: 2/4 (BFS/Wiki 2M)",
+                "progress: 3/4 (CF/NF Ideal)",
+                "progress: 4/4 (SSSP/LJ DVM)",
+            ]
+        );
+        // run_grid-style lines (no shard tag) and non-progress chatter.
+        assert_eq!(
+            collapse_progress("progress: 1/9 (1 GiB heap)", &done, 4).as_deref(),
+            Some("progress: 5/4 (1 GiB heap)")
+        );
+        assert_eq!(
+            collapse_progress("dataset-cache: hits=3 misses=0", &done, 4),
+            None
+        );
+        assert_eq!(done.load(Ordering::Acquire), 5);
     }
 
     #[test]

@@ -141,13 +141,13 @@ pub fn run_graph_experiment(
     let mut dram = Dram::new(config.dram);
     let pt = os.process(pid)?.page_table;
     let bitmap = os.bitmap;
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt,
-        bitmap: bitmap.as_ref(),
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(
+        &mut iommu,
+        &pt,
+        bitmap.as_ref(),
+        &mut os.machine.mem,
+        &mut dram,
+    );
     let result = run(workload, &g, &mut sys, &config.accel).map_err(DvmError::from)?;
 
     let stats = &iommu.stats;

@@ -51,8 +51,8 @@ pub use experiment::{
     flavor_for, run_graph_experiment, run_paper_configs, ExperimentConfig, GraphRunReport,
 };
 pub use sweep::{
-    effective_jobs, parallel_map_ordered, run_sweep, run_sweep_opts, CellReports, SweepCell,
-    SweepOptions, SweepProgress, SweepSpec,
+    effective_jobs, parallel_map_ordered, run_sweep, run_sweep_opts, CellReports, ReportStore,
+    SweepCell, SweepOptions, SweepProgress, SweepSpec, UnitKey,
 };
 pub use table1::{page_table_study, PageTableStudy};
 

@@ -110,6 +110,33 @@ pub struct SweepProgress<'a> {
     pub scheme: &'a str,
 }
 
+/// Identity of one sweep unit — everything that determines its
+/// [`GraphRunReport`]. [`ReportStore`] implementations key on this.
+#[derive(Debug, Clone, Copy)]
+pub struct UnitKey<'a> {
+    /// Workload, with all its parameters.
+    pub workload: &'a Workload,
+    /// Input dataset.
+    pub dataset: Dataset,
+    /// Shrink divisor the dataset was generated with.
+    pub divisor: u32,
+    /// MMU scheme under test.
+    pub mmu: MmuConfig,
+}
+
+/// A memo of completed sweep units. The sweep engine consults it before
+/// running a unit and records every unit it does run; a `load` hit must
+/// return a report whose *serialized form* is identical to what a fresh
+/// run would produce — the same contract the shard-fragment round trip
+/// already guarantees. Implementations live above `dvm-core` (the bench
+/// crate persists reports as JSON); simulation code stays storage-free.
+pub trait ReportStore: Sync {
+    /// A previously recorded report for `key`, if one exists.
+    fn load(&self, key: &UnitKey<'_>) -> Option<GraphRunReport>;
+    /// Record a freshly computed report for `key`.
+    fn store(&self, key: &UnitKey<'_>, report: &GraphRunReport);
+}
+
 /// Knobs for [`run_sweep_opts`]; [`run_sweep`] is the plain-`jobs`
 /// shorthand.
 #[derive(Default)]
@@ -121,6 +148,9 @@ pub struct SweepOptions<'a> {
     /// Invoked after every completed unit, from worker threads. Must not
     /// touch stdout: the byte-identical output contract lives there.
     pub progress: Option<&'a (dyn Fn(SweepProgress<'_>) + Sync)>,
+    /// Reuse per-unit reports across runs (and across figure binaries
+    /// that sweep the same grid) instead of re-simulating them.
+    pub reports: Option<&'a dyn ReportStore>,
 }
 
 impl<'a> SweepOptions<'a> {
@@ -139,6 +169,7 @@ impl std::fmt::Debug for SweepOptions<'_> {
             .field("jobs", &self.jobs)
             .field("cache", &self.cache.map(|c| c.dir().to_path_buf()))
             .field("progress", &self.progress.is_some())
+            .field("reports", &self.reports.is_some())
             .finish()
     }
 }
@@ -302,7 +333,8 @@ pub fn run_sweep_opts(
     struct Unit {
         cell: usize,
         workload: Workload,
-        dataset_name: &'static str,
+        dataset: Dataset,
+        divisor: u32,
         mmu: MmuConfig,
         key: usize,
     }
@@ -315,7 +347,8 @@ pub fn run_sweep_opts(
             c.schemes.iter().map(move |&mmu| Unit {
                 cell,
                 workload: c.workload,
-                dataset_name: c.dataset.short_name(),
+                dataset: c.dataset,
+                divisor: c.divisor,
                 mmu,
                 key,
             })
@@ -325,17 +358,34 @@ pub fn run_sweep_opts(
     let total = units.len();
     let done = AtomicUsize::new(0);
     let outcomes = parallel_map_ordered(&units, options.jobs, |unit| {
-        let graph = shared[unit.key].get(options.cache);
-        let report =
-            run_graph_experiment(&unit.workload, &graph, &ExperimentConfig::for_mmu(unit.mmu));
-        drop(graph);
+        let unit_key = UnitKey {
+            workload: &unit.workload,
+            dataset: unit.dataset,
+            divisor: unit.divisor,
+            mmu: unit.mmu,
+        };
+        let report = match options.reports.and_then(|store| store.load(&unit_key)) {
+            Some(cached) => Ok(cached),
+            None => {
+                let graph = shared[unit.key].get(options.cache);
+                let report = run_graph_experiment(
+                    &unit.workload,
+                    &graph,
+                    &ExperimentConfig::for_mmu(unit.mmu),
+                );
+                if let (Some(store), Ok(report)) = (options.reports, &report) {
+                    store.store(&unit_key, report);
+                }
+                report
+            }
+        };
         shared[unit.key].release();
         if let Some(progress) = options.progress {
             progress(SweepProgress {
                 done: done.fetch_add(1, Ordering::AcqRel) + 1,
                 total,
                 workload: unit.workload.name(),
-                dataset: unit.dataset_name,
+                dataset: unit.dataset.short_name(),
                 scheme: unit.mmu.name(),
             });
         }
@@ -464,6 +514,7 @@ mod tests {
             jobs: 2,
             cache: Some(&cache),
             progress: Some(&record),
+            reports: None,
         };
         let opted = run_sweep_opts(&spec, &options).unwrap();
         assert_eq!(format!("{plain:?}"), format!("{opted:?}"));
@@ -485,6 +536,7 @@ mod tests {
                 jobs: 1,
                 cache: Some(&cache),
                 progress: None,
+                reports: None,
             },
         )
         .unwrap();

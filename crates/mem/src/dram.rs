@@ -56,6 +56,11 @@ pub struct Dram {
     reads: u64,
     writes: u64,
     per_channel: Vec<u64>,
+    /// Precomputed shift for `line_bytes` (asserted a power of two).
+    line_shift: u32,
+    /// `channels - 1` when the channel count is a power of two, so the
+    /// per-access channel select is a mask instead of a modulo.
+    channel_mask: Option<u64>,
 }
 
 impl Dram {
@@ -75,6 +80,11 @@ impl Dram {
             reads: 0,
             writes: 0,
             per_channel: vec![0; config.channels as usize],
+            line_shift: config.line_bytes.trailing_zeros(),
+            channel_mask: config
+                .channels
+                .is_power_of_two()
+                .then(|| config.channels as u64 - 1),
         }
     }
 
@@ -98,7 +108,11 @@ impl Dram {
     }
 
     fn count(&mut self, pa: PhysAddr, kind: AccessKind) {
-        let channel = ((pa.raw() / self.config.line_bytes) % self.config.channels as u64) as usize;
+        let line = pa.raw() >> self.line_shift;
+        let channel = match self.channel_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.config.channels as u64) as usize,
+        };
         self.per_channel[channel] += 1;
         match kind {
             AccessKind::Write => self.writes += 1,

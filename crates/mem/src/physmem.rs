@@ -6,10 +6,22 @@
 //! hands out zeroed pages.
 
 use dvm_types::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const FRAME_BYTES: usize = PAGE_SIZE as usize;
 
 type Frame = Box<[u8; FRAME_BYTES]>;
+
+/// Source of globally unique page-table generation numbers. A single
+/// process-wide counter (rather than per-`PhysMem` counters) guarantees a
+/// memo tagged with one memory's generation can never accidentally match
+/// another instance's. The values feed equality checks only — never any
+/// simulated output — so allocation order across threads is irrelevant.
+static PT_GEN: AtomicU64 = AtomicU64::new(1);
+
+fn next_pt_gen() -> u64 {
+    PT_GEN.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Byte-addressable physical memory backed by lazily allocated 4 KiB frames.
 ///
@@ -27,6 +39,7 @@ type Frame = Box<[u8; FRAME_BYTES]>;
 pub struct PhysMem {
     frames: Vec<Option<Frame>>,
     resident: u64,
+    pt_gen: u64,
 }
 
 impl PhysMem {
@@ -35,6 +48,7 @@ impl PhysMem {
         Self {
             frames: (0..total_frames).map(|_| None).collect(),
             resident: 0,
+            pt_gen: next_pt_gen(),
         }
     }
 
@@ -48,15 +62,36 @@ impl PhysMem {
         self.resident
     }
 
+    /// Generation tag of the page tables stored in this memory. Any
+    /// translation cached outside the page tables (see `TranslationMemo`
+    /// in `dvm-mmu`) is valid only while this value is unchanged.
+    #[inline]
+    pub fn pt_gen(&self) -> u64 {
+        self.pt_gen
+    }
+
+    /// Record that a page-table entry stored in this memory was mutated
+    /// (or a table frame freed), invalidating every memoized translation.
+    /// Called by `dvm-pagetable` on each structural update.
+    #[inline]
+    pub fn note_pt_mutation(&mut self) {
+        self.pt_gen = next_pt_gen();
+    }
+
     #[inline]
     fn frame_of(&self, pa: PhysAddr) -> (usize, usize) {
         let frame = (pa.raw() >> PAGE_SHIFT) as usize;
         let offset = (pa.raw() & (PAGE_SIZE - 1)) as usize;
-        assert!(
-            frame < self.frames.len(),
-            "physical access beyond memory: {pa}"
-        );
+        if frame >= self.frames.len() {
+            self.out_of_range(pa);
+        }
         (frame, offset)
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn out_of_range(&self, pa: PhysAddr) -> ! {
+        panic!("physical access beyond memory: {pa}");
     }
 
     #[inline]
@@ -157,11 +192,15 @@ macro_rules! typed_access {
             pub fn $read(&self, pa: PhysAddr) -> $ty {
                 const N: usize = core::mem::size_of::<$ty>();
                 let mut buf = [0u8; N];
-                // Fast path: within one frame.
-                let (frame, offset) = self.frame_of(pa);
+                // Fast path: within one frame. A single `get` doubles as
+                // the bounds assert and the slot fetch — no re-derivation.
+                let frame = (pa.raw() >> PAGE_SHIFT) as usize;
+                let offset = (pa.raw() & (PAGE_SIZE - 1)) as usize;
                 if offset + N <= FRAME_BYTES {
-                    if let Some(data) = &self.frames[frame] {
-                        buf.copy_from_slice(&data[offset..offset + N]);
+                    match self.frames.get(frame) {
+                        Some(Some(data)) => buf.copy_from_slice(&data[offset..offset + N]),
+                        Some(None) => {}
+                        None => self.out_of_range(pa),
                     }
                 } else {
                     self.read_bytes(pa, &mut buf);

@@ -11,6 +11,7 @@
 //! | `DVM-PE+` | 1 KiB AVC | like DVM-PE, but reads overlap DAV with a preload |
 //! | `Ideal` | none | direct physical access |
 
+use crate::memo::WalkMemo;
 use crate::ptcache::{PtCache, PtCacheConfig, PtcLookup};
 use crate::tlb::{Associativity, Tlb, TlbConfig, TlbEntry};
 use core::fmt;
@@ -170,6 +171,7 @@ pub struct Iommu {
     tlb: Option<Tlb>,
     ptc: Option<PtCache>,
     bitmap_cache: Option<PtCache>,
+    walk_memo: WalkMemo,
     /// Dynamic-energy account for MM events.
     pub energy: EnergyAccount,
     /// Event counters.
@@ -208,9 +210,16 @@ impl Iommu {
             tlb,
             ptc,
             bitmap_cache,
+            walk_memo: WalkMemo::new(),
             energy: EnergyAccount::new(energy_params),
             stats: IommuStats::new(),
         }
+    }
+
+    /// Enable or disable memoization of timed walks (enabled by default;
+    /// equivalence tests disable it to compare against direct walks).
+    pub fn set_walk_memo(&mut self, enabled: bool) {
+        self.walk_memo.set_enabled(enabled);
     }
 
     /// The configured scheme.
@@ -333,7 +342,7 @@ impl Iommu {
         va: VirtAddr,
     ) -> (Walk, Cycles) {
         self.stats.walks.inc();
-        let walk = pt.walk(mem, va);
+        let walk = self.walk_memo.walk(pt, mem, va);
         let mut stall: Cycles = 0;
         let mut busy: Cycles = 0;
         for step in walk.steps() {

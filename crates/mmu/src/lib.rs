@@ -26,13 +26,7 @@
 //!
 //! let mut dram = Dram::new(DramConfig::default());
 //! let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
-//! let mut sys = MemSystem {
-//!     iommu: &mut iommu,
-//!     pt: &pt,
-//!     bitmap: None,
-//!     mem: &mut mem,
-//!     dram: &mut dram,
-//! };
+//! let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut mem, &mut dram);
 //! sys.write_u64(base, 42)?;
 //! let (value, _latency) = sys.read_u64(base)?;
 //! assert_eq!(value, 42);
@@ -41,12 +35,14 @@
 //! ```
 
 pub mod iommu;
+pub mod memo;
 pub mod memsys;
 pub mod nested;
 pub mod ptcache;
 pub mod tlb;
 
 pub use iommu::{Iommu, IommuStats, MmuConfig, Validation};
+pub use memo::TranslationMemo;
 pub use memsys::MemSystem;
 pub use nested::{NestedScheme, NestedTranslation, NestedWalker};
 pub use ptcache::{PtCache, PtCacheConfig, PtcLookup};

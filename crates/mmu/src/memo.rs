@@ -1,0 +1,326 @@
+//! Memoization of software page-table walks.
+//!
+//! The simulator performs two kinds of walks through simulated `PhysMem`:
+//! *untimed* functional walks (the accelerator runner peeking and poking
+//! data without charging cycles) and *timed* walks inside
+//! [`Iommu::timed_walk`](crate::Iommu::timed_walk), whose per-step
+//! addresses drive the page-walk cache and DRAM models. Both repeat the
+//! same 4-level pointer chase for every access to a page, which dominates
+//! the simulator's inner loop.
+//!
+//! Both memos here exploit the same invariant: for a fixed page table
+//! (identified by `(PhysMem::pt_gen, root_frame)`), the walk of any
+//! virtual address is a pure function of its 4 KiB virtual page number.
+//!
+//! * every step's PTE address depends only on VA bits ≥ 12;
+//! * a `Leaf` outcome is linear inside its page (`pa = base + offset`)
+//!   for 4 KiB, 2 MiB and 1 GiB leaves alike;
+//! * a `PermissionEntry` outcome's slot index depends only on VA bits
+//!   ≥ 13 (slot spans are ≥ 128 KiB);
+//! * a `NotMapped` outcome's failing level is offset-independent.
+//!
+//! So a direct-mapped VPN-indexed cache of the page-base walk reproduces
+//! the uncached walk *exactly*, and [`PhysMem::note_pt_mutation`] bumping
+//! the generation on every page-table write or table-frame free makes
+//! stale entries unreachable.
+
+use core::cell::Cell;
+use dvm_mem::PhysMem;
+use dvm_pagetable::{PageTable, Walk, WalkOutcome};
+use dvm_types::{Permission, PhysAddr, VirtAddr, PAGE_SIZE};
+
+/// log2 of the slot count: 4096 slots cover a ~16 MiB working set per
+/// conflict-free stride, far more pages than the quick-scale property
+/// arrays span and enough that sequential edge scans miss once per page.
+const LOG2_SLOTS: u32 = 12;
+const SLOTS: usize = 1 << LOG2_SLOTS;
+
+/// Fibonacci multiplier; spreads clustered VPNs across slots so distinct
+/// arenas laid out at round offsets do not thrash a shared slot.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn slot_of(vpn: u64) -> usize {
+    (vpn.wrapping_mul(HASH_MUL) >> (64 - LOG2_SLOTS)) as usize
+}
+
+/// Identity of the page table a memo entry was computed against.
+pub type MemoTag = (u64, u64); // (PhysMem::pt_gen, PageTable::root_frame)
+
+/// Direct-mapped memo of *untimed* translations, owned by
+/// [`MemSystem`](crate::MemSystem).
+///
+/// Uses interior mutability so read-only helpers (`dump_props_*`, the
+/// runner's peeks) can populate it through `&MemSystem`. Entries store
+/// the 4 KiB page-base physical address with the permission bits packed
+/// into the low bits (page bases are 4 KiB-aligned, permissions fit in
+/// two bits).
+///
+/// # Examples
+///
+/// ```
+/// use dvm_mmu::TranslationMemo;
+/// let memo = TranslationMemo::new();
+/// assert!(memo.is_enabled());
+/// assert!(!TranslationMemo::disabled().is_enabled());
+/// ```
+#[derive(Debug)]
+pub struct TranslationMemo {
+    tag: Cell<MemoTag>,
+    /// `vpn + 1` per slot; 0 marks an empty slot.
+    vpns: Box<[Cell<u64>]>,
+    /// Page-base PA | permission bits.
+    data: Box<[Cell<u64>]>,
+}
+
+impl TranslationMemo {
+    /// An enabled memo with the default slot count.
+    pub fn new() -> Self {
+        Self {
+            tag: Cell::new((0, 0)),
+            vpns: (0..SLOTS).map(|_| Cell::new(0)).collect(),
+            data: (0..SLOTS).map(|_| Cell::new(0)).collect(),
+        }
+    }
+
+    /// A memo that never hits and never stores — every untimed access
+    /// falls through to the real walk (used by equivalence tests).
+    pub fn disabled() -> Self {
+        Self {
+            tag: Cell::new((0, 0)),
+            vpns: Box::new([]),
+            data: Box::new([]),
+        }
+    }
+
+    /// Whether this memo has any capacity.
+    pub fn is_enabled(&self) -> bool {
+        !self.vpns.is_empty()
+    }
+
+    /// Drop every entry if `tag` no longer matches the tables the memo
+    /// was filled against.
+    fn revalidate(&self, tag: MemoTag) {
+        if self.tag.get() != tag {
+            for slot in self.vpns.iter() {
+                slot.set(0);
+            }
+            self.tag.set(tag);
+        }
+    }
+
+    /// Memoized translation of `va`, if present and still valid.
+    #[inline]
+    pub fn lookup(&self, tag: MemoTag, va: VirtAddr) -> Option<(PhysAddr, Permission)> {
+        if self.vpns.is_empty() {
+            return None;
+        }
+        self.revalidate(tag);
+        let offset = va.raw() & (PAGE_SIZE - 1);
+        let vpn = va.raw() >> dvm_types::PAGE_SHIFT;
+        let slot = slot_of(vpn);
+        if self.vpns[slot].get() != vpn + 1 {
+            return None;
+        }
+        let data = self.data[slot].get();
+        let pa = PhysAddr::new((data & !(PAGE_SIZE - 1)) + offset);
+        let perms = Permission::from_bits((data & 0b11) as u8);
+        Some((pa, perms))
+    }
+
+    /// Record a translation produced by the real walk.
+    #[inline]
+    pub fn store(&self, tag: MemoTag, va: VirtAddr, pa: PhysAddr, perms: Permission) {
+        if self.vpns.is_empty() {
+            return;
+        }
+        self.revalidate(tag);
+        let offset = va.raw() & (PAGE_SIZE - 1);
+        let vpn = va.raw() >> dvm_types::PAGE_SHIFT;
+        let slot = slot_of(vpn);
+        self.vpns[slot].set(vpn + 1);
+        self.data[slot].set((pa.raw() - offset) | u64::from(perms.bits()));
+    }
+}
+
+impl Default for TranslationMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Direct-mapped memo of full *timed* walks, owned by
+/// [`Iommu`](crate::Iommu).
+///
+/// Stores the complete [`Walk`] (steps and outcome) computed at the
+/// page-base address of each VPN; a hit replays the identical step
+/// sequence into the page-walk cache and DRAM models and rebases a
+/// `Leaf` outcome by the in-page offset, so the result is byte-for-byte
+/// the walk `PageTable::walk` would have produced.
+#[derive(Debug, Clone)]
+pub(crate) struct WalkMemo {
+    enabled: bool,
+    tag: MemoTag,
+    vpns: Box<[u64]>,
+    walks: Box<[Walk]>,
+}
+
+impl WalkMemo {
+    pub(crate) fn new() -> Self {
+        let empty = Walk::new(&[], WalkOutcome::NotMapped { level: 0 });
+        Self {
+            enabled: true,
+            tag: (0, 0),
+            vpns: vec![0; SLOTS].into_boxed_slice(),
+            walks: vec![empty; SLOTS].into_boxed_slice(),
+        }
+    }
+
+    /// Enable or disable memoization (disabling also clears the store).
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        self.vpns.fill(0);
+    }
+
+    /// Walk `va`, reusing the memoized page-base walk when valid.
+    #[inline]
+    pub(crate) fn walk(&mut self, pt: &PageTable, mem: &PhysMem, va: VirtAddr) -> Walk {
+        if !self.enabled {
+            return pt.walk(mem, va);
+        }
+        let tag = (mem.pt_gen(), pt.root_frame());
+        if self.tag != tag {
+            self.vpns.fill(0);
+            self.tag = tag;
+        }
+        let offset = va.raw() & (PAGE_SIZE - 1);
+        let vpn = va.raw() >> dvm_types::PAGE_SHIFT;
+        let slot = slot_of(vpn);
+        if self.vpns[slot] != vpn + 1 {
+            // Walk the page base so the cached entry is offset-free.
+            // `VA_LIMIT` is page-aligned, so the canonicality assert
+            // inside `PageTable::walk` fires iff it would fire for `va`.
+            let walk = pt.walk(mem, VirtAddr::new(va.raw() - offset));
+            self.vpns[slot] = vpn + 1;
+            self.walks[slot] = walk;
+        }
+        let mut walk = self.walks[slot];
+        if let WalkOutcome::Leaf { pa, .. } = &mut walk.outcome {
+            *pa += offset;
+        }
+        walk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_mem::BuddyAllocator;
+
+    fn harness() -> (PhysMem, BuddyAllocator, PageTable) {
+        let mut mem = PhysMem::new(1 << 16);
+        let mut alloc = BuddyAllocator::new(1 << 16);
+        let pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+        (mem, alloc, pt)
+    }
+
+    #[test]
+    fn translation_memo_hits_after_store() {
+        let memo = TranslationMemo::new();
+        let tag = (7, 3);
+        let va = VirtAddr::new((16 << 20) + 0x123);
+        assert_eq!(memo.lookup(tag, va), None);
+        memo.store(
+            tag,
+            va,
+            PhysAddr::new((32 << 20) + 0x123),
+            Permission::ReadWrite,
+        );
+        assert_eq!(
+            memo.lookup(tag, va),
+            Some((PhysAddr::new((32 << 20) + 0x123), Permission::ReadWrite))
+        );
+        // Same page, different offset: the page base is shared.
+        let va2 = VirtAddr::new((16 << 20) + 0xffc);
+        assert_eq!(
+            memo.lookup(tag, va2),
+            Some((PhysAddr::new((32 << 20) + 0xffc), Permission::ReadWrite))
+        );
+    }
+
+    #[test]
+    fn translation_memo_invalidates_on_tag_change() {
+        let memo = TranslationMemo::new();
+        let va = VirtAddr::new(16 << 20);
+        memo.store((1, 3), va, PhysAddr::new(32 << 20), Permission::ReadOnly);
+        assert!(memo.lookup((1, 3), va).is_some());
+        assert_eq!(memo.lookup((2, 3), va), None, "new pt_gen drops entries");
+        assert_eq!(memo.lookup((2, 4), va), None, "new root drops entries");
+    }
+
+    #[test]
+    fn disabled_memo_never_stores() {
+        let memo = TranslationMemo::disabled();
+        let va = VirtAddr::new(16 << 20);
+        memo.store((1, 1), va, PhysAddr::new(32 << 20), Permission::ReadWrite);
+        assert_eq!(memo.lookup((1, 1), va), None);
+    }
+
+    #[test]
+    fn walk_memo_matches_direct_walks() {
+        let (mut mem, mut alloc, mut pt) = harness();
+        pt.map_identity_pe(
+            &mut mem,
+            &mut alloc,
+            VirtAddr::new(16 << 20),
+            2 << 20,
+            Permission::ReadWrite,
+        )
+        .unwrap();
+        pt.map_page(
+            &mut mem,
+            &mut alloc,
+            VirtAddr::new(64 << 20),
+            PhysAddr::new(32 << 20),
+            dvm_types::PageSize::Size4K,
+            Permission::ReadOnly,
+        )
+        .unwrap();
+        let mut memo = WalkMemo::new();
+        let vas = [
+            VirtAddr::new(16 << 20),
+            VirtAddr::new((16 << 20) + 0x7b4),
+            VirtAddr::new((64 << 20) + 0xffc),
+            VirtAddr::new(900 << 20), // not mapped
+        ];
+        for _ in 0..3 {
+            for va in vas {
+                assert_eq!(memo.walk(&pt, &mem, va), pt.walk(&mem, va), "{va}");
+            }
+        }
+    }
+
+    #[test]
+    fn walk_memo_sees_page_table_mutations() {
+        let (mut mem, mut alloc, mut pt) = harness();
+        let va = VirtAddr::new(64 << 20);
+        pt.map_page(
+            &mut mem,
+            &mut alloc,
+            va,
+            PhysAddr::new(32 << 20),
+            dvm_types::PageSize::Size4K,
+            Permission::ReadWrite,
+        )
+        .unwrap();
+        let mut memo = WalkMemo::new();
+        assert_eq!(memo.walk(&pt, &mem, va), pt.walk(&mem, va));
+        pt.unmap_region(&mut mem, &mut alloc, va, PAGE_SIZE)
+            .unwrap();
+        assert_eq!(memo.walk(&pt, &mem, va), pt.walk(&mem, va), "post-unmap");
+        assert!(matches!(
+            memo.walk(&pt, &mem, va).outcome,
+            WalkOutcome::NotMapped { .. }
+        ));
+    }
+}

@@ -8,10 +8,11 @@
 //! to overlap (paper Figure 4).
 
 use crate::iommu::{Iommu, Validation};
+use crate::memo::TranslationMemo;
 use dvm_mem::{Dram, PhysMem};
 use dvm_pagetable::{PageTable, PermBitmap};
 use dvm_sim::Cycles;
-use dvm_types::{AccessKind, Fault, VirtAddr};
+use dvm_types::{AccessKind, Fault, Permission, PhysAddr, VirtAddr};
 
 /// A borrow-bundle tying one IOMMU to one process's address space for the
 /// duration of an accelerator run.
@@ -27,9 +28,50 @@ pub struct MemSystem<'a> {
     pub mem: &'a mut PhysMem,
     /// DRAM timing model.
     pub dram: &'a mut Dram,
+    /// Memo for [`untimed_translate`](Self::untimed_translate); replace
+    /// with [`TranslationMemo::disabled`] to force full walks.
+    pub memo: TranslationMemo,
 }
 
 impl<'a> MemSystem<'a> {
+    /// Bundle the borrows for one accelerator run, with translation
+    /// memoization enabled.
+    pub fn new(
+        iommu: &'a mut Iommu,
+        pt: &'a PageTable,
+        bitmap: Option<&'a PermBitmap>,
+        mem: &'a mut PhysMem,
+        dram: &'a mut Dram,
+    ) -> Self {
+        Self {
+            iommu,
+            pt,
+            bitmap,
+            mem,
+            dram,
+            memo: TranslationMemo::new(),
+        }
+    }
+
+    /// Translate `va` functionally — no cycles charged, no IOMMU state
+    /// touched — memoizing the result per 4 KiB page. Equivalent to
+    /// `self.pt.translate(self.mem, va)`: any page-table mutation bumps
+    /// [`PhysMem::pt_gen`] and invalidates the memo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is outside the canonical range (as `translate`).
+    #[inline]
+    pub fn untimed_translate(&self, va: VirtAddr) -> Option<(PhysAddr, Permission)> {
+        let tag = (self.mem.pt_gen(), self.pt.root_frame());
+        if let Some(hit) = self.memo.lookup(tag, va) {
+            return Some(hit);
+        }
+        let (pa, perms) = self.pt.translate(self.mem, va)?;
+        self.memo.store(tag, va, pa, perms);
+        Some((pa, perms))
+    }
+
     /// Validate an access and charge the data-fetch timing, without
     /// touching data (trace-driven mode).
     ///
@@ -128,13 +170,7 @@ mod tests {
             }
             let (mut mem, _alloc, pt, mut dram) = harness();
             let mut iommu = Iommu::new(config, EnergyParams::default());
-            let mut sys = MemSystem {
-                iommu: &mut iommu,
-                pt: &pt,
-                bitmap: None,
-                mem: &mut mem,
-                dram: &mut dram,
-            };
+            let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut mem, &mut dram);
             let va = VirtAddr::new((16 << 20) + 0x100);
             sys.write_u64(va, 0xfeed_f00d).unwrap();
             let (v, _) = sys.read_u64(va).unwrap();
@@ -165,13 +201,7 @@ mod tests {
             },
             EnergyParams::default(),
         );
-        let mut sys = MemSystem {
-            iommu: &mut iommu,
-            pt: &pt,
-            bitmap: None,
-            mem: &mut mem,
-            dram: &mut dram,
-        };
+        let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut mem, &mut dram);
         let va = VirtAddr::new(16 << 20);
         // First access: TLB miss + walk (4 steps, at least one DRAM ref).
         let lat1 = sys.access(va, AccessKind::Read).unwrap();
@@ -187,13 +217,7 @@ mod tests {
     fn dvm_pe_plus_overlaps_reads_but_not_writes() {
         let (mut mem, _alloc, pt, mut dram) = harness();
         let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
-        let mut sys = MemSystem {
-            iommu: &mut iommu,
-            pt: &pt,
-            bitmap: None,
-            mem: &mut mem,
-            dram: &mut dram,
-        };
+        let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut mem, &mut dram);
         let va = VirtAddr::new((16 << 20) + 64);
         let data = sys.dram.config().occupancy_cycles;
         // Warm the AVC.
@@ -243,13 +267,7 @@ mod tests {
         .unwrap();
         let mut dram = Dram::new(DramConfig::default());
         let mut iommu = Iommu::new(MmuConfig::DvmBitmap, EnergyParams::default());
-        let mut sys = MemSystem {
-            iommu: &mut iommu,
-            pt: &pt,
-            bitmap: Some(&bitmap),
-            mem: &mut mem,
-            dram: &mut dram,
-        };
+        let mut sys = MemSystem::new(&mut iommu, &pt, Some(&bitmap), &mut mem, &mut dram);
         // Identity access validates via the bitmap.
         sys.write_u32(VirtAddr::new(16 << 20), 7).unwrap();
         assert_eq!(sys.iommu.stats.identity_validations.get(), 1);
@@ -277,13 +295,7 @@ mod tests {
         .unwrap();
         let mut dram = Dram::new(DramConfig::default());
         let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
-        let mut sys = MemSystem {
-            iommu: &mut iommu,
-            pt: &pt,
-            bitmap: None,
-            mem: &mut mem,
-            dram: &mut dram,
-        };
+        let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut mem, &mut dram);
         let va = VirtAddr::new(16 << 20);
         assert!(sys.read_u32(va).is_ok());
         let fault = sys.write_u32(va, 1).unwrap_err();
@@ -299,13 +311,7 @@ mod tests {
     fn ideal_has_zero_translation_latency() {
         let (mut mem, _alloc, pt, mut dram) = harness();
         let mut iommu = Iommu::new(MmuConfig::Ideal, EnergyParams::default());
-        let mut sys = MemSystem {
-            iommu: &mut iommu,
-            pt: &pt,
-            bitmap: None,
-            mem: &mut mem,
-            dram: &mut dram,
-        };
+        let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut mem, &mut dram);
         let lat = sys
             .access(VirtAddr::new(16 << 20), AccessKind::Read)
             .unwrap();

@@ -85,9 +85,15 @@ pub enum PtcLookup {
 #[derive(Debug, Clone)]
 pub struct PtCache {
     config: PtCacheConfig,
-    /// Per-set: (block tag, last-use tick).
-    sets: Vec<Vec<(u64, u64)>>,
-    tick: u64,
+    /// Per-set block tags in recency order (index 0 = LRU): a hit
+    /// rotates the tag to the back, eviction pops the front — the exact
+    /// victim the previous tick-scan picked, since ticks were unique.
+    sets: Vec<Vec<u64>>,
+    /// Precomputed shift for `block_bytes` (asserted a power of two).
+    block_shift: u32,
+    /// `sets.len() - 1` when the set count is a power of two, replacing
+    /// the per-access modulo with a mask; `None` falls back to modulo.
+    set_mask: Option<u64>,
     stats: RatioStat,
 }
 
@@ -100,10 +106,16 @@ impl PtCache {
     pub fn new(config: PtCacheConfig) -> Self {
         assert!(config.ways > 0, "cache needs ways");
         assert!(config.num_sets() > 0, "cache needs sets");
+        assert!(
+            config.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        let num_sets = config.num_sets();
         Self {
             config,
-            sets: vec![Vec::with_capacity(config.ways as usize); config.num_sets()],
-            tick: 0,
+            sets: vec![Vec::with_capacity(config.ways as usize); num_sets],
+            block_shift: config.block_bytes.trailing_zeros(),
+            set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
             stats: RatioStat::new("ptc"),
         }
     }
@@ -124,33 +136,29 @@ impl PtCache {
         if level == 1 && !self.config.cache_l1 {
             return PtcLookup::Bypass;
         }
-        let block = pte_pa.raw() / self.config.block_bytes as u64;
+        let block = pte_pa.raw() >> self.block_shift;
         // Page-table pages are page-aligned, so an entry's low block bits
         // encode only its index within the table — naive modulo indexing
         // would dump the first entries of *every* table into set 0. Fold
         // the frame bits in (XOR hashing, as real walk caches do).
         let hashed = block ^ (block >> 6) ^ (block >> 12);
-        let set_idx = (hashed % self.sets.len() as u64) as usize;
-        self.tick += 1;
-        let tick = self.tick;
+        let set_idx = match self.set_mask {
+            Some(mask) => (hashed & mask) as usize,
+            None => (hashed % self.sets.len() as u64) as usize,
+        };
         let ways = self.config.ways as usize;
         let set = &mut self.sets[set_idx];
-        if let Some(slot) = set.iter_mut().find(|(tag, _)| *tag == block) {
-            slot.1 = tick;
+        if let Some(pos) = set.iter().position(|tag| *tag == block) {
+            set.remove(pos);
+            set.push(block);
             self.stats.hit();
             return PtcLookup::Hit;
         }
         self.stats.miss();
         if set.len() >= ways {
-            let lru = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, last))| *last)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            set.swap_remove(lru);
+            set.remove(0);
         }
-        set.push((block, tick));
+        set.push(block);
         PtcLookup::Miss
     }
 
@@ -252,5 +260,94 @@ mod tests {
         assert_eq!(c.stats().total(), 0);
         c.access(PhysAddr::new(0), 2);
         assert_eq!(c.stats().total(), 1);
+    }
+
+    /// The pre-optimization store (last-use ticks + `min_by_key` scan),
+    /// kept as the oracle the O(1) recency-ordered sets must match.
+    struct ScanLruPtCache {
+        config: PtCacheConfig,
+        sets: Vec<Vec<(u64, u64)>>,
+        tick: u64,
+    }
+
+    impl ScanLruPtCache {
+        fn new(config: PtCacheConfig) -> Self {
+            Self {
+                config,
+                sets: vec![Vec::new(); config.num_sets()],
+                tick: 0,
+            }
+        }
+
+        fn access(&mut self, pte_pa: PhysAddr, level: u8) -> PtcLookup {
+            if level == 1 && !self.config.cache_l1 {
+                return PtcLookup::Bypass;
+            }
+            let block = pte_pa.raw() / self.config.block_bytes as u64;
+            let hashed = block ^ (block >> 6) ^ (block >> 12);
+            let set_idx = (hashed % self.sets.len() as u64) as usize;
+            self.tick += 1;
+            let tick = self.tick;
+            let set = &mut self.sets[set_idx];
+            if let Some(slot) = set.iter_mut().find(|(tag, _)| *tag == block) {
+                slot.1 = tick;
+                return PtcLookup::Hit;
+            }
+            if set.len() >= self.config.ways as usize {
+                let lru = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, last))| *last)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set");
+                set.swap_remove(lru);
+            }
+            set.push((block, tick));
+            PtcLookup::Miss
+        }
+
+        fn contents(&self) -> Vec<u64> {
+            let mut all: Vec<u64> = self
+                .sets
+                .iter()
+                .flat_map(|s| s.iter().map(|(tag, _)| *tag))
+                .collect();
+            all.sort_unstable();
+            all
+        }
+    }
+
+    impl PtCache {
+        fn contents(&self) -> Vec<u64> {
+            let mut all: Vec<u64> = self.sets.iter().flatten().copied().collect();
+            all.sort_unstable();
+            all
+        }
+    }
+
+    #[test]
+    fn matches_scan_lru_oracle() {
+        use dvm_sim::DetRng;
+        for (cfg, seed) in [
+            (PtCacheConfig::paper_pwc(), 1u64),
+            (PtCacheConfig::paper_avc(), 2),
+            (PtCacheConfig::paper_avc(), 3),
+        ] {
+            let mut rng = DetRng::new(seed);
+            let mut oracle = ScanLruPtCache::new(cfg);
+            let mut cache = PtCache::new(cfg);
+            for step in 0..20_000 {
+                // PTE addresses clustered over a few table pages so sets
+                // see real reuse and eviction pressure.
+                let pa = PhysAddr::new(rng.skewed_below(8, 1.2) * 4096 + rng.below(512) * 8);
+                let level = rng.range(1, 5) as u8;
+                assert_eq!(
+                    cache.access(pa, level),
+                    oracle.access(pa, level),
+                    "step {step} pa {pa} level {level}"
+                );
+                assert_eq!(cache.contents(), oracle.contents(), "step {step}");
+            }
+        }
     }
 }

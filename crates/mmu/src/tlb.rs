@@ -9,6 +9,7 @@
 use dvm_sim::RatioStat;
 use dvm_types::{PageSize, Permission, VirtAddr};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// TLB organization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,12 +56,137 @@ pub struct TlbEntry {
     pub perms: Permission,
 }
 
+/// Sentinel "no slot" index for the intrusive recency list.
+const NIL: u32 = u32::MAX;
+
+/// Multiply-shift hasher for u64 VPN keys. The default SipHash dominated
+/// the fully-associative lookup cost; a Fibonacci multiply puts the key's
+/// entropy in the high bits, which is exactly where hashbrown looks.
+#[derive(Debug, Clone, Default)]
+struct VpnHasher(u64);
+
+impl Hasher for VpnHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("VPN keys hash through write_u64");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    entry: TlbEntry,
+    prev: u32,
+    next: u32,
+}
+
+/// Fully-associative store: O(1) hash lookup plus an intrusive
+/// doubly-linked recency list through the slot arena. The list head is
+/// the least-recently-used entry — the exact victim the previous
+/// tick-scan implementation chose, since every lookup and insert stamped
+/// a unique tick and `min_by_key` over unique ticks is strict LRU order.
+#[derive(Debug, Clone)]
+struct FullStore {
+    map: HashMap<u64, u32, BuildHasherDefault<VpnHasher>>,
+    slots: Vec<Slot>,
+    /// Least recently used slot.
+    head: u32,
+    /// Most recently used slot.
+    tail: u32,
+}
+
+impl FullStore {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity_and_hasher(capacity, Default::default()),
+            slots: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, i: u32) {
+        let Slot { prev, next, .. } = self.slots[i as usize];
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
+    }
+
+    fn push_back(&mut self, i: u32) {
+        self.slots[i as usize].prev = self.tail;
+        self.slots[i as usize].next = NIL;
+        match self.tail {
+            NIL => self.head = i,
+            t => self.slots[t as usize].next = i,
+        }
+        self.tail = i;
+    }
+
+    fn touch(&mut self, i: u32) {
+        if self.tail != i {
+            self.unlink(i);
+            self.push_back(i);
+        }
+    }
+
+    fn lookup(&mut self, vpn: u64) -> Option<TlbEntry> {
+        let i = *self.map.get(&vpn)?;
+        self.touch(i);
+        Some(self.slots[i as usize].entry)
+    }
+
+    fn insert(&mut self, entry: TlbEntry, capacity: usize) {
+        if let Some(&i) = self.map.get(&entry.vpn) {
+            self.slots[i as usize].entry = entry;
+            self.touch(i);
+            return;
+        }
+        let i = if self.map.len() >= capacity {
+            let i = self.head;
+            self.map.remove(&self.slots[i as usize].entry.vpn);
+            self.unlink(i);
+            self.slots[i as usize].entry = entry;
+            i
+        } else {
+            self.slots.push(Slot {
+                entry,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slots.len() - 1) as u32
+        };
+        self.map.insert(entry.vpn, i);
+        self.push_back(i);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Store {
-    /// vpn -> (entry, last-use tick); O(1) lookup, O(n) eviction scan.
-    Full(HashMap<u64, (TlbEntry, u64)>),
-    /// Per-set ways: (entry, last-use tick).
-    Sets(Vec<Vec<(TlbEntry, u64)>>),
+    /// Fully associative: O(1) per access.
+    Full(FullStore),
+    /// Per-set ways kept in recency order (index 0 = LRU): a hit or
+    /// reinsert rotates the entry to the back, eviction pops the front.
+    Sets(Vec<Vec<TlbEntry>>),
 }
 
 /// An LRU TLB.
@@ -83,7 +209,6 @@ enum Store {
 pub struct Tlb {
     config: TlbConfig,
     store: Store,
-    tick: u64,
     stats: RatioStat,
 }
 
@@ -97,7 +222,7 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Self {
         assert!(config.entries > 0, "TLB needs entries");
         let store = match config.assoc {
-            Associativity::Full => Store::Full(HashMap::with_capacity(config.entries as usize)),
+            Associativity::Full => Store::Full(FullStore::new(config.entries as usize)),
             Associativity::SetAssociative { ways } => {
                 assert!(
                     ways > 0 && config.entries.is_multiple_of(ways),
@@ -110,7 +235,6 @@ impl Tlb {
         Self {
             config,
             store,
-            tick: 0,
             stats: RatioStat::new("tlb"),
         }
     }
@@ -133,19 +257,15 @@ impl Tlb {
     /// Look up the translation for `va`; records a hit or miss.
     pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
         let vpn = va.vpn(self.config.page_size);
-        self.tick += 1;
-        let tick = self.tick;
         let found = match &mut self.store {
-            Store::Full(map) => map.get_mut(&vpn).map(|slot| {
-                slot.1 = tick;
-                slot.0
-            }),
+            Store::Full(store) => store.lookup(vpn),
             Store::Sets(sets) => {
                 let nsets = sets.len() as u64;
                 let set = &mut sets[(vpn % nsets) as usize];
-                set.iter_mut().find(|(e, _)| e.vpn == vpn).map(|slot| {
-                    slot.1 = tick;
-                    slot.0
+                set.iter().position(|e| e.vpn == vpn).map(|pos| {
+                    let entry = set.remove(pos);
+                    set.push(entry);
+                    entry
                 })
             }
         };
@@ -160,19 +280,8 @@ impl Tlb {
     /// Insert a translation, evicting the LRU entry (of the relevant set)
     /// if full. Re-inserting an existing vpn replaces it.
     pub fn insert(&mut self, entry: TlbEntry) {
-        self.tick += 1;
-        let tick = self.tick;
         match &mut self.store {
-            Store::Full(map) => {
-                if map.len() as u32 >= self.config.entries && !map.contains_key(&entry.vpn) {
-                    if let Some((&victim, _)) =
-                        map.iter().min_by_key(|(_, (_, last_use))| *last_use)
-                    {
-                        map.remove(&victim);
-                    }
-                }
-                map.insert(entry.vpn, (entry, tick));
-            }
+            Store::Full(store) => store.insert(entry, self.config.entries as usize),
             Store::Sets(sets) => {
                 let nsets = sets.len() as u64;
                 let ways = match self.config.assoc {
@@ -180,20 +289,12 @@ impl Tlb {
                     Associativity::Full => unreachable!(),
                 };
                 let set = &mut sets[(entry.vpn % nsets) as usize];
-                if let Some(slot) = set.iter_mut().find(|(e, _)| e.vpn == entry.vpn) {
-                    *slot = (entry, tick);
-                    return;
+                if let Some(pos) = set.iter().position(|e| e.vpn == entry.vpn) {
+                    set.remove(pos);
+                } else if set.len() >= ways {
+                    set.remove(0);
                 }
-                if set.len() >= ways {
-                    let lru = set
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, (_, last_use))| *last_use)
-                        .map(|(i, _)| i)
-                        .expect("non-empty set");
-                    set.swap_remove(lru);
-                }
-                set.push((entry, tick));
+                set.push(entry);
             }
         }
     }
@@ -206,7 +307,7 @@ impl Tlb {
     /// Drop all entries (context switch / shootdown).
     pub fn flush(&mut self) {
         match &mut self.store {
-            Store::Full(map) => map.clear(),
+            Store::Full(store) => store.clear(),
             Store::Sets(sets) => sets.iter_mut().for_each(Vec::clear),
         }
     }
@@ -214,7 +315,7 @@ impl Tlb {
     /// Number of currently valid entries.
     pub fn occupancy(&self) -> usize {
         match &self.store {
-            Store::Full(map) => map.len(),
+            Store::Full(store) => store.map.len(),
             Store::Sets(sets) => sets.iter().map(Vec::len).sum(),
         }
     }
@@ -336,5 +437,180 @@ mod tests {
             assoc: Associativity::SetAssociative { ways: 2 },
             page_size: PageSize::Size4K,
         });
+    }
+
+    /// The pre-optimization store: last-use ticks plus an O(n)
+    /// `min_by_key` eviction scan. Kept verbatim as the oracle the O(1)
+    /// replacement must match access-for-access.
+    struct ScanLruTlb {
+        config: TlbConfig,
+        full: HashMap<u64, (TlbEntry, u64)>,
+        sets: Vec<Vec<(TlbEntry, u64)>>,
+        tick: u64,
+    }
+
+    impl ScanLruTlb {
+        fn new(config: TlbConfig) -> Self {
+            let nsets = match config.assoc {
+                Associativity::Full => 0,
+                Associativity::SetAssociative { ways } => (config.entries / ways) as usize,
+            };
+            Self {
+                config,
+                full: HashMap::new(),
+                sets: vec![Vec::new(); nsets],
+                tick: 0,
+            }
+        }
+
+        fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
+            let vpn = va.vpn(self.config.page_size);
+            self.tick += 1;
+            let tick = self.tick;
+            match self.config.assoc {
+                Associativity::Full => self.full.get_mut(&vpn).map(|slot| {
+                    slot.1 = tick;
+                    slot.0
+                }),
+                Associativity::SetAssociative { .. } => {
+                    let nsets = self.sets.len() as u64;
+                    let set = &mut self.sets[(vpn % nsets) as usize];
+                    set.iter_mut().find(|(e, _)| e.vpn == vpn).map(|slot| {
+                        slot.1 = tick;
+                        slot.0
+                    })
+                }
+            }
+        }
+
+        fn insert(&mut self, entry: TlbEntry) {
+            self.tick += 1;
+            let tick = self.tick;
+            match self.config.assoc {
+                Associativity::Full => {
+                    if self.full.len() as u32 >= self.config.entries
+                        && !self.full.contains_key(&entry.vpn)
+                    {
+                        if let Some((&victim, _)) =
+                            self.full.iter().min_by_key(|(_, (_, last_use))| *last_use)
+                        {
+                            self.full.remove(&victim);
+                        }
+                    }
+                    self.full.insert(entry.vpn, (entry, tick));
+                }
+                Associativity::SetAssociative { ways } => {
+                    let nsets = self.sets.len() as u64;
+                    let set = &mut self.sets[(entry.vpn % nsets) as usize];
+                    if let Some(slot) = set.iter_mut().find(|(e, _)| e.vpn == entry.vpn) {
+                        *slot = (entry, tick);
+                        return;
+                    }
+                    if set.len() >= ways as usize {
+                        let lru = set
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, (_, last_use))| *last_use)
+                            .map(|(i, _)| i)
+                            .expect("non-empty set");
+                        set.swap_remove(lru);
+                    }
+                    set.push((entry, tick));
+                }
+            }
+        }
+
+        fn contents(&self) -> Vec<TlbEntry> {
+            let mut all: Vec<TlbEntry> = match self.config.assoc {
+                Associativity::Full => self.full.values().map(|(e, _)| *e).collect(),
+                Associativity::SetAssociative { .. } => self
+                    .sets
+                    .iter()
+                    .flat_map(|s| s.iter().map(|(e, _)| *e))
+                    .collect(),
+            };
+            all.sort_by_key(|e| e.vpn);
+            all
+        }
+    }
+
+    impl Tlb {
+        fn contents(&self) -> Vec<TlbEntry> {
+            let mut all: Vec<TlbEntry> = match &self.store {
+                Store::Full(store) => store.slots[..]
+                    .iter()
+                    .filter(|s| store.map.contains_key(&s.entry.vpn))
+                    .map(|s| s.entry)
+                    .collect(),
+                Store::Sets(sets) => sets.iter().flatten().copied().collect(),
+            };
+            all.sort_by_key(|e| e.vpn);
+            all
+        }
+    }
+
+    /// Drive identical randomized access streams through the tick-scan
+    /// oracle and the O(1) store; every lookup result, every hit/miss,
+    /// and the surviving entry set (hence the eviction sequence) must
+    /// match at every step.
+    fn assert_equivalent(config: TlbConfig, seed: u64) {
+        use dvm_sim::DetRng;
+        let mut rng = DetRng::new(seed);
+        let mut oracle = ScanLruTlb::new(config);
+        let mut tlb = Tlb::new(config);
+        for step in 0..20_000 {
+            let vpn = rng.skewed_below(64, 1.1);
+            if rng.chance(0.5) {
+                let va = VirtAddr::new(vpn << config.page_size.shift());
+                assert_eq!(tlb.lookup(va), oracle.lookup(va), "step {step} vpn {vpn}");
+            } else {
+                let entry = TlbEntry {
+                    vpn,
+                    pfn: rng.below(1 << 20),
+                    perms: Permission::ReadWrite,
+                };
+                tlb.insert(entry);
+                oracle.insert(entry);
+            }
+            assert_eq!(tlb.contents(), oracle.contents(), "step {step}");
+        }
+        assert!(tlb.stats().total() > 0);
+    }
+
+    #[test]
+    fn full_assoc_matches_scan_lru_oracle() {
+        for seed in 0..4 {
+            assert_equivalent(TlbConfig::paper_accelerator(PageSize::Size4K), seed);
+            assert_equivalent(
+                TlbConfig {
+                    entries: 16,
+                    assoc: Associativity::Full,
+                    page_size: PageSize::Size4K,
+                },
+                seed + 100,
+            );
+        }
+    }
+
+    #[test]
+    fn set_assoc_matches_scan_lru_oracle() {
+        for seed in 0..4 {
+            assert_equivalent(
+                TlbConfig {
+                    entries: 16,
+                    assoc: Associativity::SetAssociative { ways: 4 },
+                    page_size: PageSize::Size4K,
+                },
+                seed,
+            );
+            assert_equivalent(
+                TlbConfig {
+                    entries: 8,
+                    assoc: Associativity::SetAssociative { ways: 2 },
+                    page_size: PageSize::Size2M,
+                },
+                seed + 50,
+            );
+        }
     }
 }

@@ -52,13 +52,13 @@ fn rig(config: MmuConfig, span: u64) -> Rig {
 
 fn sweep(iommu: &mut Iommu, rig: &mut Rig, accesses: u64, stride: u64) {
     let base = VirtAddr::new(64 << 20);
-    let mut sys = MemSystem {
+    let mut sys = MemSystem::new(
         iommu,
-        pt: &rig.pt,
-        bitmap: rig.bitmap.as_ref(),
-        mem: &mut rig.mem,
-        dram: &mut rig.dram,
-    };
+        &rig.pt,
+        rig.bitmap.as_ref(),
+        &mut rig.mem,
+        &mut rig.dram,
+    );
     for i in 0..accesses {
         sys.access(base + (i * stride) % (32 << 20), AccessKind::Read)
             .unwrap();
@@ -148,13 +148,7 @@ fn preload_counters_balance() {
     let mut rig = rig(config, 1 << 20);
     let mut iommu = Iommu::new(config, EnergyParams::default());
     let base = VirtAddr::new(64 << 20);
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &rig.pt,
-        bitmap: None,
-        mem: &mut rig.mem,
-        dram: &mut rig.dram,
-    };
+    let mut sys = MemSystem::new(&mut iommu, &rig.pt, None, &mut rig.mem, &mut rig.dram);
     for i in 0..100u64 {
         sys.read_u32(base + i * 4).unwrap();
     }

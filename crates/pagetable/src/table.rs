@@ -89,6 +89,10 @@ impl PageTable {
 
     #[inline]
     fn write_entry(mem: &mut PhysMem, frame: u64, idx: usize, pte: Pte) {
+        // Every structural mutation of any table funnels through here, so
+        // this is the single choke point that invalidates memoized
+        // translations (`TranslationMemo` / the IOMMU walk memo).
+        mem.note_pt_mutation();
         mem.write_u64(Self::entry_pa(frame, idx), pte.raw());
     }
 
@@ -727,6 +731,7 @@ impl PageTable {
     }
 
     fn free_table_frame(mem: &mut PhysMem, alloc: &mut BuddyAllocator, frame: u64) {
+        mem.note_pt_mutation();
         mem.discard_frame(frame);
         alloc.free_frames(FrameRange {
             start: frame,

@@ -34,13 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid)?.page_table;
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt,
-        bitmap: None,
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
 
     // 5. The accelerator dereferences the same pointer the host holds
     //    (pointer-is-a-pointer), with access validation instead of

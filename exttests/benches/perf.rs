@@ -1,0 +1,210 @@
+//! Criterion benchmarks of the per-access simulation core: the timed
+//! access path, the IOMMU validate/translate machinery, walk-heavy
+//! translation, the untimed-path memo, and a BFS macro-benchmark.
+//! These are the paths the performance work optimizes (DESIGN.md §3);
+//! together with the wall-clock trend `scripts/ci.sh` appends to
+//! `results/BENCH_trend.json` they form the perf-regression harness —
+//! compare criterion's saved baselines after touching the MMU or
+//! accelerator hot loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvm_core::{run_graph_experiment, ExperimentConfig, Workload};
+use dvm_energy::EnergyParams;
+use dvm_graph::{rmat, RmatParams};
+use dvm_mem::{Dram, DramConfig, MachineConfig};
+use dvm_mmu::{Iommu, MemSystem, MmuConfig, TranslationMemo};
+use dvm_os::{MapFlavor, Os, OsConfig};
+use dvm_sim::DetRng;
+use dvm_types::{AccessKind, PageSize, VirtAddr};
+
+/// 64 MiB = 16 Ki 4K pages, far beyond the 128-entry TLB's reach, so
+/// random accesses exercise misses and walks, not just the hit path.
+const SPAN: u64 = 64 << 20;
+
+const CONV_4K: MmuConfig = MmuConfig::Conventional {
+    page_size: PageSize::Size4K,
+};
+
+/// A booted OS with one process owning a `SPAN`-byte heap mapping, plus
+/// the IOMMU and DRAM to access it through.
+struct Rig {
+    os: Os,
+    iommu: Iommu,
+    dram: Dram,
+    pt: dvm_pagetable::PageTable,
+    base: VirtAddr,
+}
+
+fn rig(config: MmuConfig) -> Rig {
+    let flavor = match config {
+        MmuConfig::Conventional { page_size } => MapFlavor::Paged(page_size),
+        _ => MapFlavor::DvmPe,
+    };
+    let mut os = Os::new(OsConfig {
+        machine: MachineConfig { mem_bytes: 2 << 30 },
+        flavor,
+        maintain_bitmap: config == MmuConfig::DvmBitmap,
+        ..OsConfig::default()
+    });
+    let pid = os.spawn().unwrap();
+    let base = os
+        .mmap(pid, SPAN, dvm_types::Permission::ReadWrite)
+        .unwrap();
+    let pt = os.process(pid).unwrap().page_table;
+    Rig {
+        os,
+        iommu: Iommu::new(config, EnergyParams::default()),
+        dram: Dram::new(DramConfig::default()),
+        pt,
+        base,
+    }
+}
+
+/// The full timed access path (`MemSystem::access`): validate/translate
+/// through the scheme's machinery, then a timed DRAM reference.
+fn timed_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timed_access");
+    for (label, config) in [
+        ("conv_4k", CONV_4K),
+        ("dvm_bitmap", MmuConfig::DvmBitmap),
+        ("dvm_pe", MmuConfig::DvmPe { preload: false }),
+        ("ideal", MmuConfig::Ideal),
+    ] {
+        group.bench_function(label, |b| {
+            let mut r = rig(config);
+            let base = r.base;
+            let bitmap = r.os.bitmap;
+            let mut sys = MemSystem::new(
+                &mut r.iommu,
+                &r.pt,
+                bitmap.as_ref(),
+                &mut r.os.machine.mem,
+                &mut r.dram,
+            );
+            let mut rng = DetRng::new(11);
+            b.iter(|| {
+                let va = base + rng.below(SPAN / 4) * 4;
+                std::hint::black_box(sys.access(va, AccessKind::Read).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Validation/translation alone (`Iommu::access`, no data movement):
+/// the TLB + page-walker path under 4K, the DAV/bitmap path, and the
+/// DAV/AVC path. Exercises the O(1)-LRU TLB and PT-cache directly.
+fn iommu_validate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iommu_validate");
+    for (label, config) in [
+        ("conv_4k", CONV_4K),
+        ("dvm_bitmap", MmuConfig::DvmBitmap),
+        ("dvm_pe", MmuConfig::DvmPe { preload: false }),
+    ] {
+        group.bench_function(label, |b| {
+            let mut r = rig(config);
+            let bitmap = r.os.bitmap;
+            let mut rng = DetRng::new(13);
+            b.iter(|| {
+                let va = r.base + rng.below(SPAN / 64) * 64;
+                std::hint::black_box(
+                    r.iommu
+                        .access(
+                            va,
+                            AccessKind::Read,
+                            &r.pt,
+                            bitmap.as_ref(),
+                            &r.os.machine.mem,
+                            &mut r.dram,
+                        )
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Walk-heavy translation: page-strided accesses under 4K so every
+/// reference touches a fresh page and the TLB almost never hits —
+/// nearly every iteration runs a timed page-table walk.
+fn timed_walk(c: &mut Criterion) {
+    c.bench_function("timed_walk_4k_page_stride", |b| {
+        let mut r = rig(CONV_4K);
+        let base = r.base;
+        let bitmap = r.os.bitmap;
+        let mut sys = MemSystem::new(
+            &mut r.iommu,
+            &r.pt,
+            bitmap.as_ref(),
+            &mut r.os.machine.mem,
+            &mut r.dram,
+        );
+        let mut rng = DetRng::new(17);
+        b.iter(|| {
+            let va = base + rng.below(SPAN >> 12) * 4096;
+            std::hint::black_box(sys.access(va, AccessKind::Read).unwrap())
+        })
+    });
+}
+
+/// The untimed path (result reads, property dumps, graph loading) with
+/// the translation memo on vs off — the memo's direct win.
+fn untimed_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("untimed_translate");
+    for (label, memo) in [("memo", true), ("no_memo", false)] {
+        group.bench_function(label, |b| {
+            let mut r = rig(CONV_4K);
+            let base = r.base;
+            let bitmap = r.os.bitmap;
+            let mut sys = MemSystem::new(
+                &mut r.iommu,
+                &r.pt,
+                bitmap.as_ref(),
+                &mut r.os.machine.mem,
+                &mut r.dram,
+            );
+            if !memo {
+                sys.memo = TranslationMemo::disabled();
+            }
+            let mut rng = DetRng::new(19);
+            b.iter(|| {
+                let va = base + rng.below(SPAN / 4) * 4;
+                std::hint::black_box(sys.untimed_translate(va))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Macro-benchmark: a whole BFS experiment on a small RMAT graph — the
+/// end-to-end per-access cost the figure sweeps pay, in miniature.
+fn bfs_small_rmat(c: &mut Criterion) {
+    let graph = rmat(12, 8, RmatParams::default(), 21);
+    let mut group = c.benchmark_group("bfs_small_rmat");
+    group.sample_size(10);
+    for (label, mmu) in [("conv_4k", CONV_4K), ("ideal", MmuConfig::Ideal)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let report = run_graph_experiment(
+                    &Workload::Bfs { root: 0 },
+                    &graph,
+                    &ExperimentConfig::for_mmu(mmu),
+                )
+                .unwrap();
+                std::hint::black_box(report.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    timed_access,
+    iommu_validate,
+    timed_walk,
+    untimed_translate,
+    bfs_small_rmat
+);
+criterion_main!(benches);

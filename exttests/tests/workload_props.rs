@@ -23,13 +23,7 @@ fn run_and_dump(
     let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt,
-        bitmap: None,
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
     let result = run(workload, &g, &mut sys, &AccelConfig::default()).unwrap();
     (
         dvm_accel::dump_props_u32(&sys, &g),
@@ -90,13 +84,7 @@ proptest! {
         let mut iommu = Iommu::new(MmuConfig::Ideal, EnergyParams::default());
         let mut dram = Dram::new(DramConfig::default());
         let pt = os.process(pid).unwrap().page_table;
-        let mut sys = MemSystem {
-            iommu: &mut iommu,
-            pt: &pt,
-            bitmap: None,
-            mem: &mut os.machine.mem,
-            dram: &mut dram,
-        };
+        let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
         let cfg = AccelConfig { engines, ..AccelConfig::default() };
         run(&workload, &g, &mut sys, &cfg).unwrap();
         let levels = dvm_accel::dump_props_u32(&sys, &g);

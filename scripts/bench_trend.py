@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Append a fig8/fig9 quick-scale wall-clock sample to
+results/BENCH_trend.json and guard against regressions.
+
+Usage: bench_trend.py LABEL FIG8_MS FIG9_MS
+
+The trend file is an append-only history of the two figure sweeps that
+dominate a quick reproduction. The *baseline* is the last entry already
+in the file (i.e. the newest committed or previously recorded sample);
+after appending, the script exits non-zero if the new fig8 wall time
+exceeds the baseline by more than 25% — a per-access performance
+regression in the simulation core, which scripts/ci.sh treats as a
+failure. fig9 is recorded but not guarded: under the shared report
+cache it replays fig8's units, so its wall time mostly measures I/O.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+GUARD_RATIO = 1.25
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    label, fig8_ms, fig9_ms = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+    path = Path(__file__).resolve().parent.parent / "results" / "BENCH_trend.json"
+    doc = json.loads(path.read_text())
+    assert doc["experiment"] == "bench-trend", path
+    baseline = doc["entries"][-1]
+    doc["entries"].append(
+        {"label": label, "fig8_wall_ms": fig8_ms, "fig9_wall_ms": fig9_ms}
+    )
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    limit = baseline["fig8_wall_ms"] * GUARD_RATIO
+    print(
+        f"bench-trend: fig8 {fig8_ms} ms, fig9 {fig9_ms} ms "
+        f"(baseline '{baseline['label']}': fig8 {baseline['fig8_wall_ms']} ms, "
+        f"guard {limit:.0f} ms)"
+    )
+    if fig8_ms > limit:
+        print(
+            f"bench-trend: FAIL — fig8 wall time regressed more than "
+            f"{GUARD_RATIO - 1:.0%} over the baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,4 +54,26 @@ target/release/fig10 --scale quick --json "$SHARD_TMP/fig10_quick.json" > /dev/n
 target/release/table4 --scale quick --json "$SHARD_TMP/table4_quick.json" > /dev/null
 scripts/diff_results.sh "$SHARD_TMP" virt fig10 table4
 
+echo "== perf trend (fig8 + fig9, quick scale)"
+# Time the two dominant sweeps with a fresh shared report cache (fig8
+# simulates, fig9 replays — the reproduce_all.sh arrangement), append
+# both wall times to results/BENCH_trend.json, and fail if fig8
+# regressed more than 25% over the last recorded entry. Outputs are also
+# diffed against the goldens — the perf machinery must not change bytes.
+now_ms() { python3 -c 'import time; print(int(time.time()*1000))'; }
+t0=$(now_ms)
+target/release/fig8 --scale quick --jobs 1 --cache-dir results/.dataset-cache \
+    --report-cache "$SHARD_TMP/report-cache" \
+    --json "$SHARD_TMP/fig8_quick.json" > /dev/null
+t1=$(now_ms)
+FIG8_MS=$((t1 - t0))
+t0=$(now_ms)
+target/release/fig9 --scale quick --jobs 1 --cache-dir results/.dataset-cache \
+    --report-cache "$SHARD_TMP/report-cache" \
+    --json "$SHARD_TMP/fig9_quick.json" > /dev/null
+t1=$(now_ms)
+FIG9_MS=$((t1 - t0))
+scripts/diff_results.sh "$SHARD_TMP" fig8 fig9
+python3 scripts/bench_trend.py ci "$FIG8_MS" "$FIG9_MS"
+
 echo "ci: all green"

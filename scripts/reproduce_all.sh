@@ -12,9 +12,12 @@
 # cores); --shards N fans it across N worker processes. Output is
 # byte-identical to a serial run either way; only wall-clock changes.
 # Generated datasets are cached under results/.dataset-cache, so repeat
-# runs skip regeneration. Each binary writes results/<name>_<scale>.json,
-# and the script records per-binary wall-clock and dataset-cache hit/miss
-# counts in results/BENCH_sweep.json.
+# runs skip regeneration. Figures 2, 8 and 9 sweep the same unit grid, so
+# they share a per-invocation report cache (results/.report-cache, cleared
+# up front): the first binary to simulate a unit records its report, the
+# rest replay it byte-identically. Each binary writes
+# results/<name>_<scale>.json, and the script records per-binary
+# wall-clock and dataset-cache hit/miss counts in results/BENCH_sweep.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,7 +35,11 @@ done
 
 B=target/release
 CACHE_DIR=results/.dataset-cache
+REPORT_CACHE=results/.report-cache
 mkdir -p results
+# Unit reports must not outlive one invocation (a simulator change would
+# otherwise replay stale results), so start from an empty report cache.
+rm -rf "$REPORT_CACHE"
 
 cargo build --release -p dvm-bench
 
@@ -75,9 +82,9 @@ run table3
 run table1
 run table4
 run fig10
-run fig2
-run fig8
-run fig9
+run fig2 --report-cache "$REPORT_CACHE"
+run fig8 --report-cache "$REPORT_CACHE"
+run fig9 --report-cache "$REPORT_CACHE"
 run table5
 run virt
 

@@ -31,13 +31,7 @@ fn two_processes_share_one_accelerator_safely() {
     // Offload for A.
     let pt_a = os.process(pid_a).unwrap().page_table;
     {
-        let mut sys = MemSystem {
-            iommu: &mut iommu,
-            pt: &pt_a,
-            bitmap: None,
-            mem: &mut os.machine.mem,
-            dram: &mut dram,
-        };
+        let mut sys = MemSystem::new(&mut iommu, &pt_a, None, &mut os.machine.mem, &mut dram);
         run(&workload, &g_a, &mut sys, &AccelConfig::default()).unwrap();
     }
 
@@ -45,13 +39,7 @@ fn two_processes_share_one_accelerator_safely() {
     iommu.flush();
     let pt_b = os.process(pid_b).unwrap().page_table;
     {
-        let mut sys = MemSystem {
-            iommu: &mut iommu,
-            pt: &pt_b,
-            bitmap: None,
-            mem: &mut os.machine.mem,
-            dram: &mut dram,
-        };
+        let mut sys = MemSystem::new(&mut iommu, &pt_b, None, &mut os.machine.mem, &mut dram);
         run(&workload, &g_b, &mut sys, &AccelConfig::default()).unwrap();
 
         // While running on behalf of B, touching A's graph must fault:
@@ -89,13 +77,7 @@ fn accelerator_cannot_reach_another_process_even_at_identity_addresses() {
     let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt_a = os.process(pid_a).unwrap().page_table;
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt_a,
-        bitmap: None,
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(&mut iommu, &pt_a, None, &mut os.machine.mem, &mut dram);
     // B's secret address is addressable (it IS a physical address), but
     // not authorized for A.
     let fault = sys.read_u64(b_secret).unwrap_err();
@@ -105,13 +87,13 @@ fn accelerator_cannot_reach_another_process_even_at_identity_addresses() {
     // And the Ideal (no-protection) configuration demonstrates exactly why
     // raw physical access is unacceptable: it reads the secret just fine.
     let mut unsafe_iommu = Iommu::new(MmuConfig::Ideal, EnergyParams::default());
-    let mut sys = MemSystem {
-        iommu: &mut unsafe_iommu,
-        pt: &pt_a,
-        bitmap: None,
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(
+        &mut unsafe_iommu,
+        &pt_a,
+        None,
+        &mut os.machine.mem,
+        &mut dram,
+    );
     let (leak, _) = sys.read_u64(b_secret).unwrap();
     assert_eq!(leak, 0xdead, "direct PM access has no isolation (paper §1)");
 }
@@ -134,13 +116,7 @@ fn vfork_child_can_offload_to_the_same_graph() {
     let pt = os.process(child).unwrap().page_table;
     let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt,
-        bitmap: None,
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
     let result = run(&workload, &g, &mut sys, &AccelConfig::default()).unwrap();
     assert!(result.cycles > 0);
     assert_eq!(iommu.stats.faults.get(), 0);

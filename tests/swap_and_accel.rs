@@ -35,13 +35,7 @@ fn accelerator_faults_on_swapped_page_and_resumes_after_swap_in() {
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
     {
-        let mut sys = MemSystem {
-            iommu: &mut iommu,
-            pt: &pt,
-            bitmap: None,
-            mem: &mut os.machine.mem,
-            dram: &mut dram,
-        };
+        let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
         // The swapped page faults as not-mapped (the OS would handle this
         // by swapping in and retrying the offload).
         let fault = sys.read_u64(buf).unwrap_err();
@@ -55,13 +49,7 @@ fn accelerator_faults_on_swapped_page_and_resumes_after_swap_in() {
     let identity = os.swap_in(pid, buf, &mut store).unwrap();
     assert!(identity);
     let pt = os.process(pid).unwrap().page_table;
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt,
-        bitmap: None,
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
     let (v, _) = sys.read_u64(buf).unwrap();
     assert_eq!(v, 0xAA);
 }
@@ -90,13 +78,7 @@ fn bitmap_is_coherent_across_swap() {
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
     let bm = os.bitmap;
-    let mut sys = MemSystem {
-        iommu: &mut iommu,
-        pt: &pt,
-        bitmap: bm.as_ref(),
-        mem: &mut os.machine.mem,
-        dram: &mut dram,
-    };
+    let mut sys = MemSystem::new(&mut iommu, &pt, bm.as_ref(), &mut os.machine.mem, &mut dram);
     sys.access(buf, AccessKind::Read).unwrap();
     assert_eq!(sys.iommu.stats.identity_validations.get(), 1);
 }
