@@ -19,40 +19,76 @@
 //! Entries are keyed by the full unit identity (workload with all its
 //! parameters, dataset, shrink divisor, MMU scheme); the key is stored
 //! inside the entry and cross-checked on load, so a filename collision
-//! degrades to a miss, never a wrong report. Writes go through a
-//! temp-file rename, so concurrent shard workers sharing a directory
-//! see only complete entries. The cache is meant to live for one
-//! `reproduce_all.sh` invocation (the script clears it up front):
-//! entries do not try to survive simulator changes.
+//! degrades to a miss, never a wrong report. File names cap the
+//! readable slug at [`MAX_SLUG_CHARS`] — the FNV-1a hash plus the
+//! in-entry cross-check carry identity — so an arbitrarily long
+//! parameter set can never overflow the 255-byte file-name limit and
+//! silently disable the cache. Writes go through a temp-file rename
+//! with a per-process *and* per-call tmp name
+//! ([`dvm_graph::unique_tmp_path`]), so neither shard workers nor
+//! `--jobs N` threads racing on one entry ever publish a torn file.
+//! `--report-cache-max-bytes` bounds the directory through the shared
+//! [`CacheBudget`] LRU layer; an evicted entry re-simulates on its next
+//! request, so output bytes never change. The cache is meant to live
+//! for one `reproduce_all.sh` invocation (the script clears it up
+//! front): entries do not try to survive simulator changes.
 
 use crate::shard::report_from_json;
 use crate::{parse, report_json, validate_header, Json, JsonDoc};
 use dvm_core::{GraphRunReport, ReportStore, UnitKey};
+use dvm_graph::{unique_tmp_path, CacheBudget};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Longest readable slug embedded in an entry file name. With the 17
+/// hash characters and the `.json` suffix the name stays well under
+/// every mainstream filesystem's 255-byte limit.
+pub const MAX_SLUG_CHARS: usize = 160;
 
 /// Directory-backed store of per-unit sweep reports.
 #[derive(Debug)]
 pub struct ReportCache {
     dir: PathBuf,
+    budget: CacheBudget,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl ReportCache {
-    /// Open (creating if needed) a report cache in `dir`.
+    /// Open (creating if needed) an unbounded report cache in `dir`.
     ///
     /// # Errors
     ///
     /// Propagates the directory-creation failure.
     pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::with_budget(dir, None)
+    }
+
+    /// Open a report cache bounded to `max_bytes` of entries (`None` =
+    /// unbounded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory-creation failure.
+    pub fn with_budget(dir: impl Into<PathBuf>, max_bytes: Option<u64>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(Self {
+            budget: CacheBudget::new(dir.clone(), ".json", max_bytes),
             dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         })
+    }
+
+    /// The eviction layer (always present; inert without a budget).
+    pub fn budget(&self) -> &CacheBudget {
+        &self.budget
+    }
+
+    /// Entries this process evicted to stay under the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.budget.evictions()
     }
 
     /// The backing directory.
@@ -84,10 +120,13 @@ impl ReportCache {
         )
     }
 
-    /// Where the entry for `key` lives: a readable slug plus an FNV-1a
-    /// hash of the exact key (the slug alone is lossy).
-    pub fn entry_path(&self, key: &UnitKey<'_>) -> PathBuf {
-        let text = Self::key_string(key);
+    /// The file name for a key text: a readable slug plus an FNV-1a
+    /// hash of the exact key. The slug is lossy *and* truncated to
+    /// [`MAX_SLUG_CHARS`] — identity rests on the hash and the in-entry
+    /// key cross-check — so a workload with an arbitrarily long `Debug`
+    /// form can never exceed the 255-byte file-name limit (which would
+    /// make every store fail silently and the cache never hit).
+    fn file_name_for(text: &str) -> String {
         let mut hash = 0xcbf2_9ce4_8422_2325u64;
         for byte in text.bytes() {
             hash ^= u64::from(byte);
@@ -95,9 +134,15 @@ impl ReportCache {
         }
         let slug: String = text
             .chars()
+            .take(MAX_SLUG_CHARS)
             .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
             .collect();
-        self.dir.join(format!("{slug}-{hash:016x}.json"))
+        format!("{slug}-{hash:016x}.json")
+    }
+
+    /// Where the entry for `key` lives.
+    pub fn entry_path(&self, key: &UnitKey<'_>) -> PathBuf {
+        self.dir.join(Self::file_name_for(&Self::key_string(key)))
     }
 }
 
@@ -116,8 +161,18 @@ impl ReportStore for ReportCache {
             report_from_json(doc.get("report")?, key.mmu, key.workload).ok()
         })();
         match &loaded {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let (Some(name), Ok(meta)) = (
+                    path.file_name().and_then(|n| n.to_str()),
+                    std::fs::metadata(&path),
+                ) {
+                    self.budget.record_access(name, meta.len());
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
         };
         loaded
     }
@@ -129,13 +184,22 @@ impl ReportStore for ReportCache {
             .field("report", report_json(report))
             .build();
         let path = self.entry_path(key);
+        let text = format!("{doc}\n");
         // Write-then-rename so a concurrently reading worker never sees
-        // a torn entry; a lost race overwrites with identical content.
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        if std::fs::write(&tmp, format!("{doc}\n")).is_ok() && std::fs::rename(&tmp, &path).is_err()
-        {
+        // a torn entry; the tmp name is unique per process and per call
+        // so racing writers never share one, and a lost rename race
+        // overwrites with identical content. Any failure removes the
+        // tmp file instead of leaking it.
+        let tmp = unique_tmp_path(&path);
+        let written = std::fs::write(&tmp, &text).and_then(|()| std::fs::rename(&tmp, &path));
+        if written.is_err() {
             let _ = std::fs::remove_file(&tmp);
+            return;
         }
+        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+            self.budget.record_access(name, text.len() as u64);
+        }
+        self.budget.enforce();
     }
 }
 
@@ -185,6 +249,106 @@ mod tests {
         }
         assert_eq!(cache.hits(), 3);
         assert_eq!(cache.misses(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_keys_produce_capped_distinct_writable_names() {
+        // Regression test for the file-name overflow: the slug used to
+        // embed the full key text, so a long parameter set exceeded the
+        // 255-byte name limit, every store failed silently and the
+        // cache never hit. The slug is now capped; identity rides on
+        // the hash plus the in-entry key cross-check.
+        let long_a = "x".repeat(4000);
+        let long_b = format!("{}y", "x".repeat(3999));
+        let name_a = ReportCache::file_name_for(&long_a);
+        let name_b = ReportCache::file_name_for(&long_b);
+        assert!(
+            name_a.len() <= 255,
+            "name still overflows: {}",
+            name_a.len()
+        );
+        assert_ne!(name_a, name_b, "hash must distinguish shared prefixes");
+        // The capped name is actually storable on the real filesystem.
+        let dir = tmp_dir("longname");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(&name_a), "x").expect("capped name stores");
+        // Short keys keep their full readable slug.
+        let short = ReportCache::file_name_for("BFS|FR|div64|Ideal");
+        assert!(short.starts_with("BFS_FR_div64_Ideal-"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_entry_never_publish_a_torn_report() {
+        // Regression test for the tmp-name race: tmp names used to be
+        // unique per process only, so two --jobs threads storing the
+        // same unit interleaved writes on one tmp path and could rename
+        // a torn file into place. Every load must round-trip the exact
+        // serialized form; a None (parse failure) means a torn entry.
+        let dir = tmp_dir("hammer");
+        let cache = ReportCache::new(&dir).unwrap();
+        let graph = rmat(10, 4, dvm_graph::RmatParams::default(), 3);
+        let workload = Workload::Bfs { root: 0 };
+        let report = run_graph_experiment(
+            &workload,
+            &graph,
+            &ExperimentConfig::for_mmu(MmuConfig::Ideal),
+        )
+        .unwrap();
+        let key = UnitKey {
+            workload: &workload,
+            dataset: Dataset::Flickr,
+            divisor: 64,
+            mmu: MmuConfig::Ideal,
+        };
+        let expected = report_json(&report).to_string();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..20 {
+                        cache.store(&key, &report);
+                        let loaded = cache.load(&key).expect("complete entry always loads");
+                        assert_eq!(report_json(&loaded).to_string(), expected);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 0, "a torn entry was renamed into place");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_bounds_the_directory_and_evicts_lru_reports() {
+        let dir = tmp_dir("budget");
+        let graph = rmat(10, 4, dvm_graph::RmatParams::default(), 3);
+        let workload = Workload::Bfs { root: 0 };
+        let report = run_graph_experiment(
+            &workload,
+            &graph,
+            &ExperimentConfig::for_mmu(MmuConfig::Ideal),
+        )
+        .unwrap();
+        let key = |divisor| UnitKey {
+            workload: &workload,
+            dataset: Dataset::Flickr,
+            divisor,
+            mmu: MmuConfig::Ideal,
+        };
+        // Same report, same-length keys: every entry has the same size.
+        let sizer = ReportCache::new(&dir).unwrap();
+        sizer.store(&key(64), &report);
+        let entry_bytes = std::fs::metadata(sizer.entry_path(&key(64))).unwrap().len();
+
+        let cache = ReportCache::with_budget(&dir, Some(2 * entry_bytes)).unwrap();
+        cache.store(&key(65), &report);
+        cache.store(&key(66), &report);
+        assert_eq!(cache.evictions(), 1, "third entry evicts the LRU one");
+        assert!(cache.budget().used_bytes() <= 2 * entry_bytes);
+        // The oldest key (64) was evicted; the recent two still hit.
+        assert!(cache.load(&key(64)).is_none());
+        assert!(cache.load(&key(65)).is_some());
+        assert!(cache.load(&key(66)).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -20,6 +20,13 @@
 //! `--merge-dir DIR` skips the spawning and merges fragments some other
 //! machine's workers already wrote — the multi-host workflow.
 //!
+//! Workers inherit the coordinator's cache flags verbatim (see
+//! [`BenchArgs::worker_argv`]), including `--cache-max-bytes` and
+//! `--report-cache-max-bytes`: every worker enforces the same LRU byte
+//! budget on the shared cache directories. Eviction is safe under this
+//! concurrency because a worker that loses an entry mid-sweep just
+//! regenerates it — budgets never change sweep output bytes.
+//!
 //! Reconstructed [`GraphRunReport`]s carry only the fields
 //! [`report_json`] serializes; `engine_cycles`, `walker_cycles` and the
 //! latency histogram come back empty. No formatting path reads them, and

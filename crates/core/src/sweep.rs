@@ -14,6 +14,12 @@
 //! Every cell is shared-nothing (its own `Os`, IOMMU, DRAM and
 //! accelerator instances), which is what makes the grid embarrassingly
 //! parallel; the only cross-cell state is the read-only input graph.
+//!
+//! Both optional stores ([`SweepOptions::cache`] for datasets,
+//! [`SweepOptions::reports`] for finished cell reports) are best-effort:
+//! a miss — including one manufactured by LRU byte-budget eviction while
+//! the sweep is running — falls back to regeneration, so caching can
+//! change only wall-clock time, never results.
 
 use crate::experiment::{run_graph_experiment, ExperimentConfig, GraphRunReport};
 use dvm_accel::Workload;

@@ -18,10 +18,20 @@
 //! output.
 //!
 //! Writes go through a temp file plus atomic rename, which makes
-//! concurrent shard workers filling the same cache directory safe: the
-//! last writer wins with a complete file, and readers never observe a
-//! partial entry.
+//! concurrent writers filling the same cache directory safe: the temp
+//! name is unique per process *and* per call ([`unique_tmp_path`]), so
+//! neither shard workers nor `--jobs N` threads ever share a tmp file,
+//! the last renamer wins with a complete file, and readers never
+//! observe a partial entry. A failed store removes its tmp file.
+//!
+//! [`DatasetCache::with_budget`] additionally bounds the directory to a
+//! byte budget: every hit and store is recorded in a [`CacheBudget`]
+//! index, and after each store the least-recently-used entries are
+//! evicted until the directory fits. An evicted entry simply misses and
+//! regenerates on its next use, so a budgeted run's output is
+//! byte-identical to an unbounded one.
 
+use crate::budget::{unique_tmp_path, CacheBudget};
 use crate::csr::{Edge, Graph};
 use crate::datasets::Dataset;
 use std::io;
@@ -57,26 +67,49 @@ const EDGE_BYTES: usize = 12;
 #[derive(Debug)]
 pub struct DatasetCache {
     dir: PathBuf,
+    budget: CacheBudget,
     hits: AtomicU64,
     misses: AtomicU64,
     rejected: AtomicU64,
 }
 
 impl DatasetCache {
-    /// Open (creating if needed) a cache directory.
+    /// Open (creating if needed) an unbounded cache directory.
     ///
     /// # Errors
     ///
     /// Propagates the `create_dir_all` failure.
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::with_budget(dir, None)
+    }
+
+    /// Open a cache directory bounded to `max_bytes` of entries
+    /// (`None` = unbounded). Accesses are recorded either way, so the
+    /// LRU history is warm when a budget is first applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn with_budget(dir: impl Into<PathBuf>, max_bytes: Option<u64>) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(Self {
+            budget: CacheBudget::new(dir.clone(), ".csr", max_bytes),
             dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         })
+    }
+
+    /// The eviction layer (always present; inert without a budget).
+    pub fn budget(&self) -> &CacheBudget {
+        &self.budget
+    }
+
+    /// Entries this process evicted to stay under the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.budget.evictions()
     }
 
     /// The cache directory.
@@ -120,6 +153,9 @@ impl DatasetCache {
             Ok(bytes) => match decode(&bytes, dataset.seed(), divisor) {
                 Some(graph) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                        self.budget.record_access(name, bytes.len() as u64);
+                    }
                     return graph;
                 }
                 None => {
@@ -142,7 +178,8 @@ impl DatasetCache {
         graph
     }
 
-    /// Serialize `graph` to `path` via a temp file + atomic rename.
+    /// Serialize `graph` to `path` via a temp file + atomic rename,
+    /// then record the entry and evict over-budget LRU entries.
     fn store(&self, path: &Path, seed: u64, divisor: u32, graph: &Graph) -> io::Result<()> {
         let payload = encode_payload(graph);
         let mut bytes = Vec::with_capacity(HEADER_BYTES + payload.len());
@@ -154,11 +191,22 @@ impl DatasetCache {
         bytes.extend_from_slice(&graph.num_edges().to_le_bytes());
         bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
-        // Unique temp name per process so concurrent shard workers never
-        // interleave writes; rename is atomic on POSIX.
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, path)
+        // Temp name unique per process *and* per call, so concurrent
+        // writers (shard processes or --jobs threads racing on the same
+        // entry) never interleave writes; rename is atomic on POSIX.
+        let tmp = unique_tmp_path(path);
+        let written = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, path));
+        if written.is_err() {
+            // Never leak a tmp file: a partial write or failed rename
+            // leaves it behind otherwise.
+            let _ = std::fs::remove_file(&tmp);
+            return written;
+        }
+        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+            self.budget.record_access(name, bytes.len() as u64);
+        }
+        self.budget.enforce();
+        Ok(())
     }
 }
 

@@ -17,11 +17,13 @@
 //! assert_eq!(g.num_vertices(), 4096);
 //! ```
 
+pub mod budget;
 pub mod cache;
 pub mod csr;
 pub mod datasets;
 pub mod rmat;
 
+pub use budget::{unique_tmp_path, BudgetEntry, CacheBudget, BUDGET_LOG};
 pub use cache::{DatasetCache, CACHE_FORMAT_VERSION};
 pub use csr::{Edge, Graph};
 pub use datasets::{Dataset, DatasetSpec};

@@ -74,6 +74,93 @@ fn corrupt_entry_falls_back_and_is_repaired() {
 }
 
 #[test]
+fn concurrent_writers_on_one_entry_never_publish_a_torn_file() {
+    // Regression test for the tmp-name race: tmp files used to be
+    // unique per *process* only, so two threads storing the same entry
+    // interleaved writes on one tmp path and could rename a torn file
+    // into place. Hammer a single entry from many threads, forcing
+    // repeated concurrent stores by deleting it between lookups; every
+    // served graph must be the generated one and no load may ever be
+    // rejected (a rejection means a torn entry reached the rename).
+    let dir = scratch_dir("hammer");
+    let cache = DatasetCache::new(&dir).unwrap();
+    let expected = Dataset::Flickr.generate(2048);
+    let path = cache.entry_path(Dataset::Flickr, 2048);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..6 {
+                    let _ = std::fs::remove_file(&path);
+                    assert_eq!(cache.get_or_generate(Dataset::Flickr, 2048), expected);
+                }
+            });
+        }
+    });
+    assert_eq!(cache.rejected(), 0, "a torn entry was renamed into place");
+    // The winning rename left a complete, loadable entry behind.
+    let reopened = DatasetCache::new(&dir).unwrap();
+    assert_eq!(reopened.get_or_generate(Dataset::Flickr, 2048), expected);
+    assert_eq!((reopened.hits(), reopened.rejected()), (1, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_store_cleans_up_its_tmp_file() {
+    // A store whose rename fails (here: the entry path is a directory)
+    // must remove its tmp file instead of leaking it.
+    let dir = scratch_dir("tmpleak");
+    let cache = DatasetCache::new(&dir).unwrap();
+    let path = cache.entry_path(Dataset::Flickr, 2048);
+    std::fs::create_dir_all(&path).unwrap();
+    let expected = Dataset::Flickr.generate(2048);
+    assert_eq!(cache.get_or_generate(Dataset::Flickr, 2048), expected);
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp"))
+        .collect();
+    assert_eq!(leftovers, Vec::<String>::new(), "tmp files leaked");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_evicts_lru_entries_and_misses_stay_clean() {
+    let dir = scratch_dir("budget");
+    // Populate three entries, then reopen with a budget sized from the
+    // real files so exactly one of them no longer fits.
+    let sizer = DatasetCache::new(&dir).unwrap();
+    for dataset in [Dataset::Flickr, Dataset::Netflix, Dataset::Rmat24] {
+        sizer.get_or_generate(dataset, 2048);
+    }
+    let entry_bytes = |d: Dataset| std::fs::metadata(sizer.entry_path(d, 2048)).unwrap().len();
+    let budget = entry_bytes(Dataset::Flickr) + entry_bytes(Dataset::Rmat24);
+
+    let cache = DatasetCache::with_budget(&dir, Some(budget)).unwrap();
+    assert_eq!(cache.budget().max_bytes(), Some(budget));
+    // Touch FR so NF (stored before S24, never touched since) is the
+    // least-recently-used entry and the sole victim.
+    let fr = cache.get_or_generate(Dataset::Flickr, 2048);
+    assert_eq!(cache.budget().enforce(), 1);
+    assert_eq!(cache.evictions(), 1);
+    assert!(!sizer.entry_path(Dataset::Netflix, 2048).exists());
+    assert!(sizer.entry_path(Dataset::Flickr, 2048).exists());
+    assert!(sizer.entry_path(Dataset::Rmat24, 2048).exists());
+    assert!(
+        cache.budget().used_bytes() <= budget,
+        "directory exceeds the budget"
+    );
+    // The evicted entry degrades to a clean regenerate-on-miss, and the
+    // re-store keeps the directory under budget.
+    let nf = cache.get_or_generate(Dataset::Netflix, 2048);
+    assert_eq!(nf, Dataset::Netflix.generate(2048));
+    assert_eq!(fr, Dataset::Flickr.generate(2048));
+    assert!(cache.budget().used_bytes() <= budget);
+    assert_eq!(cache.rejected(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn garbage_file_falls_back_cleanly() {
     let dir = scratch_dir("garbage");
     let cache = DatasetCache::new(&dir).unwrap();

@@ -45,6 +45,34 @@ cmp "$SHARD_TMP/serial.txt" "$SHARD_TMP/sharded.txt"
 cmp "$SHARD_TMP/serial.json" "$SHARD_TMP/sharded.json"
 echo "fig2 sharded output is byte-identical to serial"
 
+echo "== cache byte budget (fig2, quick scale, budget below working set)"
+# A budget one byte below the two-dataset working set forces an eviction
+# mid-sweep; the evicted entry regenerates on the next miss, the capped
+# dir must end at or under the budget, and every output byte must match
+# the uncapped run.
+target/release/fig2 --scale quick --datasets FR,NF --jobs 1 \
+    --cache-dir "$SHARD_TMP/uncapped" \
+    --json "$SHARD_TMP/uncapped.json" > "$SHARD_TMP/uncapped.txt"
+working_set() { # cache-dir
+    find "$1" -name '*.csr' -printf '%s\n' | awk '{ t += $1 } END { print t + 0 }'
+}
+BUDGET=$(( $(working_set "$SHARD_TMP/uncapped") - 1 ))
+target/release/fig2 --scale quick --datasets FR,NF --jobs 1 \
+    --cache-dir "$SHARD_TMP/capped" --cache-max-bytes "$BUDGET" \
+    --json "$SHARD_TMP/capped.json" > "$SHARD_TMP/capped.txt"
+cmp "$SHARD_TMP/uncapped.txt" "$SHARD_TMP/capped.txt"
+cmp "$SHARD_TMP/uncapped.json" "$SHARD_TMP/capped.json"
+CAPPED_BYTES=$(working_set "$SHARD_TMP/capped")
+if [[ $CAPPED_BYTES -gt $BUDGET ]]; then
+    echo "capped cache dir holds $CAPPED_BYTES bytes > budget $BUDGET" >&2
+    exit 1
+fi
+target/release/fig2 --scale smoke --datasets FR --jobs 1 \
+    --cache-dir "$SHARD_TMP/capped" --cache-max-bytes "$BUDGET" --cache-stats \
+    > "$SHARD_TMP/stats.txt" 2> /dev/null
+grep -q "cumulative evictions" "$SHARD_TMP/stats.txt"
+echo "fig2 budget-capped output is byte-identical and the dir stayed under budget"
+
 echo "== golden-result diff (virt, fig10, table4, quick scale)"
 # Regenerate the cheap quick-scale documents and diff them against the
 # committed goldens; the full set is checked by reproduce_all.sh +

@@ -3,6 +3,7 @@
 # EXPERIMENTS.md. Usage:
 #
 #   scripts/reproduce_all.sh [smoke|quick|paper|full] [--jobs N] [--shards N]
+#       [--cache-max-bytes N] [--report-cache-max-bytes N]
 #
 # quick: minutes. paper: ~1-2 hours on one core (Figure 8/9 dominate).
 # full: unscaled Table 3 datasets; hours and ~16 GiB of host RAM.
@@ -15,21 +16,29 @@
 # runs skip regeneration. Figures 2, 8 and 9 sweep the same unit grid, so
 # they share a per-invocation report cache (results/.report-cache, cleared
 # up front): the first binary to simulate a unit records its report, the
-# rest replay it byte-identically. Each binary writes
+# rest replay it byte-identically. --cache-max-bytes / --report-cache-max-bytes
+# (sizes take K/M/G/T suffixes) cap those directories with an LRU byte
+# budget — evicted entries regenerate on the next miss, so budgets trade
+# wall-clock for disk without changing any output byte. Each binary writes
 # results/<name>_<scale>.json, and the script records per-binary
-# wall-clock and dataset-cache hit/miss counts in results/BENCH_sweep.json.
+# wall-clock, dataset-cache hit/miss and cache-eviction counts in
+# results/BENCH_sweep.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SCALE="quick"
 JOBS=1
 SHARDS=0
+CACHE_MAX=""
+REPORT_CACHE_MAX=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
         smoke|quick|paper|full) SCALE="$1"; shift ;;
         --jobs) JOBS="$2"; shift 2 ;;
         --shards) SHARDS="$2"; shift 2 ;;
-        *) echo "usage: $0 [smoke|quick|paper|full] [--jobs N] [--shards N]" >&2; exit 2 ;;
+        --cache-max-bytes) CACHE_MAX="$2"; shift 2 ;;
+        --report-cache-max-bytes) REPORT_CACHE_MAX="$2"; shift 2 ;;
+        *) echo "usage: $0 [smoke|quick|paper|full] [--jobs N] [--shards N] [--cache-max-bytes N] [--report-cache-max-bytes N]" >&2; exit 2 ;;
     esac
 done
 
@@ -46,19 +55,23 @@ cargo build --release -p dvm-bench
 suffix="$SCALE"
 BENCH_ROWS=""
 now_ms() { python3 -c 'import time; print(int(time.time()*1000))'; }
-# Sum `hits=`/`misses=` across every dataset-cache stderr line (each
-# shard worker prints its own).
-cache_count() { # key, stderr-file
-    awk -v key="$1" '/^dataset-cache:/ {
+# Sum a `key=` field across every stderr stats line with the given
+# prefix (each shard worker prints its own dataset-cache/report-cache
+# line).
+cache_count() { # prefix, key, stderr-file
+    awk -v prefix="^$1:" -v key="$2" '$0 ~ prefix {
         for (i = 1; i <= NF; i++)
             if (split($i, kv, "=") == 2 && kv[1] == key) total += kv[2]
-    } END { print total + 0 }' "$2"
+    } END { print total + 0 }' "$3"
 }
 run() { # name, extra args...
     local name="$1"; shift
     local extra=()
     if [[ $SHARDS -gt 0 ]]; then
         extra+=(--shards "$SHARDS")
+    fi
+    if [[ -n $CACHE_MAX ]]; then
+        extra+=(--cache-max-bytes "$CACHE_MAX")
     fi
     echo ">>> $name --scale $SCALE --jobs $JOBS ${extra[*]} $*"
     local t0 t1 err
@@ -71,20 +84,28 @@ run() { # name, extra args...
         2> "$err" || { cat "$err" >&2; rm -f "$err"; exit 1; }
     t1=$(now_ms)
     cat "$err" >&2
-    local hits misses
-    hits=$(cache_count hits "$err")
-    misses=$(cache_count misses "$err")
+    local hits misses evicted report_evicted
+    hits=$(cache_count dataset-cache hits "$err")
+    misses=$(cache_count dataset-cache misses "$err")
+    evicted=$(cache_count dataset-cache evicted "$err")
+    report_evicted=$(cache_count report-cache evicted "$err")
     rm -f "$err"
-    BENCH_ROWS+="    {\"bin\": \"$name\", \"wall_ms\": $((t1 - t0)), \"cache_hits\": $hits, \"cache_misses\": $misses},"$'\n'
+    BENCH_ROWS+="    {\"bin\": \"$name\", \"wall_ms\": $((t1 - t0)), \"cache_hits\": $hits, \"cache_misses\": $misses, \"cache_evictions\": $evicted, \"report_cache_evictions\": $report_evicted},"$'\n'
 }
+
+# The shared unit-report cache, with its optional byte budget.
+RC_ARGS=(--report-cache "$REPORT_CACHE")
+if [[ -n $REPORT_CACHE_MAX ]]; then
+    RC_ARGS+=(--report-cache-max-bytes "$REPORT_CACHE_MAX")
+fi
 
 run table3
 run table1
 run table4
 run fig10
-run fig2 --report-cache "$REPORT_CACHE"
-run fig8 --report-cache "$REPORT_CACHE"
-run fig9 --report-cache "$REPORT_CACHE"
+run fig2 "${RC_ARGS[@]}"
+run fig8 "${RC_ARGS[@]}"
+run fig9 "${RC_ARGS[@]}"
 run table5
 run virt
 
