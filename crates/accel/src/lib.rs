@@ -16,7 +16,7 @@
 //! use dvm_energy::EnergyParams;
 //! use dvm_graph::Dataset;
 //! use dvm_mem::{Dram, DramConfig};
-//! use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+//! use dvm_mmu::{Iommu, MemSystem, SchemeId};
 //! use dvm_os::{Os, OsConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,7 +26,7 @@
 //! let workload = Workload::Bfs { root: 0 };
 //! let g = layout::load_graph(&mut os, pid, &graph, workload.prop_stride())?;
 //!
-//! let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+//! let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
 //! let mut dram = Dram::new(DramConfig::default());
 //! // `PageTable` and `PermBitmap` are small Copy handles; copying them out
 //! // lets the memory system borrow `os.machine.mem` mutably.

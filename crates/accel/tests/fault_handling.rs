@@ -5,7 +5,7 @@ use dvm_accel::{layout, run, AccelConfig, Workload};
 use dvm_energy::EnergyParams;
 use dvm_graph::{rmat, RmatParams};
 use dvm_mem::{Dram, DramConfig, MachineConfig};
-use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_mmu::{Iommu, MemSystem, SchemeId};
 use dvm_os::{Os, OsConfig};
 use dvm_types::{FaultKind, Permission};
 
@@ -24,7 +24,7 @@ fn revoked_permissions_abort_the_offload() {
     // the accelerator's first reduce write must fault.
     os.mprotect(pid, g.temp_va, Permission::ReadOnly).unwrap();
 
-    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+    let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
     let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
@@ -50,7 +50,7 @@ fn unmapped_graph_memory_faults_as_not_mapped() {
     // stay mapped — the host writes the root into it during setup.)
     os.munmap(pid, g.frontier_b_va).unwrap();
 
-    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: false }, EnergyParams::default());
+    let mut iommu = Iommu::new(SchemeId::DVM_PE, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
     let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
@@ -79,7 +79,7 @@ fn faults_do_not_corrupt_other_processes() {
     let g = layout::load_graph(&mut os, a, &graph, workload.prop_stride()).unwrap();
     os.mprotect(a, g.prop_va, Permission::ReadOnly).unwrap();
 
-    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+    let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(a).unwrap().page_table;
     let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);

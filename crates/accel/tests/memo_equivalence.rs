@@ -8,18 +8,18 @@ use dvm_accel::{layout, run, AccelConfig, Workload};
 use dvm_energy::EnergyParams;
 use dvm_graph::{rmat, to_bipartite, Graph, RmatParams};
 use dvm_mem::{Dram, DramConfig, MachineConfig};
-use dvm_mmu::{Iommu, MemSystem, MmuConfig, TranslationMemo};
+use dvm_mmu::{Iommu, MemSystem, SchemeId, TranslationMemo};
 use dvm_os::{MapFlavor, Os, OsConfig};
 
-fn os_for(config: MmuConfig) -> Os {
-    let flavor = match config {
-        MmuConfig::Conventional { page_size } => MapFlavor::Paged(page_size),
-        _ => MapFlavor::DvmPe,
+fn os_for(config: SchemeId) -> Os {
+    let flavor = match config.required_leaf_size() {
+        Some(page_size) => MapFlavor::Paged(page_size),
+        None => MapFlavor::DvmPe,
     };
     Os::new(OsConfig {
         machine: MachineConfig { mem_bytes: 8 << 30 },
         flavor,
-        maintain_bitmap: config == MmuConfig::DvmBitmap,
+        maintain_bitmap: config.needs_bitmap(),
         ..OsConfig::default()
     })
 }
@@ -34,7 +34,7 @@ struct Observation {
     dram: String,
 }
 
-fn observe(config: MmuConfig, workload: &Workload, graph: &Graph, memos: bool) -> Observation {
+fn observe(config: SchemeId, workload: &Workload, graph: &Graph, memos: bool) -> Observation {
     let mut os = os_for(config);
     let pid = os.spawn().unwrap();
     let g = layout::load_graph(&mut os, pid, graph, workload.prop_stride()).unwrap();
@@ -83,7 +83,7 @@ fn observe(config: MmuConfig, workload: &Workload, graph: &Graph, memos: bool) -
 }
 
 fn assert_equivalent(workload: &Workload, graph: &Graph) {
-    for config in MmuConfig::PAPER_SET {
+    for config in SchemeId::PAPER_SET {
         let with = observe(config, workload, graph, true);
         let without = observe(config, workload, graph, false);
         assert_eq!(with.result, without.result, "{config}: run result");

@@ -7,27 +7,26 @@ use dvm_accel::{layout, reference, run, AccelConfig, Workload};
 use dvm_energy::EnergyParams;
 use dvm_graph::{rmat, to_bipartite, Graph, RmatParams};
 use dvm_mem::{Dram, DramConfig, MachineConfig};
-use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_mmu::{Iommu, MemSystem, SchemeId};
 use dvm_os::{MapFlavor, Os, OsConfig};
-use dvm_types::PageSize;
 
-fn os_for(config: MmuConfig) -> Os {
-    let flavor = match config {
-        MmuConfig::Conventional { page_size } => MapFlavor::Paged(page_size),
-        _ => MapFlavor::DvmPe,
+fn os_for(config: SchemeId) -> Os {
+    let flavor = match config.required_leaf_size() {
+        Some(page_size) => MapFlavor::Paged(page_size),
+        None => MapFlavor::DvmPe,
     };
     Os::new(OsConfig {
         machine: MachineConfig {
             mem_bytes: 8 << 30, // roomy: the 1G flavour pads every region
         },
         flavor,
-        maintain_bitmap: config == MmuConfig::DvmBitmap,
+        maintain_bitmap: config.needs_bitmap(),
         ..OsConfig::default()
     })
 }
 
 fn run_workload(
-    config: MmuConfig,
+    config: SchemeId,
     workload: &Workload,
     graph: &Graph,
 ) -> (dvm_accel::RunResult, Vec<u32>, Vec<f32>) {
@@ -63,7 +62,7 @@ fn bipartite_graph() -> Graph {
 fn bfs_matches_reference_on_all_configs() {
     let graph = test_graph();
     let want = reference::bfs_levels(&graph, 0);
-    for config in MmuConfig::PAPER_SET {
+    for config in SchemeId::PAPER_SET {
         let (_, levels, _) = run_workload(config, &Workload::Bfs { root: 0 }, &graph);
         assert_eq!(levels, want, "config {config}");
     }
@@ -73,7 +72,7 @@ fn bfs_matches_reference_on_all_configs() {
 fn pagerank_matches_reference_on_all_configs() {
     let graph = test_graph();
     let want = reference::pagerank(&graph, 2);
-    for config in MmuConfig::PAPER_SET {
+    for config in SchemeId::PAPER_SET {
         let (_, _, ranks) = run_workload(config, &Workload::PageRank { iterations: 2 }, &graph);
         assert_eq!(ranks, want, "config {config} (bitwise CSR-order match)");
     }
@@ -83,13 +82,7 @@ fn pagerank_matches_reference_on_all_configs() {
 fn sssp_matches_dijkstra_on_all_configs() {
     let graph = test_graph();
     let want = reference::sssp_distances(&graph, 0);
-    for config in [
-        MmuConfig::Ideal,
-        MmuConfig::DvmPe { preload: true },
-        MmuConfig::Conventional {
-            page_size: PageSize::Size4K,
-        },
-    ] {
+    for config in [SchemeId::IDEAL, SchemeId::DVM_PE_PLUS, SchemeId::CONV_4K] {
         let (_, _, dist) = run_workload(
             config,
             &Workload::Sssp {
@@ -117,7 +110,7 @@ fn cf_matches_reference_sgd() {
         features: 8,
     };
     let want = reference::cf_factors(&graph, 1, 8);
-    for config in [MmuConfig::Ideal, MmuConfig::DvmPe { preload: true }] {
+    for config in [SchemeId::IDEAL, SchemeId::DVM_PE_PLUS] {
         let mut os = os_for(config);
         let pid = os.spawn().unwrap();
         let g = layout::load_graph(&mut os, pid, &graph, workload.prop_stride()).unwrap();
@@ -145,7 +138,7 @@ fn identical_work_across_configs() {
     let graph = test_graph();
     let workload = Workload::Bfs { root: 0 };
     let mut baseline = None;
-    for config in MmuConfig::PAPER_SET {
+    for config in SchemeId::PAPER_SET {
         let (result, _, _) = run_workload(config, &workload, &graph);
         let key = (result.edges_processed, result.iterations);
         match &baseline {
@@ -162,15 +155,9 @@ fn dvm_pe_is_faster_than_4k_and_slower_than_ideal() {
     // footprint.
     let graph = rmat(17, 8, RmatParams::default(), 7);
     let workload = Workload::PageRank { iterations: 1 };
-    let (ideal, _, _) = run_workload(MmuConfig::Ideal, &workload, &graph);
-    let (pe_plus, _, _) = run_workload(MmuConfig::DvmPe { preload: true }, &workload, &graph);
-    let (four_k, _, _) = run_workload(
-        MmuConfig::Conventional {
-            page_size: PageSize::Size4K,
-        },
-        &workload,
-        &graph,
-    );
+    let (ideal, _, _) = run_workload(SchemeId::IDEAL, &workload, &graph);
+    let (pe_plus, _, _) = run_workload(SchemeId::DVM_PE_PLUS, &workload, &graph);
+    let (four_k, _, _) = run_workload(SchemeId::CONV_4K, &workload, &graph);
     assert!(ideal.cycles <= pe_plus.cycles);
     assert!(
         pe_plus.cycles < four_k.cycles,
@@ -184,7 +171,7 @@ fn dvm_pe_is_faster_than_4k_and_slower_than_ideal() {
 fn engines_share_work() {
     let graph = test_graph();
     let (result, _, _) = run_workload(
-        MmuConfig::Ideal,
+        SchemeId::IDEAL,
         &Workload::PageRank { iterations: 1 },
         &graph,
     );
@@ -202,7 +189,7 @@ fn deterministic_cycles() {
         root: 0,
         max_iterations: 64,
     };
-    let (a, _, _) = run_workload(MmuConfig::DvmPe { preload: false }, &workload, &graph);
-    let (b, _, _) = run_workload(MmuConfig::DvmPe { preload: false }, &workload, &graph);
+    let (a, _, _) = run_workload(SchemeId::DVM_PE, &workload, &graph);
+    let (b, _, _) = run_workload(SchemeId::DVM_PE, &workload, &graph);
     assert_eq!(a, b);
 }

@@ -25,11 +25,13 @@ fn main() {
         args.scale.name(),
         config.accesses
     ));
+    // --schemes filters this binary's own CPU-scheme columns by name.
+    let schemes = args.scheme_columns(&CpuScheme::ALL, |s| s.name());
     // The (workload × scheme) grid is shared-nothing, so it runs on the
     // sharded grid runner like every other harness.
     let units: Vec<(CpuWorkload, CpuScheme)> = CpuWorkload::ALL
         .iter()
-        .flat_map(|&w| CpuScheme::ALL.iter().map(move |&s| (w, s)))
+        .flat_map(|&w| schemes.iter().map(move |&s| (w, s)))
         .collect();
     let labels: Vec<String> = units
         .iter()
@@ -42,14 +44,17 @@ fn main() {
             .overhead_percent()
     });
 
-    let mut table = Table::new(&["workload", "4K", "THP", "cDVM"]);
-    let mut fig = FigureJson::new("fig10", args.scale.name(), &["4K", "THP", "cDVM"]);
-    let mut sums = [0.0f64; 3];
+    let names: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+    let mut header = vec!["workload"];
+    header.extend(&names);
+    let mut table = Table::new(&header);
+    let mut fig = FigureJson::new("fig10", args.scale.name(), &names);
+    let mut sums = vec![0.0f64; schemes.len()];
     for (w, workload) in CpuWorkload::ALL.iter().enumerate() {
         let mut row = vec![workload.name().to_string()];
         let mut values = Vec::new();
-        for s in 0..CpuScheme::ALL.len() {
-            let overhead = overheads[w * CpuScheme::ALL.len() + s];
+        for s in 0..schemes.len() {
+            let overhead = overheads[w * schemes.len() + s];
             sums[s] += overhead;
             row.push(format!("{overhead:.1}%"));
             values.push(Json::Float(overhead));
@@ -58,12 +63,9 @@ fn main() {
         fig.row(workload.name(), values);
     }
     let n = CpuWorkload::ALL.len() as f64;
-    table.row(&[
-        "average".into(),
-        format!("{:.1}%", sums[0] / n),
-        format!("{:.1}%", sums[1] / n),
-        format!("{:.1}%", sums[2] / n),
-    ]);
+    let mut avg_row = vec!["average".to_string()];
+    avg_row.extend(sums.iter().map(|s| format!("{:.1}%", s / n)));
+    table.row(&avg_row);
     fig.summary(
         "average",
         Json::Arr(sums.iter().map(|&s| Json::Float(s / n)).collect()),

@@ -6,7 +6,7 @@
 //! ```
 
 use dvm_bench::{pair_label, run_sharded_sweep, BenchArgs, FigureJson, Json};
-use dvm_core::{MmuConfig, PageSize};
+use dvm_core::SchemeId;
 use dvm_sim::Table;
 
 fn main() {
@@ -15,19 +15,24 @@ fn main() {
         "Figure 2: TLB miss rates (128-entry FA TLB), scale = {}\n",
         args.scale.name()
     ));
-    let schemes = [
-        MmuConfig::Conventional {
-            page_size: PageSize::Size4K,
-        },
-        MmuConfig::Conventional {
-            page_size: PageSize::Size2M,
-        },
-    ];
+    let schemes = args.iommu_schemes(&[SchemeId::CONV_4K, SchemeId::CONV_2M]);
+    // The figure's historical column labels for the default pair; a
+    // --schemes selection uses registry names (schemes without a TLB
+    // report a 0.0 miss rate).
+    let names: Vec<String> = if args.schemes.is_none() {
+        vec!["4K pages".to_string(), "2M pages".to_string()]
+    } else {
+        schemes.iter().map(|c| c.name().to_string()).collect()
+    };
     let cells = run_sharded_sweep(&args, "fig2", &schemes);
 
-    let mut table = Table::new(&["workload/graph", "4K pages", "2M pages"]);
-    let mut fig = FigureJson::new("fig2", args.scale.name(), &["4K pages", "2M pages"]);
-    let mut sums = [0.0f64; 2];
+    let mut header = vec!["workload/graph".to_string()];
+    header.extend(names.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    let mut fig = FigureJson::new("fig2", args.scale.name(), &name_refs);
+    let mut sums = vec![0.0f64; schemes.len()];
     for cell in &cells {
         let rates: Vec<f64> = schemes
             .iter()
@@ -35,17 +40,16 @@ fn main() {
                 cell.report_for(mmu)
                     .expect("scheme ran")
                     .tlb_miss_rate()
-                    .expect("conventional has a TLB")
+                    .unwrap_or(0.0)
             })
             .collect();
-        sums[0] += rates[0];
-        sums[1] += rates[1];
+        for (sum, rate) in sums.iter_mut().zip(&rates) {
+            *sum += rate;
+        }
         let label = pair_label(&cell.workload, cell.dataset);
-        table.row(&[
-            label.clone(),
-            format!("{:.1}%", rates[0] * 100.0),
-            format!("{:.1}%", rates[1] * 100.0),
-        ]);
+        let mut row = vec![label.clone()];
+        row.extend(rates.iter().map(|r| format!("{:.1}%", r * 100.0)));
+        table.row(&row);
         fig.row_with_reports(
             &label,
             rates.iter().map(|&r| Json::Float(r)).collect(),
@@ -54,11 +58,9 @@ fn main() {
     }
     if !cells.is_empty() {
         let n = cells.len() as f64;
-        table.row(&[
-            "average".into(),
-            format!("{:.1}%", sums[0] / n * 100.0),
-            format!("{:.1}%", sums[1] / n * 100.0),
-        ]);
+        let mut avg_row = vec!["average".to_string()];
+        avg_row.extend(sums.iter().map(|s| format!("{:.1}%", s / n * 100.0)));
+        table.row(&avg_row);
         fig.summary(
             "average",
             Json::Arr(sums.iter().map(|&s| Json::Float(s / n)).collect()),

@@ -6,7 +6,7 @@
 //! ```
 
 use dvm_bench::{geomean, pair_label, run_sharded_sweep, BenchArgs, FigureJson, Json};
-use dvm_core::{MmuConfig, PageSize};
+use dvm_core::SchemeId;
 use dvm_sim::Table;
 
 fn main() {
@@ -15,16 +15,20 @@ fn main() {
         "Figure 9: dynamic MM energy normalized to 4K,TLB+PWC, scale = {}\n",
         args.scale.name()
     ));
-    let baseline = MmuConfig::Conventional {
-        page_size: PageSize::Size4K,
-    };
+    let baseline = SchemeId::CONV_4K;
+    let selected = args.iommu_schemes(&SchemeId::PAPER_SET);
     // The figure shows 2M, 1G, DVM-BM, DVM-PE, DVM-PE+ relative to 4K
-    // (Ideal spends nothing and is omitted).
-    let shown: Vec<MmuConfig> = MmuConfig::PAPER_SET
+    // (Ideal spends nothing and is omitted); the 4K baseline is always
+    // swept even when filtered out of the columns.
+    let shown: Vec<SchemeId> = selected
         .iter()
         .copied()
-        .filter(|&c| c != baseline && c != MmuConfig::Ideal)
+        .filter(|&c| c != baseline && c != SchemeId::IDEAL)
         .collect();
+    let mut sweep = selected;
+    if !sweep.contains(&baseline) {
+        sweep.push(baseline);
+    }
     let names: Vec<&str> = shown.iter().map(|c| c.name()).collect();
     let mut header = vec!["workload/graph"];
     header.extend(&names);
@@ -32,10 +36,10 @@ fn main() {
     let mut fig = FigureJson::new("fig9", args.scale.name(), &names);
     let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); shown.len()];
 
-    for cell in &run_sharded_sweep(&args, "fig9", &MmuConfig::PAPER_SET) {
+    for cell in &run_sharded_sweep(&args, "fig9", &sweep) {
         let base = cell
             .report_for(baseline)
-            .expect("paper set includes 4K")
+            .expect("sweep includes 4K")
             .mm_energy_pj
             .max(1e-9);
         let label = pair_label(&cell.workload, cell.dataset);

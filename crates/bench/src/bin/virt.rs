@@ -97,14 +97,13 @@ fn main() {
         translations
     ));
 
-    // Each scheme builds its own memory, page tables and walker; the four
+    // --schemes filters this binary's own nested-scheme rows by name.
+    let schemes = args.scheme_columns(&NestedScheme::ALL, |s| s.name());
+    // Each scheme builds its own memory, page tables and walker; the
     // measurements run on the sharded grid runner.
-    let labels: Vec<String> = NestedScheme::ALL
-        .iter()
-        .map(|s| s.name().to_string())
-        .collect();
+    let labels: Vec<String> = schemes.iter().map(|s| s.name().to_string()).collect();
     let results: Vec<[f64; 3]> = run_grid(&args, "virt", &labels, |i| {
-        measure(NestedScheme::ALL[i], span, base, translations)
+        measure(schemes[i], span, base, translations)
     });
 
     let columns = [
@@ -114,7 +113,7 @@ fn main() {
     ];
     let mut table = Table::new(&std::iter::once("scheme").chain(columns).collect::<Vec<_>>());
     let mut fig = FigureJson::new("virt", args.scale.name(), &columns);
-    for (scheme, metrics) in NestedScheme::ALL.iter().zip(&results) {
+    for (scheme, metrics) in schemes.iter().zip(&results) {
         table.row(&[
             scheme.name().into(),
             format!("{:.2}", metrics[0]),

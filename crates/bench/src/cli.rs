@@ -11,6 +11,7 @@
 //! ```text
 //! --scale smoke|quick|paper|full  dataset sizing (default: quick)
 //! --datasets FR,Wiki,...          restrict to some inputs
+//! --schemes a,b,c                 restrict to some translation schemes
 //! --jobs N                        worker threads per process (0 = all cores)
 //! --json PATH                     also write the machine-readable document
 //! --shards N                      fan the grid out over N worker processes
@@ -25,7 +26,7 @@
 //! ```
 
 use crate::{paper_pairs, FigureJson, ReportCache, Scale};
-use dvm_core::{MmuConfig, SweepSpec};
+use dvm_core::{SchemeId, SweepSpec};
 use dvm_graph::{Dataset, DatasetCache};
 use std::fmt;
 use std::fmt::Write as _;
@@ -67,6 +68,11 @@ pub struct BenchArgs {
     pub scale: Scale,
     /// Dataset filter (None = all).
     pub datasets: Option<Vec<String>>,
+    /// Translation-scheme filter (None = the binary's default set). Kept
+    /// as raw names: binaries with an IOMMU-scheme dimension resolve them
+    /// through the registry ([`Self::iommu_schemes`]), while fig10/virt
+    /// match them against their own CPU/nested scheme names.
+    pub schemes: Option<Vec<String>>,
     /// Sweep worker threads per process: `0` = all cores, `1` = serial.
     pub jobs: usize,
     /// Where to write the machine-readable results, if anywhere.
@@ -110,6 +116,7 @@ fn err(msg: impl Into<String>) -> CliError {
 
 /// The usage text printed on `--help` and after errors.
 pub const USAGE: &str = "usage: [--scale smoke|quick|paper|full] [--datasets FR,Wiki,...]
+       [--schemes a,b,c]
        [--jobs N] [--json PATH] [--progress] [--cache-dir DIR]
        [--cache-max-bytes N] [--cache-stats] [--report-cache DIR]
        [--report-cache-max-bytes N]
@@ -117,6 +124,9 @@ pub const USAGE: &str = "usage: [--scale smoke|quick|paper|full] [--datasets FR,
 
   --scale        dataset sizing (default: quick; smoke is for CI/tests)
   --datasets     comma-separated short names; others are skipped
+  --schemes      comma-separated translation-scheme names; the sweep is
+                 restricted to them (paper names contain commas, so
+                 spell those with '-': e.g. 4K-TLB+PWC, or just 4K)
   --jobs         worker threads per process (0 = all cores, default 1)
   --json         also write the machine-readable document to PATH
   --progress     per-cell progress lines on stderr (stdout is untouched)
@@ -160,6 +170,7 @@ impl BenchArgs {
     pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
         let mut scale = Scale::Quick;
         let mut datasets = None;
+        let mut schemes = None;
         let mut jobs = 1usize;
         let mut json = None;
         let mut shards = None;
@@ -199,6 +210,14 @@ impl BenchArgs {
                         }
                     }
                     datasets = Some(names);
+                }
+                "--schemes" => {
+                    let v = value_of("--schemes", &mut args)?;
+                    let names: Vec<String> = v.split(',').map(str::to_string).collect();
+                    if names.iter().any(String::is_empty) {
+                        return Err(err(format!("empty scheme name in --schemes '{v}'")));
+                    }
+                    schemes = Some(names);
                 }
                 "--jobs" => {
                     let v = value_of("--jobs", &mut args)?;
@@ -306,6 +325,7 @@ impl BenchArgs {
         Ok(Self {
             scale,
             datasets,
+            schemes,
             jobs,
             json,
             shards,
@@ -463,12 +483,103 @@ impl BenchArgs {
 
     /// The paper pairs that pass the dataset filter, as a sweep spec over
     /// `schemes` at the selected scale.
-    pub fn sweep_spec(&self, schemes: &[MmuConfig]) -> SweepSpec {
+    pub fn sweep_spec(&self, schemes: &[SchemeId]) -> SweepSpec {
         SweepSpec::for_pairs(
             paper_pairs().into_iter().filter(|(_, d)| self.wants(*d)),
             schemes,
             |d| self.scale.divisor(d),
         )
+    }
+
+    /// Resolve `--schemes` against the IOMMU-scheme registry, or return
+    /// `defaults` verbatim if the flag was not given. Order follows the
+    /// command line, duplicates are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Any name the registry cannot resolve yields a [`CliError`] listing
+    /// every registered scheme.
+    pub fn try_iommu_schemes(&self, defaults: &[SchemeId]) -> Result<Vec<SchemeId>, CliError> {
+        let Some(names) = &self.schemes else {
+            return Ok(defaults.to_vec());
+        };
+        let mut picked: Vec<SchemeId> = Vec::with_capacity(names.len());
+        for name in names {
+            let id = SchemeId::parse(name).ok_or_else(|| {
+                err(format!(
+                    "unknown scheme '{name}' (registered: {})",
+                    SchemeId::registered_names().join(", ")
+                ))
+            })?;
+            if !picked.contains(&id) {
+                picked.push(id);
+            }
+        }
+        Ok(picked)
+    }
+
+    /// [`Self::try_iommu_schemes`], exiting 2 with the error on stderr —
+    /// the process-facing wrapper the bench binaries call.
+    pub fn iommu_schemes(&self, defaults: &[SchemeId]) -> Vec<SchemeId> {
+        self.try_iommu_schemes(defaults).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Filter a binary's own scheme columns (fig10's CPU schemes, virt's
+    /// nested schemes) by `--schemes`, matching names case-insensitively.
+    /// Returns `columns` verbatim when the flag was not given.
+    ///
+    /// # Errors
+    ///
+    /// An unmatched name yields a [`CliError`] listing the valid columns.
+    pub fn try_scheme_columns<T: Copy>(
+        &self,
+        columns: &[T],
+        name_of: impl Fn(&T) -> &'static str,
+    ) -> Result<Vec<T>, CliError> {
+        let Some(names) = &self.schemes else {
+            return Ok(columns.to_vec());
+        };
+        let mut picked: Vec<(T, &'static str)> = Vec::with_capacity(names.len());
+        for name in names {
+            let found = columns
+                .iter()
+                .find(|c| name_of(c).eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    err(format!(
+                        "unknown scheme '{name}' (this binary knows: {})",
+                        columns.iter().map(&name_of).collect::<Vec<_>>().join(", ")
+                    ))
+                })?;
+            if !picked.iter().any(|(_, n)| *n == name_of(found)) {
+                picked.push((*found, name_of(found)));
+            }
+        }
+        Ok(picked.into_iter().map(|(c, _)| c).collect())
+    }
+
+    /// [`Self::try_scheme_columns`], exiting 2 with the error on stderr.
+    pub fn scheme_columns<T: Copy>(
+        &self,
+        columns: &[T],
+        name_of: impl Fn(&T) -> &'static str,
+    ) -> Vec<T> {
+        self.try_scheme_columns(columns, name_of)
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+    }
+
+    /// Refuse `--schemes` in binaries without a scheme dimension
+    /// (the tables), exiting 2 so a typo is not silently ignored.
+    pub fn reject_schemes(&self, binary: &str) {
+        if self.schemes.is_some() {
+            eprintln!("--schemes: {binary} has no translation-scheme dimension");
+            std::process::exit(2);
+        }
     }
 
     /// Write `fig` to the `--json` path, if one was given.
@@ -534,6 +645,12 @@ impl BenchArgs {
         if let Some(datasets) = &self.datasets {
             argv.push("--datasets".to_string());
             argv.push(datasets.join(","));
+        }
+        if let Some(schemes) = &self.schemes {
+            // Tokens are comma-free by construction (parsing split on
+            // commas), so joining with ',' round-trips.
+            argv.push("--schemes".to_string());
+            argv.push(schemes.join(","));
         }
         argv.push("--jobs".to_string());
         argv.push(self.jobs.to_string());
@@ -762,6 +879,67 @@ mod tests {
         let pos = argv.iter().position(|a| a == "--report-cache").unwrap();
         assert_eq!(argv[pos + 1], dir.display().to_string());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schemes_flag_parses_and_resolves_through_the_registry() {
+        let args = parse(&["--schemes", "DVM-PE+,SVA-Pf,4K-TLB+PWC"]).unwrap();
+        assert_eq!(
+            args.try_iommu_schemes(&[]).unwrap(),
+            vec![SchemeId::DVM_PE_PLUS, SchemeId::SVA_PF, SchemeId::CONV_4K]
+        );
+        // No flag: the binary's defaults pass through untouched.
+        let default = parse(&[]).unwrap();
+        assert_eq!(
+            default.try_iommu_schemes(&[SchemeId::IDEAL]).unwrap(),
+            vec![SchemeId::IDEAL]
+        );
+        // Duplicates collapse, order follows the command line.
+        let dup = parse(&["--schemes", "Ideal,DVM-BM,Ideal"]).unwrap();
+        assert_eq!(
+            dup.try_iommu_schemes(&[]).unwrap(),
+            vec![SchemeId::IDEAL, SchemeId::DVM_BM]
+        );
+    }
+
+    #[test]
+    fn unknown_scheme_names_list_the_registry() {
+        let args = parse(&["--schemes", "DVM-PE+,bogus"]).unwrap();
+        let msg = args.try_iommu_schemes(&[]).unwrap_err().0;
+        assert!(msg.contains("unknown scheme 'bogus'"), "{msg}");
+        for name in SchemeId::registered_names() {
+            assert!(msg.contains(name), "missing {name} in: {msg}");
+        }
+        assert!(parse(&["--schemes", "a,,b"])
+            .unwrap_err()
+            .0
+            .contains("empty scheme name"));
+    }
+
+    #[test]
+    fn scheme_columns_filter_by_name_case_insensitively() {
+        let args = parse(&["--schemes", "thp,4k"]).unwrap();
+        let columns = [("4K", 1u32), ("THP", 2), ("cDVM", 3)];
+        let picked = args.try_scheme_columns(&columns, |c| c.0).unwrap();
+        assert_eq!(picked, vec![("THP", 2), ("4K", 1)]);
+        let bad = parse(&["--schemes", "nope"]).unwrap();
+        let msg = bad.try_scheme_columns(&columns, |c| c.0).unwrap_err().0;
+        assert!(
+            msg.contains("unknown scheme 'nope'") && msg.contains("cDVM"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn schemes_flag_reaches_workers() {
+        let coordinator = parse(&["--schemes", "DVM-PE+,SVA-IOMMU"]).unwrap();
+        let argv = coordinator.worker_argv(0, 2, std::path::Path::new("frag.json"));
+        let worker = BenchArgs::try_parse(argv).unwrap();
+        assert_eq!(worker.schemes, coordinator.schemes);
+        assert_eq!(
+            worker.try_iommu_schemes(&[]).unwrap(),
+            vec![SchemeId::DVM_PE_PLUS, SchemeId::SVA_IOMMU]
+        );
     }
 
     #[test]

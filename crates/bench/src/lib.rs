@@ -152,7 +152,7 @@ pub fn geomean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvm_core::MmuConfig;
+    use dvm_core::SchemeId;
 
     #[test]
     fn fifteen_pairs_in_paper_order() {
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn sweep_spec_respects_filter() {
         let args = BenchArgs::try_parse(["--datasets".to_string(), "FR".to_string()]).unwrap();
-        let spec = args.sweep_spec(&[MmuConfig::Ideal]);
+        let spec = args.sweep_spec(&[SchemeId::IDEAL]);
         // FR appears once per graph workload (BFS, PageRank, SSSP).
         assert_eq!(spec.cells.len(), 3);
         assert!(spec.cells.iter().all(|c| c.dataset == Dataset::Flickr));

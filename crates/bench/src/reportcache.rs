@@ -106,17 +106,19 @@ impl ReportCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// The canonical textual identity of a unit. Uses the `Debug` forms
-    /// of the workload and scheme so every parameter (PageRank iteration
-    /// count, CF feature count, page size, preload flag, ...) is part of
-    /// the key.
+    /// The canonical textual identity of a unit. Uses the `Debug` form
+    /// of the workload so every parameter (PageRank iteration count, CF
+    /// feature count, ...) is part of the key, and the scheme's
+    /// *registry name* — never its registration index — so entries stay
+    /// valid no matter what order schemes were registered in and an
+    /// at-runtime registration can never alias a builtin's entries.
     fn key_string(key: &UnitKey<'_>) -> String {
         format!(
-            "{:?}|{}|div{}|{:?}",
+            "{:?}|{}|div{}|{}",
             key.workload,
             key.dataset.short_name(),
             key.divisor,
-            key.mmu
+            key.mmu.name()
         )
     }
 
@@ -207,7 +209,7 @@ impl ReportStore for ReportCache {
 mod tests {
     use super::*;
     use dvm_core::{
-        run_graph_experiment, run_sweep_opts, Dataset, ExperimentConfig, MmuConfig, SweepOptions,
+        run_graph_experiment, run_sweep_opts, Dataset, ExperimentConfig, SchemeId, SweepOptions,
         SweepSpec, Workload,
     };
     use dvm_graph::rmat;
@@ -225,13 +227,7 @@ mod tests {
         let cache = ReportCache::new(&dir).unwrap();
         let graph = rmat(10, 4, dvm_graph::RmatParams::default(), 3);
         let workload = Workload::Bfs { root: 0 };
-        for mmu in [
-            MmuConfig::Conventional {
-                page_size: dvm_types::PageSize::Size4K,
-            },
-            MmuConfig::DvmPe { preload: true },
-            MmuConfig::Ideal,
-        ] {
+        for mmu in [SchemeId::CONV_4K, SchemeId::DVM_PE_PLUS, SchemeId::IDEAL] {
             let report =
                 run_graph_experiment(&workload, &graph, &ExperimentConfig::for_mmu(mmu)).unwrap();
             let key = UnitKey {
@@ -293,14 +289,14 @@ mod tests {
         let report = run_graph_experiment(
             &workload,
             &graph,
-            &ExperimentConfig::for_mmu(MmuConfig::Ideal),
+            &ExperimentConfig::for_mmu(SchemeId::IDEAL),
         )
         .unwrap();
         let key = UnitKey {
             workload: &workload,
             dataset: Dataset::Flickr,
             divisor: 64,
-            mmu: MmuConfig::Ideal,
+            mmu: SchemeId::IDEAL,
         };
         let expected = report_json(&report).to_string();
         std::thread::scope(|scope| {
@@ -326,14 +322,14 @@ mod tests {
         let report = run_graph_experiment(
             &workload,
             &graph,
-            &ExperimentConfig::for_mmu(MmuConfig::Ideal),
+            &ExperimentConfig::for_mmu(SchemeId::IDEAL),
         )
         .unwrap();
         let key = |divisor| UnitKey {
             workload: &workload,
             dataset: Dataset::Flickr,
             divisor,
-            mmu: MmuConfig::Ideal,
+            mmu: SchemeId::IDEAL,
         };
         // Same report, same-length keys: every entry has the same size.
         let sizer = ReportCache::new(&dir).unwrap();
@@ -353,6 +349,29 @@ mod tests {
     }
 
     #[test]
+    fn keys_use_registry_names_not_positions() {
+        // The on-disk identity must be the scheme's registered name so a
+        // cache survives reordering/registration of schemes; an ordinal
+        // (e.g. "SchemeId(4)") would silently alias entries across
+        // registry layouts.
+        let workload = Workload::Bfs { root: 0 };
+        for mmu in SchemeId::all() {
+            let key = UnitKey {
+                workload: &workload,
+                dataset: Dataset::Flickr,
+                divisor: 64,
+                mmu,
+            };
+            let text = ReportCache::key_string(&key);
+            assert!(
+                text.ends_with(&format!("|{}", mmu.name())),
+                "key not name-based: {text}"
+            );
+            assert!(!text.contains("SchemeId"), "ordinal leaked into {text}");
+        }
+    }
+
+    #[test]
     fn key_mismatch_degrades_to_miss() {
         let dir = tmp_dir("mismatch");
         let cache = ReportCache::new(&dir).unwrap();
@@ -361,14 +380,14 @@ mod tests {
         let report = run_graph_experiment(
             &workload,
             &graph,
-            &ExperimentConfig::for_mmu(MmuConfig::Ideal),
+            &ExperimentConfig::for_mmu(SchemeId::IDEAL),
         )
         .unwrap();
         let key = UnitKey {
             workload: &workload,
             dataset: Dataset::Flickr,
             divisor: 64,
-            mmu: MmuConfig::Ideal,
+            mmu: SchemeId::IDEAL,
         };
         cache.store(&key, &report);
         // Same path contents, different expected key (divisor differs):
@@ -395,7 +414,7 @@ mod tests {
                 (Workload::Bfs { root: 0 }, Dataset::Flickr),
                 (Workload::PageRank { iterations: 1 }, Dataset::Flickr),
             ],
-            &[MmuConfig::Ideal, MmuConfig::DvmPe { preload: false }],
+            &[SchemeId::IDEAL, SchemeId::DVM_PE],
             |_| 1024,
         );
         let plain = dvm_core::run_sweep(&spec, 1).unwrap();
@@ -426,7 +445,7 @@ mod tests {
         // A scheme the cache has not seen still simulates.
         let wider = SweepSpec::for_pairs(
             [(Workload::Bfs { root: 0 }, Dataset::Flickr)],
-            &[MmuConfig::Ideal, MmuConfig::DvmBitmap],
+            &[SchemeId::IDEAL, SchemeId::DVM_BM],
             |_| 1024,
         );
         let mixed = run_sweep_opts(

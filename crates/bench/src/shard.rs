@@ -37,7 +37,7 @@ use crate::{
     pair_label, parse, report_json, validate_header, BenchArgs, Json, JsonDoc, Shard, ShardRole,
 };
 use dvm_core::{
-    parallel_map_ordered, run_sweep_opts, CellReports, GraphRunReport, MmuConfig, RunResult,
+    parallel_map_ordered, run_sweep_opts, CellReports, GraphRunReport, RunResult, SchemeId,
     SweepOptions, SweepProgress, SweepSpec, Workload,
 };
 use dvm_pagetable::SizeReport;
@@ -184,7 +184,7 @@ impl ShardValue for dvm_core::PageTableStudy {
 /// cross-checked against that context.
 pub(crate) fn report_from_json(
     obj: &Json,
-    mmu: MmuConfig,
+    mmu: SchemeId,
     workload: &Workload,
 ) -> Result<GraphRunReport, String> {
     let found_mmu = obj.expect_str("mmu")?;
@@ -489,7 +489,7 @@ fn read_merge_dir(dir: &Path, experiment: &str) -> Result<Vec<Json>, String> {
 pub fn run_sharded_sweep(
     args: &BenchArgs,
     experiment: &str,
-    schemes: &[MmuConfig],
+    schemes: &[SchemeId],
 ) -> Vec<CellReports> {
     let spec = args.sweep_spec(schemes);
     match args.role() {
@@ -758,12 +758,10 @@ mod tests {
         let graph = rmat(10, 4, RmatParams::default(), 3);
         let workload = Workload::Bfs { root: 0 };
         for mmu in [
-            MmuConfig::Conventional {
-                page_size: dvm_types::PageSize::Size4K,
-            },
-            MmuConfig::DvmBitmap,
-            MmuConfig::DvmPe { preload: true },
-            MmuConfig::Ideal,
+            SchemeId::CONV_4K,
+            SchemeId::DVM_BM,
+            SchemeId::DVM_PE_PLUS,
+            SchemeId::IDEAL,
         ] {
             let report =
                 run_graph_experiment(&workload, &graph, &ExperimentConfig::for_mmu(mmu)).unwrap();
@@ -786,17 +784,14 @@ mod tests {
         let report = run_graph_experiment(
             &workload,
             &graph,
-            &ExperimentConfig::for_mmu(MmuConfig::Ideal),
+            &ExperimentConfig::for_mmu(SchemeId::IDEAL),
         )
         .unwrap();
         let doc = report_json(&report);
-        assert!(report_from_json(&doc, MmuConfig::DvmBitmap, &workload).is_err());
-        assert!(report_from_json(
-            &doc,
-            MmuConfig::Ideal,
-            &Workload::PageRank { iterations: 1 }
-        )
-        .is_err());
+        assert!(report_from_json(&doc, SchemeId::DVM_BM, &workload).is_err());
+        assert!(
+            report_from_json(&doc, SchemeId::IDEAL, &Workload::PageRank { iterations: 1 }).is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! The trait-registry refactor's equivalence contract: the scheme-trait
+//! dispatch path must reproduce, byte for byte, the documents the old
+//! closed-enum `MmuConfig` implementation emitted. The fixture was
+//! captured by running `fig8 --scale smoke --json` on the pre-refactor
+//! tree; any divergence here means a scheme's behaviour (not just its
+//! plumbing) changed.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn trait_dispatch_reproduces_the_pre_refactor_fig8_document() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/fig8_smoke.json");
+    let expected = std::fs::read(&fixture).expect("fixture present");
+
+    let dir = std::env::temp_dir().join(format!("dvm-refactor-eq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("fig8_smoke.json");
+    let status = Command::new(env!("CARGO_BIN_EXE_fig8"))
+        .args(["--scale", "smoke", "--json"])
+        .arg(&out)
+        .status()
+        .expect("fig8 runs");
+    assert!(status.success(), "fig8 exited with {status}");
+
+    let produced = std::fs::read(&out).expect("fig8 wrote the document");
+    assert!(
+        produced == expected,
+        "fig8 smoke document diverged from the pre-refactor fixture \
+         ({} vs {} bytes); a scheme's simulated behaviour changed",
+        produced.len(),
+        expected.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,16 +6,16 @@ use dvm_accel::{layout, run, AccelConfig, RunResult, Workload};
 use dvm_energy::EnergyParams;
 use dvm_graph::Graph;
 use dvm_mem::{Dram, DramConfig, MachineConfig};
-use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_mmu::{Iommu, MemSystem, SchemeId};
 use dvm_os::{MapFlavor, Os, OsConfig};
 use dvm_sim::Cycles;
-use dvm_types::{DvmError, PageSize};
+use dvm_types::DvmError;
 
 /// Configuration of one accelerator experiment.
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentConfig {
     /// Memory-management scheme under test.
-    pub mmu: MmuConfig,
+    pub mmu: SchemeId,
     /// Machine memory; `None` sizes it automatically from the graph
     /// footprint (with headroom for the 1 GiB-page flavour's padding).
     pub machine_bytes: Option<u64>,
@@ -29,7 +29,7 @@ pub struct ExperimentConfig {
 
 impl ExperimentConfig {
     /// Paper-default configuration for a scheme.
-    pub fn for_mmu(mmu: MmuConfig) -> Self {
+    pub fn for_mmu(mmu: SchemeId) -> Self {
         Self {
             mmu,
             machine_bytes: None,
@@ -41,11 +41,11 @@ impl ExperimentConfig {
 }
 
 /// The OS page-table flavour each MMU scheme requires.
-pub fn flavor_for(mmu: MmuConfig) -> MapFlavor {
-    match mmu {
-        MmuConfig::Conventional { page_size } => MapFlavor::Paged(page_size),
+pub fn flavor_for(mmu: SchemeId) -> MapFlavor {
+    match mmu.required_leaf_size() {
+        Some(page_size) => MapFlavor::Paged(page_size),
         // DVM variants and Ideal share the DVM OS (identity + PEs).
-        _ => MapFlavor::DvmPe,
+        None => MapFlavor::DvmPe,
     }
 }
 
@@ -53,7 +53,7 @@ pub fn flavor_for(mmu: MmuConfig) -> MapFlavor {
 #[derive(Debug, Clone)]
 pub struct GraphRunReport {
     /// Scheme that ran.
-    pub mmu: MmuConfig,
+    pub mmu: SchemeId,
     /// Workload name.
     pub workload: &'static str,
     /// Accelerator execution time.
@@ -97,17 +97,10 @@ impl GraphRunReport {
     }
 }
 
-/// Pick a machine size that fits the graph under every flavour.
-fn auto_machine_bytes(graph_heap: u64, mmu: MmuConfig) -> u64 {
-    let padded = match mmu {
-        MmuConfig::Conventional {
-            page_size: PageSize::Size1G,
-        } => {
-            // Six regions, each padded up to the next GiB.
-            graph_heap + (7u64 << 30)
-        }
-        _ => (graph_heap * 3 / 2).max(1 << 30),
-    };
+/// Pick a machine size that fits the graph under every flavour; the
+/// scheme's hint covers flavour-specific padding (e.g. 1 GiB pages).
+fn auto_machine_bytes(graph_heap: u64, mmu: SchemeId) -> u64 {
+    let padded = mmu.scheme().machine_bytes_hint(graph_heap);
     // Round up to a whole GiB for tidy bitmap sizing.
     padded.next_multiple_of(1 << 30)
 }
@@ -131,7 +124,7 @@ pub fn run_graph_experiment(
             mem_bytes: machine_bytes,
         },
         flavor: flavor_for(config.mmu),
-        maintain_bitmap: config.mmu == MmuConfig::DvmBitmap,
+        maintain_bitmap: config.mmu.needs_bitmap(),
         ..OsConfig::default()
     });
     let pid = os.spawn()?;
@@ -180,7 +173,7 @@ pub fn run_paper_configs(
     workload: &Workload,
     graph: &Graph,
 ) -> Result<Vec<GraphRunReport>, DvmError> {
-    MmuConfig::PAPER_SET
+    SchemeId::PAPER_SET
         .iter()
         .map(|&mmu| run_graph_experiment(workload, graph, &ExperimentConfig::for_mmu(mmu)))
         .collect()
@@ -198,9 +191,7 @@ mod tests {
         let conv = run_graph_experiment(
             &workload,
             &graph,
-            &ExperimentConfig::for_mmu(MmuConfig::Conventional {
-                page_size: PageSize::Size4K,
-            }),
+            &ExperimentConfig::for_mmu(SchemeId::CONV_4K),
         )
         .unwrap();
         assert!(conv.tlb.is_some());
@@ -210,7 +201,7 @@ mod tests {
         let pe = run_graph_experiment(
             &workload,
             &graph,
-            &ExperimentConfig::for_mmu(MmuConfig::DvmPe { preload: true }),
+            &ExperimentConfig::for_mmu(SchemeId::DVM_PE_PLUS),
         )
         .unwrap();
         assert!(pe.tlb.is_none());
@@ -219,7 +210,7 @@ mod tests {
         let ideal = run_graph_experiment(
             &workload,
             &graph,
-            &ExperimentConfig::for_mmu(MmuConfig::Ideal),
+            &ExperimentConfig::for_mmu(SchemeId::IDEAL),
         )
         .unwrap();
         assert_eq!(ideal.mm_energy_pj, 0.0);
@@ -231,7 +222,7 @@ mod tests {
         let graph = rmat(9, 4, RmatParams::default(), 4);
         let reports = run_paper_configs(&Workload::PageRank { iterations: 1 }, &graph).unwrap();
         assert_eq!(reports.len(), 7);
-        assert_eq!(reports[6].mmu, MmuConfig::Ideal);
+        assert_eq!(reports[6].mmu, SchemeId::IDEAL);
         // All configs did identical functional work.
         for r in &reports {
             assert_eq!(r.run.edges_processed, reports[0].run.edges_processed);
@@ -240,12 +231,7 @@ mod tests {
 
     #[test]
     fn auto_sizing_covers_1g_padding() {
-        let bytes = auto_machine_bytes(
-            300 << 20,
-            MmuConfig::Conventional {
-                page_size: PageSize::Size1G,
-            },
-        );
+        let bytes = auto_machine_bytes(300 << 20, SchemeId::CONV_1G);
         assert!(bytes >= 7 << 30);
     }
 }

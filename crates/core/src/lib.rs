@@ -21,7 +21,7 @@
 //! # Examples
 //!
 //! ```
-//! use dvm_core::{run_graph_experiment, ExperimentConfig, MmuConfig, Workload};
+//! use dvm_core::{run_graph_experiment, ExperimentConfig, SchemeId, Workload};
 //! use dvm_graph::{rmat, RmatParams};
 //!
 //! # fn main() -> Result<(), dvm_types::DvmError> {
@@ -30,12 +30,12 @@
 //! let dvm = run_graph_experiment(
 //!     &workload,
 //!     &graph,
-//!     &ExperimentConfig::for_mmu(MmuConfig::DvmPe { preload: true }),
+//!     &ExperimentConfig::for_mmu(SchemeId::DVM_PE_PLUS),
 //! )?;
 //! let ideal = run_graph_experiment(
 //!     &workload,
 //!     &graph,
-//!     &ExperimentConfig::for_mmu(MmuConfig::Ideal),
+//!     &ExperimentConfig::for_mmu(SchemeId::IDEAL),
 //! )?;
 //! let overhead = dvm.cycles as f64 / ideal.cycles as f64;
 //! assert!(overhead >= 1.0);
@@ -63,6 +63,6 @@ pub use dvm_cpu::{evaluate as evaluate_cpu, CpuModelConfig, CpuRunReport, CpuSch
 pub use dvm_energy::{EnergyAccount, EnergyParams, MmEvent};
 pub use dvm_graph::{Dataset, DatasetCache};
 pub use dvm_mem::{DramConfig, MachineConfig};
-pub use dvm_mmu::MmuConfig;
+pub use dvm_mmu::{register_scheme, SchemeId, SchemeStructures, TranslationScheme};
 pub use dvm_os::{MapFlavor, Os, OsConfig, ShbenchConfig, ShbenchResult};
 pub use dvm_types::{AccessKind, DvmError, Fault, PageSize, Permission, PhysAddr, VirtAddr};

@@ -24,7 +24,7 @@
 use crate::experiment::{run_graph_experiment, ExperimentConfig, GraphRunReport};
 use dvm_accel::Workload;
 use dvm_graph::{Dataset, DatasetCache};
-use dvm_mmu::MmuConfig;
+use dvm_mmu::SchemeId;
 use dvm_types::DvmError;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -40,7 +40,7 @@ pub struct SweepCell {
     /// Power-of-two shrink factor passed to [`Dataset::generate`].
     pub divisor: u32,
     /// Schemes to evaluate, in output order.
-    pub schemes: Vec<MmuConfig>,
+    pub schemes: Vec<SchemeId>,
 }
 
 /// A grid of cells, executed in order.
@@ -55,7 +55,7 @@ impl SweepSpec {
     /// and one divisor policy — the shape of Figures 2, 8 and 9.
     pub fn for_pairs(
         pairs: impl IntoIterator<Item = (Workload, Dataset)>,
-        schemes: &[MmuConfig],
+        schemes: &[SchemeId],
         divisor: impl Fn(Dataset) -> u32,
     ) -> Self {
         Self {
@@ -127,7 +127,7 @@ pub struct UnitKey<'a> {
     /// Shrink divisor the dataset was generated with.
     pub divisor: u32,
     /// MMU scheme under test.
-    pub mmu: MmuConfig,
+    pub mmu: SchemeId,
 }
 
 /// A memo of completed sweep units. The sweep engine consults it before
@@ -195,7 +195,7 @@ pub struct CellReports {
 impl CellReports {
     /// The report for a specific scheme, replacing the positional
     /// `reports[6]`-style indexing the old binaries relied on.
-    pub fn report_for(&self, mmu: MmuConfig) -> Option<&GraphRunReport> {
+    pub fn report_for(&self, mmu: SchemeId) -> Option<&GraphRunReport> {
         self.reports.iter().find(|r| r.mmu == mmu)
     }
 }
@@ -341,7 +341,7 @@ pub fn run_sweep_opts(
         workload: Workload,
         dataset: Dataset,
         divisor: u32,
-        mmu: MmuConfig,
+        mmu: SchemeId,
         key: usize,
     }
     let units: Vec<Unit> = spec
@@ -446,12 +446,12 @@ mod tests {
                 (Workload::Bfs { root: 0 }, Dataset::Flickr),
                 (Workload::Bfs { root: 0 }, Dataset::Netflix),
             ],
-            &[MmuConfig::Ideal],
+            &[SchemeId::IDEAL],
             |_| 1024,
         );
         assert_eq!(spec.cells.len(), 2);
         assert_eq!(spec.cells[1].dataset, Dataset::Netflix);
-        assert_eq!(spec.cells[0].schemes, vec![MmuConfig::Ideal]);
+        assert_eq!(spec.cells[0].schemes, vec![SchemeId::IDEAL]);
     }
 
     #[test]
@@ -464,7 +464,7 @@ mod tests {
                 (Workload::Bfs { root: 0 }, Dataset::Bip2),
                 (Workload::Bfs { root: 0 }, Dataset::Wikipedia),
             ],
-            &[MmuConfig::Ideal],
+            &[SchemeId::IDEAL],
             |_| 1024,
         );
         let shard0 = spec.shard(0, 2);
@@ -500,7 +500,7 @@ mod tests {
                 (Workload::Bfs { root: 0 }, Dataset::Flickr),
                 (Workload::PageRank { iterations: 1 }, Dataset::Flickr),
             ],
-            &[MmuConfig::Ideal, MmuConfig::DvmPe { preload: false }],
+            &[SchemeId::IDEAL, SchemeId::DVM_PE],
             |_| 1024,
         );
         let plain = run_sweep(&spec, 1).unwrap();
@@ -555,16 +555,16 @@ mod tests {
     fn report_for_finds_scheme() {
         let spec = SweepSpec::for_pairs(
             [(Workload::Bfs { root: 0 }, Dataset::Flickr)],
-            &[MmuConfig::DvmPe { preload: true }, MmuConfig::Ideal],
+            &[SchemeId::DVM_PE_PLUS, SchemeId::IDEAL],
             |_| 1024,
         );
         let results = run_sweep(&spec, 1).unwrap();
         assert_eq!(results.len(), 1);
         let cell = &results[0];
         assert_eq!(
-            cell.report_for(MmuConfig::Ideal).unwrap().mmu,
-            MmuConfig::Ideal
+            cell.report_for(SchemeId::IDEAL).unwrap().mmu,
+            SchemeId::IDEAL
         );
-        assert!(cell.report_for(MmuConfig::DvmBitmap).is_none());
+        assert!(cell.report_for(SchemeId::DVM_BM).is_none());
     }
 }

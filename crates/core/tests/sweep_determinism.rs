@@ -3,7 +3,7 @@
 //! binaries rely on this to keep `--jobs N` output byte-identical to a
 //! serial run.
 
-use dvm_core::{run_sweep, MmuConfig, SweepSpec, Workload};
+use dvm_core::{run_sweep, SchemeId, SweepSpec, Workload};
 use dvm_graph::Dataset;
 
 fn small_spec() -> SweepSpec {
@@ -15,13 +15,7 @@ fn small_spec() -> SweepSpec {
             (Workload::PageRank { iterations: 1 }, Dataset::Flickr),
             (Workload::Bfs { root: 0 }, Dataset::Rmat24),
         ],
-        &[
-            MmuConfig::Conventional {
-                page_size: dvm_types::PageSize::Size4K,
-            },
-            MmuConfig::DvmBitmap,
-            MmuConfig::Ideal,
-        ],
+        &[SchemeId::CONV_4K, SchemeId::DVM_BM, SchemeId::IDEAL],
         |_| 1024,
     )
 }

@@ -1,99 +1,18 @@
-//! The IOMMU model: conventional translation, Devirtualized Access
-//! Validation (DAV) in its bitmap and Permission-Entry variants, and the
-//! ideal no-translation baseline — the seven configurations of the paper's
-//! Figure 8.
-//!
-//! | name | structures | behaviour |
-//! |---|---|---|
-//! | `4K/2M/1G,TLB+PWC` | 128-entry FA TLB + 1 KiB PWC | translate, then access |
-//! | `DVM-BM` | 128-entry bitmap cache + flat bitmap + FA TLB fallback | 1-step DAV; full translation on `00` |
-//! | `DVM-PE` | 1 KiB AVC only | PE page-walk validation, then access |
-//! | `DVM-PE+` | 1 KiB AVC | like DVM-PE, but reads overlap DAV with a preload |
-//! | `Ideal` | none | direct physical access |
+//! The IOMMU driver: structure bring-up, statistics, energy accounting
+//! and the shared page-walker, with per-access behaviour delegated to
+//! the configured [`TranslationScheme`]. The scheme implementations —
+//! the paper's seven configurations plus the registered rivals — live
+//! in [`crate::scheme`].
 
 use crate::memo::WalkMemo;
-use crate::ptcache::{PtCache, PtCacheConfig, PtcLookup};
-use crate::tlb::{Associativity, Tlb, TlbConfig, TlbEntry};
-use core::fmt;
+use crate::ptcache::{PtCache, PtcLookup};
+use crate::scheme::{SchemeId, TranslationScheme};
+use crate::tlb::{Associativity, Tlb};
 use dvm_energy::{EnergyAccount, EnergyParams, MmEvent};
 use dvm_mem::{Dram, PhysMem};
-use dvm_pagetable::{PageTable, PermBitmap, Walk, WalkOutcome};
+use dvm_pagetable::{PageTable, PermBitmap, Walk};
 use dvm_sim::{Counter, Cycles, RatioStat};
-use dvm_types::{AccessKind, Fault, FaultKind, PageSize, Permission, PhysAddr, VirtAddr};
-
-/// Memory-management scheme simulated by the IOMMU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MmuConfig {
-    /// Conventional VM: TLB + page-walk cache at the given page size.
-    Conventional {
-        /// Uniform page size of the configuration.
-        page_size: PageSize,
-    },
-    /// DVM with the flat permission bitmap (Border-Control-style DAV).
-    DvmBitmap,
-    /// DVM with Permission Entries and the Access Validation Cache.
-    DvmPe {
-        /// Allow reads to overlap DAV with a preload (DVM-PE+).
-        preload: bool,
-    },
-    /// Direct physical access without translation or protection.
-    Ideal,
-}
-
-impl MmuConfig {
-    /// The seven configurations evaluated in Figures 8 and 9, in the
-    /// paper's order.
-    pub const PAPER_SET: [MmuConfig; 7] = [
-        MmuConfig::Conventional {
-            page_size: PageSize::Size4K,
-        },
-        MmuConfig::Conventional {
-            page_size: PageSize::Size2M,
-        },
-        MmuConfig::Conventional {
-            page_size: PageSize::Size1G,
-        },
-        MmuConfig::DvmBitmap,
-        MmuConfig::DvmPe { preload: false },
-        MmuConfig::DvmPe { preload: true },
-        MmuConfig::Ideal,
-    ];
-
-    /// The paper's display name for this configuration.
-    pub fn name(&self) -> &'static str {
-        match self {
-            MmuConfig::Conventional {
-                page_size: PageSize::Size4K,
-            } => "4K,TLB+PWC",
-            MmuConfig::Conventional {
-                page_size: PageSize::Size2M,
-            } => "2M,TLB+PWC",
-            MmuConfig::Conventional {
-                page_size: PageSize::Size1G,
-            } => "1G,TLB+PWC",
-            MmuConfig::DvmBitmap => "DVM-BM",
-            MmuConfig::DvmPe { preload: false } => "DVM-PE",
-            MmuConfig::DvmPe { preload: true } => "DVM-PE+",
-            MmuConfig::Ideal => "Ideal",
-        }
-    }
-
-    /// Page size the OS should use when building page tables for this
-    /// configuration (DVM variants use PE tables; `None` means no table
-    /// needed at all).
-    pub fn required_leaf_size(&self) -> Option<PageSize> {
-        match self {
-            MmuConfig::Conventional { page_size } => Some(*page_size),
-            _ => None,
-        }
-    }
-}
-
-impl fmt::Display for MmuConfig {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+use dvm_types::{AccessKind, Fault, FaultKind, Permission, PhysAddr, VirtAddr};
 
 /// Outcome of translation / access validation for one access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +53,8 @@ pub struct IommuStats {
     /// (probes + memory fetches). The accelerator model treats the walker
     /// as a shared resource with a configurable number of ports.
     pub walker_busy: Counter,
+    /// Background TLB prefetches launched (SVA-Pf-style schemes).
+    pub tlb_prefetches: Counter,
 }
 
 impl IommuStats {
@@ -148,6 +69,7 @@ impl IommuStats {
             preload_squashes: Counter::new("preload_squashes"),
             faults: Counter::new("faults"),
             walker_busy: Counter::new("walker_busy"),
+            tlb_prefetches: Counter::new("tlb_prefetches"),
         }
     }
 
@@ -161,17 +83,42 @@ impl IommuStats {
         self.preload_squashes.reset();
         self.faults.reset();
         self.walker_busy.reset();
+        self.tlb_prefetches.reset();
     }
 }
 
+/// Borrowed system state a scheme translates against: the process page
+/// table, the optional flat permission bitmap, physical memory and the
+/// DRAM timing model.
+pub struct AccessCtx<'a> {
+    /// Process page table.
+    pub pt: &'a PageTable,
+    /// Flat permission bitmap, if the OS maintains one.
+    pub bitmap: Option<&'a PermBitmap>,
+    /// Physical memory (for bitmap reads and functional walks).
+    pub mem: &'a PhysMem,
+    /// DRAM timing model; walker fetches go through it.
+    pub dram: &'a mut Dram,
+}
+
 /// The IOMMU servicing accelerator memory accesses (paper Figure 1).
+///
+/// Holds the structures the configured scheme asked for plus all mutable
+/// per-run state; the scheme object itself is stateless and shared.
 #[derive(Debug, Clone)]
 pub struct Iommu {
-    config: MmuConfig,
-    tlb: Option<Tlb>,
-    ptc: Option<PtCache>,
-    bitmap_cache: Option<PtCache>,
+    config: SchemeId,
+    scheme: &'static dyn TranslationScheme,
+    /// Translation (or fallback) TLB, if the scheme configured one.
+    pub tlb: Option<Tlb>,
+    /// Page-walk cache / AVC, if configured.
+    pub ptc: Option<PtCache>,
+    /// Bitmap cache (DVM-BM-style schemes), if configured.
+    pub bitmap_cache: Option<PtCache>,
     walk_memo: WalkMemo,
+    /// Scheme-private scratch words (prefetch history, cached context
+    /// flags, ...); zeroed at construction and on [`flush`](Self::flush).
+    pub scratch: [u64; 4],
     /// Dynamic-energy account for MM events.
     pub energy: EnergyAccount,
     /// Event counters.
@@ -179,38 +126,19 @@ pub struct Iommu {
 }
 
 impl Iommu {
-    /// Build an IOMMU for the given scheme with the paper's structure
-    /// sizes (Table 2).
-    pub fn new(config: MmuConfig, energy_params: EnergyParams) -> Self {
-        let (tlb, ptc, bitmap_cache) = match config {
-            MmuConfig::Conventional { page_size } => (
-                Some(Tlb::new(TlbConfig::paper_accelerator(page_size))),
-                Some(PtCache::new(PtCacheConfig::paper_pwc())),
-                None,
-            ),
-            MmuConfig::DvmBitmap => (
-                // Fallback translation TLB, probed in parallel with the
-                // bitmap cache so the 00 fallback is not serialized.
-                Some(Tlb::new(TlbConfig::paper_accelerator(PageSize::Size4K))),
-                None,
-                // 128-entry bitmap cache of 64 B bitmap blocks (each block
-                // holds the 2-bit fields of 256 pages).
-                Some(PtCache::new(PtCacheConfig {
-                    pte_entries: 128,
-                    ways: 4,
-                    block_bytes: 64,
-                    cache_l1: true,
-                })),
-            ),
-            MmuConfig::DvmPe { .. } => (None, Some(PtCache::new(PtCacheConfig::paper_avc())), None),
-            MmuConfig::Ideal => (None, None, None),
-        };
+    /// Build an IOMMU for the given scheme, instantiating the structures
+    /// the scheme asks for (Table 2 sizes for the paper set).
+    pub fn new(config: SchemeId, energy_params: EnergyParams) -> Self {
+        let scheme = config.scheme();
+        let structures = scheme.structures();
         Self {
             config,
-            tlb,
-            ptc,
-            bitmap_cache,
+            scheme,
+            tlb: structures.tlb.map(Tlb::new),
+            ptc: structures.ptc.map(PtCache::new),
+            bitmap_cache: structures.bitmap_cache.map(PtCache::new),
             walk_memo: WalkMemo::new(),
+            scratch: [0; 4],
             energy: EnergyAccount::new(energy_params),
             stats: IommuStats::new(),
         }
@@ -223,8 +151,13 @@ impl Iommu {
     }
 
     /// The configured scheme.
-    pub fn config(&self) -> MmuConfig {
+    pub fn config(&self) -> SchemeId {
         self.config
+    }
+
+    /// The scheme object driving this IOMMU.
+    pub fn scheme(&self) -> &'static dyn TranslationScheme {
+        self.scheme
     }
 
     /// Translation TLB statistics, if this configuration has a TLB.
@@ -257,7 +190,8 @@ impl Iommu {
         }
     }
 
-    /// Flush all cached translation state (context switch).
+    /// Flush all cached translation state (context switch), including the
+    /// scheme's scratch words.
     pub fn flush(&mut self) {
         if let Some(t) = &mut self.tlb {
             t.flush();
@@ -268,9 +202,11 @@ impl Iommu {
         if let Some(b) = &mut self.bitmap_cache {
             b.flush();
         }
+        self.scratch = [0; 4];
     }
 
-    /// Validate/translate one access.
+    /// Validate/translate one access by dispatching into the configured
+    /// scheme.
     ///
     /// # Errors
     ///
@@ -286,32 +222,27 @@ impl Iommu {
         dram: &mut Dram,
     ) -> Result<Validation, Fault> {
         self.stats.accesses.inc();
-        match self.config {
-            MmuConfig::Ideal => Ok(Validation {
-                pa: va.to_identity_pa(),
-                latency: 0,
-                overlap: false,
-                squashed_preload: false,
-            }),
-            MmuConfig::Conventional { page_size } => {
-                self.conventional_access(va, kind, page_size, pt, mem, dram)
-            }
-            MmuConfig::DvmPe { preload } => self.dvm_pe_access(va, kind, preload, pt, mem, dram),
-            MmuConfig::DvmBitmap => {
-                let bitmap = bitmap.expect("DVM-BM requires a permission bitmap");
-                self.dvm_bm_access(va, kind, bitmap, pt, mem, dram)
-            }
-        }
+        let scheme = self.scheme;
+        let mut ctx = AccessCtx {
+            pt,
+            bitmap,
+            mem,
+            dram,
+        };
+        scheme.access(self, &mut ctx, va, kind)
     }
 
-    fn tlb_energy_event(&self) -> MmEvent {
+    /// The energy event a probe of this IOMMU's TLB costs (CAMs are an
+    /// order of magnitude more expensive than set-associative arrays).
+    pub fn tlb_energy_event(&self) -> MmEvent {
         match self.tlb.as_ref().map(|t| t.config().assoc) {
             Some(Associativity::Full) => MmEvent::FaTlbLookup,
             _ => MmEvent::SaTlbLookup,
         }
     }
 
-    fn fault(&mut self, va: VirtAddr, kind: AccessKind, fk: FaultKind) -> Fault {
+    /// Count and construct a fault.
+    pub fn fault(&mut self, va: VirtAddr, kind: AccessKind, fk: FaultKind) -> Fault {
         self.stats.faults.inc();
         Fault {
             va,
@@ -320,7 +251,18 @@ impl Iommu {
         }
     }
 
-    fn check(&mut self, perms: Permission, va: VirtAddr, kind: AccessKind) -> Result<(), Fault> {
+    /// Check permissions, counting and raising a fault on violation.
+    ///
+    /// # Errors
+    ///
+    /// `NotMapped` if the permissions are absent, `Protection` if they
+    /// do not allow `kind`.
+    pub fn check(
+        &mut self,
+        perms: Permission,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<(), Fault> {
         if !perms.is_mapped() {
             return Err(self.fault(va, kind, FaultKind::NotMapped));
         }
@@ -334,15 +276,9 @@ impl Iommu {
     /// pipelined in the walker (back-to-back walks stream through them),
     /// so the returned stall latency counts only the memory fetches; the
     /// per-probe cycles are charged to the shared walker's occupancy.
-    fn timed_walk(
-        &mut self,
-        pt: &PageTable,
-        mem: &PhysMem,
-        dram: &mut Dram,
-        va: VirtAddr,
-    ) -> (Walk, Cycles) {
+    pub fn timed_walk(&mut self, ctx: &mut AccessCtx<'_>, va: VirtAddr) -> (Walk, Cycles) {
         self.stats.walks.inc();
-        let walk = self.walk_memo.walk(pt, mem, va);
+        let walk = self.walk_memo.walk(ctx.pt, ctx.mem, va);
         let mut stall: Cycles = 0;
         let mut busy: Cycles = 0;
         for step in walk.steps() {
@@ -355,14 +291,14 @@ impl Iommu {
                     PtcLookup::Miss => {
                         busy += 1;
                         self.energy.record(MmEvent::PtcLookup);
-                        let fetch = dram.access(step.pte_pa, AccessKind::Read);
+                        let fetch = ctx.dram.access(step.pte_pa, AccessKind::Read);
                         stall += fetch;
                         busy += fetch;
                         self.energy.record(MmEvent::WalkerDram);
                         self.stats.walk_mem_refs.inc();
                     }
                     PtcLookup::Bypass => {
-                        let fetch = dram.access(step.pte_pa, AccessKind::Read);
+                        let fetch = ctx.dram.access(step.pte_pa, AccessKind::Read);
                         stall += fetch;
                         busy += fetch;
                         self.energy.record(MmEvent::WalkerDram);
@@ -370,7 +306,7 @@ impl Iommu {
                     }
                 },
                 None => {
-                    let fetch = dram.access(step.pte_pa, AccessKind::Read);
+                    let fetch = ctx.dram.access(step.pte_pa, AccessKind::Read);
                     stall += fetch;
                     busy += fetch;
                     self.energy.record(MmEvent::WalkerDram);
@@ -380,221 +316,5 @@ impl Iommu {
         }
         self.stats.walker_busy.add(busy);
         (walk, stall)
-    }
-
-    fn conventional_access(
-        &mut self,
-        va: VirtAddr,
-        kind: AccessKind,
-        page_size: PageSize,
-        pt: &PageTable,
-        mem: &PhysMem,
-        dram: &mut Dram,
-    ) -> Result<Validation, Fault> {
-        self.energy.record(self.tlb_energy_event());
-        let hit = self.tlb.as_mut().expect("conventional has TLB").lookup(va);
-        if let Some(entry) = hit {
-            self.check(entry.perms, va, kind)?;
-            let pa = PhysAddr::new((entry.pfn << page_size.shift()) | va.page_offset(page_size));
-            return Ok(Validation {
-                pa,
-                latency: 1,
-                overlap: false,
-                squashed_preload: false,
-            });
-        }
-        let (walk, walk_stall) = self.timed_walk(pt, mem, dram, va);
-        let latency = 1 + walk_stall;
-        match walk.outcome {
-            WalkOutcome::Leaf { pa, perms, page } => {
-                self.check(perms, va, kind)?;
-                debug_assert_eq!(
-                    page, page_size,
-                    "conventional tables must be uniform (OS layout invariant)"
-                );
-                self.tlb.as_mut().expect("tlb").insert(TlbEntry {
-                    vpn: va.vpn(page_size),
-                    pfn: pa.raw() >> page_size.shift(),
-                    perms,
-                });
-                Ok(Validation {
-                    pa,
-                    latency,
-                    overlap: false,
-                    squashed_preload: false,
-                })
-            }
-            // Defensive: hardware that understands PEs treats them as
-            // identity validations even in conventional mode.
-            WalkOutcome::PermissionEntry { perms, .. } => {
-                self.check(perms, va, kind)?;
-                self.stats.identity_validations.inc();
-                Ok(Validation {
-                    pa: va.to_identity_pa(),
-                    latency,
-                    overlap: false,
-                    squashed_preload: false,
-                })
-            }
-            WalkOutcome::NotMapped { .. } => Err(self.fault(va, kind, FaultKind::NotMapped)),
-        }
-    }
-
-    fn dvm_pe_access(
-        &mut self,
-        va: VirtAddr,
-        kind: AccessKind,
-        preload: bool,
-        pt: &PageTable,
-        mem: &PhysMem,
-        dram: &mut Dram,
-    ) -> Result<Validation, Fault> {
-        let (walk, walk_stall) = self.timed_walk(pt, mem, dram, va);
-        let validation_latency = 1 + walk_stall;
-        let predicted = preload && kind == AccessKind::Read;
-        match walk.outcome {
-            WalkOutcome::PermissionEntry { perms, .. } => {
-                self.check(perms, va, kind).inspect_err(|_| {
-                    // A predicted preload to VA==PA was launched; DAV
-                    // failed, so it is squashed.
-                    if predicted {
-                        self.stats.preload_squashes.inc();
-                        self.energy.record(MmEvent::PreloadSquash);
-                    }
-                })?;
-                self.stats.identity_validations.inc();
-                if predicted {
-                    self.stats.preload_overlaps.inc();
-                }
-                Ok(Validation {
-                    pa: va.to_identity_pa(),
-                    latency: validation_latency,
-                    overlap: predicted,
-                    squashed_preload: false,
-                })
-            }
-            WalkOutcome::Leaf { pa, perms, .. } => {
-                // Non-identity fallback: the leaf PTE already gives the
-                // translation, so the fallback costs no extra walk (§4.1.1).
-                self.stats.fallback_translations.inc();
-                let identity = pa.raw() == va.raw();
-                let squashed = predicted && !identity;
-                if squashed {
-                    self.stats.preload_squashes.inc();
-                    self.energy.record(MmEvent::PreloadSquash);
-                }
-                self.check(perms, va, kind)?;
-                if predicted && identity {
-                    self.stats.preload_overlaps.inc();
-                }
-                Ok(Validation {
-                    pa,
-                    latency: validation_latency,
-                    overlap: predicted && identity,
-                    squashed_preload: squashed,
-                })
-            }
-            WalkOutcome::NotMapped { .. } => {
-                if predicted {
-                    self.stats.preload_squashes.inc();
-                    self.energy.record(MmEvent::PreloadSquash);
-                }
-                Err(self.fault(va, kind, FaultKind::NotMapped))
-            }
-        }
-    }
-
-    fn dvm_bm_access(
-        &mut self,
-        va: VirtAddr,
-        kind: AccessKind,
-        bitmap: &PermBitmap,
-        pt: &PageTable,
-        mem: &PhysMem,
-        dram: &mut Dram,
-    ) -> Result<Validation, Fault> {
-        let vpn = va.vpn(PageSize::Size4K);
-        // The bitmap cache and the fallback FA TLB are probed in parallel
-        // on every access (so the 00 path is not serialized); both
-        // lookups burn energy every time — the reason DVM-BM saves far
-        // less energy than DVM-PE (paper Figure 9).
-        self.energy.record(MmEvent::BitmapCacheLookup);
-        let tlb_event = self.tlb_energy_event();
-        self.energy.record(tlb_event);
-        let tlb_hit = self.tlb.as_mut().expect("fallback TLB").lookup(va);
-        let word_pa = bitmap.entry_pa(vpn);
-        let cache = self
-            .bitmap_cache
-            .as_mut()
-            .expect("DVM-BM has a bitmap cache");
-        let (hit, dav_latency) = match cache.access(word_pa, 2) {
-            PtcLookup::Hit => (true, 1),
-            _ => {
-                let fetch = dram.access(word_pa, AccessKind::Read);
-                self.energy.record(MmEvent::WalkerDram);
-                self.stats.walk_mem_refs.inc();
-                self.stats.walker_busy.add(fetch);
-                (false, 1 + fetch)
-            }
-        };
-        let _ = hit;
-        let perms = bitmap.perms_of(mem, vpn);
-        if perms.is_mapped() {
-            // 1-step DAV success: identity access.
-            if !perms.allows(kind) {
-                return Err(self.fault(va, kind, FaultKind::Protection));
-            }
-            self.stats.identity_validations.inc();
-            return Ok(Validation {
-                pa: va.to_identity_pa(),
-                latency: dav_latency,
-                overlap: false,
-                squashed_preload: false,
-            });
-        }
-        // 00: not identity mapped; full translation, expedited by the TLB
-        // that was already probed in parallel.
-        self.stats.fallback_translations.inc();
-        if let Some(entry) = tlb_hit {
-            self.check(entry.perms, va, kind)?;
-            let pa = PhysAddr::from_frame(entry.pfn) + va.page_offset(PageSize::Size4K);
-            return Ok(Validation {
-                pa,
-                latency: dav_latency,
-                overlap: false,
-                squashed_preload: false,
-            });
-        }
-        let (walk, walk_stall) = self.timed_walk(pt, mem, dram, va);
-        let latency = dav_latency + 1 + walk_stall;
-        match walk.outcome {
-            WalkOutcome::Leaf { pa, perms, page } => {
-                self.check(perms, va, kind)?;
-                debug_assert_eq!(page, PageSize::Size4K, "DVM-BM fallback uses 4K tables");
-                self.tlb.as_mut().expect("tlb").insert(TlbEntry {
-                    vpn,
-                    pfn: pa.frame(),
-                    perms,
-                });
-                Ok(Validation {
-                    pa,
-                    latency,
-                    overlap: false,
-                    squashed_preload: false,
-                })
-            }
-            WalkOutcome::PermissionEntry { perms, .. } => {
-                // Stale bitmap relative to the page table; trust the table.
-                self.check(perms, va, kind)?;
-                self.stats.identity_validations.inc();
-                Ok(Validation {
-                    pa: va.to_identity_pa(),
-                    latency,
-                    overlap: false,
-                    squashed_preload: false,
-                })
-            }
-            WalkOutcome::NotMapped { .. } => Err(self.fault(va, kind, FaultKind::NotMapped)),
-        }
     }
 }

@@ -139,7 +139,7 @@ typed!(read_f32, write_f32, f32, read_f32, write_f32);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::iommu::MmuConfig;
+    use crate::scheme::SchemeId;
     use dvm_energy::EnergyParams;
     use dvm_mem::{BuddyAllocator, Dram, DramConfig, PhysMem};
     use dvm_pagetable::PageTable;
@@ -164,8 +164,8 @@ mod tests {
 
     #[test]
     fn functional_roundtrip_all_configs() {
-        for config in MmuConfig::PAPER_SET {
-            if config == MmuConfig::DvmBitmap {
+        for config in SchemeId::PAPER_SET {
+            if config == SchemeId::DVM_BM {
                 continue; // exercised in the bitmap test below
             }
             let (mut mem, _alloc, pt, mut dram) = harness();
@@ -195,12 +195,7 @@ mod tests {
         )
         .unwrap();
         let mut dram = Dram::new(DramConfig::default());
-        let mut iommu = Iommu::new(
-            MmuConfig::Conventional {
-                page_size: dvm_types::PageSize::Size4K,
-            },
-            EnergyParams::default(),
-        );
+        let mut iommu = Iommu::new(SchemeId::CONV_4K, EnergyParams::default());
         let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut mem, &mut dram);
         let va = VirtAddr::new(16 << 20);
         // First access: TLB miss + walk (4 steps, at least one DRAM ref).
@@ -216,7 +211,7 @@ mod tests {
     #[test]
     fn dvm_pe_plus_overlaps_reads_but_not_writes() {
         let (mut mem, _alloc, pt, mut dram) = harness();
-        let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+        let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
         let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut mem, &mut dram);
         let va = VirtAddr::new((16 << 20) + 64);
         let data = sys.dram.config().occupancy_cycles;
@@ -266,7 +261,7 @@ mod tests {
         )
         .unwrap();
         let mut dram = Dram::new(DramConfig::default());
-        let mut iommu = Iommu::new(MmuConfig::DvmBitmap, EnergyParams::default());
+        let mut iommu = Iommu::new(SchemeId::DVM_BM, EnergyParams::default());
         let mut sys = MemSystem::new(&mut iommu, &pt, Some(&bitmap), &mut mem, &mut dram);
         // Identity access validates via the bitmap.
         sys.write_u32(VirtAddr::new(16 << 20), 7).unwrap();
@@ -294,7 +289,7 @@ mod tests {
         )
         .unwrap();
         let mut dram = Dram::new(DramConfig::default());
-        let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+        let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
         let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut mem, &mut dram);
         let va = VirtAddr::new(16 << 20);
         assert!(sys.read_u32(va).is_ok());
@@ -310,7 +305,7 @@ mod tests {
     #[test]
     fn ideal_has_zero_translation_latency() {
         let (mut mem, _alloc, pt, mut dram) = harness();
-        let mut iommu = Iommu::new(MmuConfig::Ideal, EnergyParams::default());
+        let mut iommu = Iommu::new(SchemeId::IDEAL, EnergyParams::default());
         let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut mem, &mut dram);
         let lat = sys
             .access(VirtAddr::new(16 << 20), AccessKind::Read)

@@ -3,9 +3,9 @@
 
 use dvm_energy::{EnergyParams, MmEvent};
 use dvm_mem::{BuddyAllocator, Dram, DramConfig, PhysMem};
-use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_mmu::{Iommu, MemSystem, SchemeId};
 use dvm_pagetable::{PageTable, PermBitmap};
-use dvm_types::{AccessKind, PageSize, Permission, VirtAddr};
+use dvm_types::{AccessKind, Permission, VirtAddr};
 
 struct Rig {
     mem: PhysMem,
@@ -14,18 +14,18 @@ struct Rig {
     dram: Dram,
 }
 
-fn rig(config: MmuConfig, span: u64) -> Rig {
+fn rig(config: SchemeId, span: u64) -> Rig {
     let mut mem = PhysMem::new(1 << 18);
     let mut alloc = BuddyAllocator::new(1 << 18);
     let mut pt = PageTable::new(&mut mem, &mut alloc).unwrap();
     let base = VirtAddr::new(64 << 20);
-    let bitmap = if config == MmuConfig::DvmBitmap {
+    let bitmap = if config.needs_bitmap() {
         Some(PermBitmap::new(&mut mem, &mut alloc, 1 << 30).unwrap())
     } else {
         None
     };
-    match config {
-        MmuConfig::Conventional { page_size } => pt
+    match config.required_leaf_size() {
+        Some(page_size) => pt
             .map_identity_leaves(
                 &mut mem,
                 &mut alloc,
@@ -35,7 +35,7 @@ fn rig(config: MmuConfig, span: u64) -> Rig {
                 page_size,
             )
             .unwrap(),
-        _ => pt
+        None => pt
             .map_identity_pe(&mut mem, &mut alloc, base, span, Permission::ReadWrite)
             .unwrap(),
     }
@@ -67,9 +67,7 @@ fn sweep(iommu: &mut Iommu, rig: &mut Rig, accesses: u64, stride: u64) {
 
 #[test]
 fn conventional_charges_fa_tlb_energy_per_access() {
-    let config = MmuConfig::Conventional {
-        page_size: PageSize::Size4K,
-    };
+    let config = SchemeId::CONV_4K;
     let mut rig = rig(config, 32 << 20);
     let mut iommu = Iommu::new(config, EnergyParams::default());
     sweep(&mut iommu, &mut rig, 1000, 64);
@@ -79,7 +77,7 @@ fn conventional_charges_fa_tlb_energy_per_access() {
 
 #[test]
 fn dvm_pe_never_touches_a_tlb() {
-    let config = MmuConfig::DvmPe { preload: false };
+    let config = SchemeId::DVM_PE;
     let mut rig = rig(config, 32 << 20);
     let mut iommu = Iommu::new(config, EnergyParams::default());
     sweep(&mut iommu, &mut rig, 1000, 4096);
@@ -91,7 +89,7 @@ fn dvm_pe_never_touches_a_tlb() {
 
 #[test]
 fn dvm_bm_probes_tlb_in_parallel_every_access() {
-    let config = MmuConfig::DvmBitmap;
+    let config = SchemeId::DVM_BM;
     let mut rig = rig(config, 32 << 20);
     let mut iommu = Iommu::new(config, EnergyParams::default());
     sweep(&mut iommu, &mut rig, 500, 4096);
@@ -108,13 +106,7 @@ fn walker_occupancy_orders_schemes() {
     // 4K walks keep the shared walker far busier than PE validation.
     let span = 32 << 20;
     let mut busy = Vec::new();
-    for config in [
-        MmuConfig::Conventional {
-            page_size: PageSize::Size4K,
-        },
-        MmuConfig::DvmPe { preload: false },
-        MmuConfig::Ideal,
-    ] {
+    for config in [SchemeId::CONV_4K, SchemeId::DVM_PE, SchemeId::IDEAL] {
         let mut r = rig(config, span);
         let mut iommu = Iommu::new(config, EnergyParams::default());
         // Random-ish strided sweep touching many pages.
@@ -127,9 +119,7 @@ fn walker_occupancy_orders_schemes() {
 
 #[test]
 fn flush_forgets_cached_state() {
-    let config = MmuConfig::Conventional {
-        page_size: PageSize::Size4K,
-    };
+    let config = SchemeId::CONV_4K;
     let mut rig = rig(config, 1 << 20);
     let mut iommu = Iommu::new(config, EnergyParams::default());
     sweep(&mut iommu, &mut rig, 10, 64);
@@ -144,7 +134,7 @@ fn flush_forgets_cached_state() {
 
 #[test]
 fn preload_counters_balance() {
-    let config = MmuConfig::DvmPe { preload: true };
+    let config = SchemeId::DVM_PE_PLUS;
     let mut rig = rig(config, 1 << 20);
     let mut iommu = Iommu::new(config, EnergyParams::default());
     let base = VirtAddr::new(64 << 20);
@@ -162,10 +152,93 @@ fn preload_counters_balance() {
 }
 
 #[test]
+fn sva_pf_prefetches_the_next_page_into_the_tlb() {
+    let config = SchemeId::SVA_PF;
+    let mut rig = rig(config, 32 << 20);
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    // A page-granular sequential scan: each miss prefetches the next
+    // page, so the scan alternates miss / prefetched-hit (~50% hits;
+    // without the prefetcher, 64 fresh pages would all miss).
+    sweep(&mut iommu, &mut rig, 64, 4096);
+    let prefetches = iommu.stats.tlb_prefetches.get();
+    assert!(prefetches > 0, "sequential misses must prefetch");
+    let stats = iommu.tlb_stats().unwrap();
+    assert!(
+        stats.hits() >= 30,
+        "prefetched pages must hit: {} hits / {} misses",
+        stats.hits(),
+        stats.misses()
+    );
+    // The prefetch walks are real work: they show up in the walk count,
+    // which is why the scheme loses bandwidth on random access.
+    assert!(iommu.stats.walks.get() > stats.misses());
+}
+
+#[test]
+fn sva_pf_flush_forgets_prefetch_history() {
+    let config = SchemeId::SVA_PF;
+    let mut rig = rig(config, 32 << 20);
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    sweep(&mut iommu, &mut rig, 64, 4096);
+    assert_ne!(iommu.scratch[0], 0, "dedup history recorded");
+    iommu.flush();
+    assert_eq!(iommu.scratch[0], 0, "flush clears scheme scratch");
+    let prefetches_before = iommu.stats.tlb_prefetches.get();
+    sweep(&mut iommu, &mut rig, 64, 4096);
+    assert!(
+        iommu.stats.tlb_prefetches.get() > prefetches_before,
+        "post-flush misses must prefetch again"
+    );
+}
+
+#[test]
+fn sva_iommu_fetches_the_device_context_exactly_once() {
+    let config = SchemeId::SVA_IOMMU;
+    let mut rig = rig(config, 32 << 20);
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    let base = VirtAddr::new(64 << 20);
+    {
+        let mut sys = MemSystem::new(
+            &mut iommu,
+            &rig.pt,
+            rig.bitmap.as_ref(),
+            &mut rig.mem,
+            &mut rig.dram,
+        );
+        let first = sys.access(base, AccessKind::Read).unwrap();
+        let second = sys.access(base, AccessKind::Read).unwrap();
+        // The first access pays the DDT fetch on top of its walk; the
+        // second hits both the cached context and the IOTLB.
+        assert!(
+            first > second,
+            "DDT fetch charged once: {first} vs {second}"
+        );
+    }
+    let refs_after_two = iommu.stats.walk_mem_refs.get();
+    // Stay inside the already-cached first page: the context flag
+    // survives across accesses, so the IOTLB-hit path issues no further
+    // walks and no further DDT fetches.
+    sweep(&mut iommu, &mut rig, 100, 8);
+    assert_eq!(iommu.stats.walk_mem_refs.get(), refs_after_two);
+    // A flush (context switch) drops the cached context.
+    iommu.flush();
+    assert_eq!(iommu.scratch[0], 0);
+    {
+        let mut sys = MemSystem::new(
+            &mut iommu,
+            &rig.pt,
+            rig.bitmap.as_ref(),
+            &mut rig.mem,
+            &mut rig.dram,
+        );
+        sys.access(base, AccessKind::Read).unwrap();
+    }
+    assert_eq!(iommu.scratch[0], 1, "post-flush access re-fetches the DDT");
+}
+
+#[test]
 fn reset_stats_keeps_cached_state() {
-    let config = MmuConfig::Conventional {
-        page_size: PageSize::Size2M,
-    };
+    let config = SchemeId::CONV_2M;
     let mut rig = rig(config, 4 << 20);
     let mut iommu = Iommu::new(config, EnergyParams::default());
     sweep(&mut iommu, &mut rig, 100, 4096);

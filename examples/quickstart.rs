@@ -6,7 +6,7 @@
 //! ```
 
 use dvm_core::{
-    AccessKind, DramConfig, EnergyParams, MachineConfig, MmuConfig, Os, OsConfig, Permission,
+    AccessKind, DramConfig, EnergyParams, MachineConfig, Os, OsConfig, Permission, SchemeId,
 };
 use dvm_mem::Dram;
 use dvm_mmu::{Iommu, MemSystem};
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Attach an accelerator-side IOMMU in DVM-PE+ mode (Permission
     //    Entries + Access Validation Cache + preload on reads).
-    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+    let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid)?.page_table;
     let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);

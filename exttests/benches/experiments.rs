@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dvm_core::{
     evaluate_cpu, page_table_study, run_graph_experiment, CpuModelConfig, CpuScheme, CpuWorkload,
-    ExperimentConfig, MachineConfig, MmuConfig, Os, OsConfig, PageSize, ShbenchConfig, Workload,
+    ExperimentConfig, MachineConfig, SchemeId, Os, OsConfig, PageSize, ShbenchConfig, Workload,
 };
 use dvm_graph::{rmat, RmatParams};
 use dvm_os::{shbench, MapFlavor};
@@ -24,9 +24,7 @@ fn fig2_miniature(c: &mut Criterion) {
             let report = run_graph_experiment(
                 &Workload::Bfs { root: 0 },
                 &graph,
-                &ExperimentConfig::for_mmu(MmuConfig::Conventional {
-                    page_size: PageSize::Size4K,
-                }),
+                &ExperimentConfig::for_mmu(SchemeId::CONV_4K),
             )
             .unwrap();
             std::hint::black_box(report.tlb_miss_rate())
@@ -49,7 +47,7 @@ fn fig8_fig9_miniature(c: &mut Criterion) {
     let graph = small_graph();
     let mut group = c.benchmark_group("fig8_fig9_schemes");
     group.sample_size(10);
-    for mmu in MmuConfig::PAPER_SET {
+    for mmu in SchemeId::PAPER_SET {
         group.bench_function(mmu.name(), |b| {
             b.iter(|| {
                 let report = run_graph_experiment(

@@ -12,7 +12,7 @@ use dvm_core::{run_graph_experiment, ExperimentConfig, Workload};
 use dvm_energy::EnergyParams;
 use dvm_graph::{rmat, RmatParams};
 use dvm_mem::{Dram, DramConfig, MachineConfig};
-use dvm_mmu::{Iommu, MemSystem, MmuConfig, TranslationMemo};
+use dvm_mmu::{Iommu, MemSystem, SchemeId, TranslationMemo};
 use dvm_os::{MapFlavor, Os, OsConfig};
 use dvm_sim::DetRng;
 use dvm_types::{AccessKind, PageSize, VirtAddr};
@@ -21,9 +21,7 @@ use dvm_types::{AccessKind, PageSize, VirtAddr};
 /// random accesses exercise misses and walks, not just the hit path.
 const SPAN: u64 = 64 << 20;
 
-const CONV_4K: MmuConfig = MmuConfig::Conventional {
-    page_size: PageSize::Size4K,
-};
+const CONV_4K: SchemeId = SchemeId::CONV_4K;
 
 /// A booted OS with one process owning a `SPAN`-byte heap mapping, plus
 /// the IOMMU and DRAM to access it through.
@@ -35,15 +33,15 @@ struct Rig {
     base: VirtAddr,
 }
 
-fn rig(config: MmuConfig) -> Rig {
-    let flavor = match config {
-        MmuConfig::Conventional { page_size } => MapFlavor::Paged(page_size),
-        _ => MapFlavor::DvmPe,
+fn rig(config: SchemeId) -> Rig {
+    let flavor = match config.required_leaf_size() {
+        Some(page_size) => MapFlavor::Paged(page_size),
+        None => MapFlavor::DvmPe,
     };
     let mut os = Os::new(OsConfig {
         machine: MachineConfig { mem_bytes: 2 << 30 },
         flavor,
-        maintain_bitmap: config == MmuConfig::DvmBitmap,
+        maintain_bitmap: config.needs_bitmap(),
         ..OsConfig::default()
     });
     let pid = os.spawn().unwrap();
@@ -66,9 +64,9 @@ fn timed_access(c: &mut Criterion) {
     let mut group = c.benchmark_group("timed_access");
     for (label, config) in [
         ("conv_4k", CONV_4K),
-        ("dvm_bitmap", MmuConfig::DvmBitmap),
-        ("dvm_pe", MmuConfig::DvmPe { preload: false }),
-        ("ideal", MmuConfig::Ideal),
+        ("dvm_bitmap", SchemeId::DVM_BM),
+        ("dvm_pe", SchemeId::DVM_PE),
+        ("ideal", SchemeId::IDEAL),
     ] {
         group.bench_function(label, |b| {
             let mut r = rig(config);
@@ -98,8 +96,8 @@ fn iommu_validate(c: &mut Criterion) {
     let mut group = c.benchmark_group("iommu_validate");
     for (label, config) in [
         ("conv_4k", CONV_4K),
-        ("dvm_bitmap", MmuConfig::DvmBitmap),
-        ("dvm_pe", MmuConfig::DvmPe { preload: false }),
+        ("dvm_bitmap", SchemeId::DVM_BM),
+        ("dvm_pe", SchemeId::DVM_PE),
     ] {
         group.bench_function(label, |b| {
             let mut r = rig(config);
@@ -183,7 +181,7 @@ fn bfs_small_rmat(c: &mut Criterion) {
     let graph = rmat(12, 8, RmatParams::default(), 21);
     let mut group = c.benchmark_group("bfs_small_rmat");
     group.sample_size(10);
-    for (label, mmu) in [("conv_4k", CONV_4K), ("ideal", MmuConfig::Ideal)] {
+    for (label, mmu) in [("conv_4k", CONV_4K), ("ideal", SchemeId::IDEAL)] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let report = run_graph_experiment(

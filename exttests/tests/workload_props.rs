@@ -6,7 +6,7 @@ use dvm_accel::{layout, reference, run, AccelConfig, Workload};
 use dvm_energy::EnergyParams;
 use dvm_graph::{rmat, RmatParams};
 use dvm_mem::{Dram, DramConfig, MachineConfig};
-use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_mmu::{Iommu, MemSystem, SchemeId};
 use dvm_os::{Os, OsConfig};
 use proptest::prelude::*;
 
@@ -20,7 +20,7 @@ fn run_and_dump(
     });
     let pid = os.spawn().unwrap();
     let g = layout::load_graph(&mut os, pid, graph, workload.prop_stride()).unwrap();
-    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+    let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
     let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
@@ -81,7 +81,7 @@ proptest! {
         });
         let pid = os.spawn().unwrap();
         let g = layout::load_graph(&mut os, pid, &graph, workload.prop_stride()).unwrap();
-        let mut iommu = Iommu::new(MmuConfig::Ideal, EnergyParams::default());
+        let mut iommu = Iommu::new(SchemeId::IDEAL, EnergyParams::default());
         let mut dram = Dram::new(DramConfig::default());
         let pt = os.process(pid).unwrap().page_table;
         let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);

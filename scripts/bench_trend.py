@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
-"""Append a fig8/fig9 quick-scale wall-clock sample to
-results/BENCH_trend.json and guard against regressions.
+"""Append a fig8/fig9 (and optionally fig11) quick-scale wall-clock
+sample to results/BENCH_trend.json and guard against regressions.
 
-Usage: bench_trend.py LABEL FIG8_MS FIG9_MS
+Usage: bench_trend.py LABEL FIG8_MS FIG9_MS [FIG11_MS]
 
-The trend file is an append-only history of the two figure sweeps that
+The trend file is an append-only history of the figure sweeps that
 dominate a quick reproduction. The *baseline* is the last entry already
 in the file (i.e. the newest committed or previously recorded sample);
 after appending, the script exits non-zero if the new fig8 wall time
 exceeds the baseline by more than 25% — a per-access performance
 regression in the simulation core, which scripts/ci.sh treats as a
-failure. fig9 is recorded but not guarded: under the shared report
-cache it replays fig8's units, so its wall time mostly measures I/O.
+failure. fig9 and fig11 are recorded but not guarded: under the shared
+report cache they mostly replay fig8's units, so their wall time largely
+measures I/O (for fig11, plus the two SVA schemes). Entries recorded
+before fig11 existed simply lack the key.
 """
 
 import json
@@ -21,21 +23,24 @@ from pathlib import Path
 GUARD_RATIO = 1.25
 
 def main() -> int:
-    if len(sys.argv) != 4:
+    if len(sys.argv) not in (4, 5):
         print(__doc__, file=sys.stderr)
         return 2
     label, fig8_ms, fig9_ms = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+    fig11_ms = int(sys.argv[4]) if len(sys.argv) == 5 else None
     path = Path(__file__).resolve().parent.parent / "results" / "BENCH_trend.json"
     doc = json.loads(path.read_text())
     assert doc["experiment"] == "bench-trend", path
     baseline = doc["entries"][-1]
-    doc["entries"].append(
-        {"label": label, "fig8_wall_ms": fig8_ms, "fig9_wall_ms": fig9_ms}
-    )
+    entry = {"label": label, "fig8_wall_ms": fig8_ms, "fig9_wall_ms": fig9_ms}
+    if fig11_ms is not None:
+        entry["fig11_wall_ms"] = fig11_ms
+    doc["entries"].append(entry)
     path.write_text(json.dumps(doc, indent=2) + "\n")
     limit = baseline["fig8_wall_ms"] * GUARD_RATIO
+    fig11_note = "" if fig11_ms is None else f", fig11 {fig11_ms} ms"
     print(
-        f"bench-trend: fig8 {fig8_ms} ms, fig9 {fig9_ms} ms "
+        f"bench-trend: fig8 {fig8_ms} ms, fig9 {fig9_ms} ms{fig11_note} "
         f"(baseline '{baseline['label']}': fig8 {baseline['fig8_wall_ms']} ms, "
         f"guard {limit:.0f} ms)"
     )

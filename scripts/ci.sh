@@ -102,6 +102,41 @@ target/release/fig9 --scale quick --jobs 1 --cache-dir results/.dataset-cache \
 t1=$(now_ms)
 FIG9_MS=$((t1 - t0))
 scripts/diff_results.sh "$SHARD_TMP" fig8 fig9
-python3 scripts/bench_trend.py ci "$FIG8_MS" "$FIG9_MS"
+
+echo "== DVM-vs-SVA comparison (fig11, quick scale)"
+# fig11 shares fig8's grid for its 4K/DVM-PE+/Ideal columns, so under the
+# shared report cache only the two SVA schemes simulate fresh. The
+# document is diffed against its golden like every other figure.
+t0=$(now_ms)
+target/release/fig11 --scale quick --jobs 1 --cache-dir results/.dataset-cache \
+    --report-cache "$SHARD_TMP/report-cache" \
+    --json "$SHARD_TMP/fig11_quick.json" > /dev/null
+t1=$(now_ms)
+FIG11_MS=$((t1 - t0))
+scripts/diff_results.sh "$SHARD_TMP" fig11
+
+echo "== shard-merge determinism (fig11, quick scale, 2 shards)"
+# The new binary must honour the same contract as the old ones: a
+# coordinator-merged run is byte-identical to a serial one (the warm
+# report cache makes both replays, so this checks the merge plumbing).
+target/release/fig11 --scale quick --datasets FR --jobs 1 \
+    --cache-dir results/.dataset-cache \
+    --report-cache "$SHARD_TMP/report-cache" \
+    --json "$SHARD_TMP/fig11_serial.json" > "$SHARD_TMP/fig11_serial.txt"
+target/release/fig11 --scale quick --datasets FR --jobs 1 --shards 2 \
+    --cache-dir results/.dataset-cache \
+    --report-cache "$SHARD_TMP/report-cache" \
+    --json "$SHARD_TMP/fig11_sharded.json" > "$SHARD_TMP/fig11_sharded.txt"
+cmp "$SHARD_TMP/fig11_serial.txt" "$SHARD_TMP/fig11_sharded.txt"
+cmp "$SHARD_TMP/fig11_serial.json" "$SHARD_TMP/fig11_sharded.json"
+target/release/fig11 --scale quick --datasets FR --jobs 2 \
+    --cache-dir results/.dataset-cache \
+    --report-cache "$SHARD_TMP/report-cache" \
+    --json "$SHARD_TMP/fig11_jobs2.json" > "$SHARD_TMP/fig11_jobs2.txt"
+cmp "$SHARD_TMP/fig11_serial.txt" "$SHARD_TMP/fig11_jobs2.txt"
+cmp "$SHARD_TMP/fig11_serial.json" "$SHARD_TMP/fig11_jobs2.json"
+echo "fig11 sharded and threaded outputs are byte-identical to serial"
+
+python3 scripts/bench_trend.py ci "$FIG8_MS" "$FIG9_MS" "$FIG11_MS"
 
 echo "ci: all green"

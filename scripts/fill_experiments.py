@@ -12,6 +12,7 @@ SLOTS = {
     "<!-- FIG9 -->": ["results/fig9_paper.txt", "results/fig9_quick.txt", "results/fig9_quick_graphs.txt"],
     "<!-- TABLE4 -->": ["results/table4_paper.txt", "results/table4_quick.txt"],
     "<!-- FIG10 -->": ["results/fig10_paper.txt"],
+    "<!-- FIG11 -->": ["results/fig11_paper.txt", "results/fig11_quick.txt"],
     "<!-- VIRT -->": ["results/virt_paper.txt", "results/virt_quick.txt", "results/virt.txt"],
 }
 

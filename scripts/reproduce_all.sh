@@ -13,8 +13,8 @@
 # cores); --shards N fans it across N worker processes. Output is
 # byte-identical to a serial run either way; only wall-clock changes.
 # Generated datasets are cached under results/.dataset-cache, so repeat
-# runs skip regeneration. Figures 2, 8 and 9 sweep the same unit grid, so
-# they share a per-invocation report cache (results/.report-cache, cleared
+# runs skip regeneration. Figures 2, 8, 9 and 11 sweep overlapping unit
+# grids, so they share a per-invocation report cache (results/.report-cache, cleared
 # up front): the first binary to simulate a unit records its report, the
 # rest replay it byte-identically. --cache-max-bytes / --report-cache-max-bytes
 # (sizes take K/M/G/T suffixes) cap those directories with an LRU byte
@@ -106,6 +106,7 @@ run fig10
 run fig2 "${RC_ARGS[@]}"
 run fig8 "${RC_ARGS[@]}"
 run fig9 "${RC_ARGS[@]}"
+run fig11 "${RC_ARGS[@]}"
 run table5
 run virt
 

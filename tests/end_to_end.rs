@@ -2,7 +2,7 @@
 //! IOMMU, accelerator — exercised end to end through the public facade.
 
 use dvm_core::{
-    run_graph_experiment, run_paper_configs, ExperimentConfig, MmuConfig, PageSize, Workload,
+    run_graph_experiment, run_paper_configs, ExperimentConfig, PageSize, SchemeId, Workload,
 };
 use dvm_graph::{rmat, Dataset, RmatParams};
 
@@ -66,7 +66,7 @@ fn dataset_registry_runs_through_the_pipeline() {
         let report = run_graph_experiment(
             &workload,
             &graph,
-            &ExperimentConfig::for_mmu(MmuConfig::DvmPe { preload: true }),
+            &ExperimentConfig::for_mmu(SchemeId::DVM_PE_PLUS),
         )
         .unwrap();
         assert!(report.cycles > 0, "{dataset}");
@@ -88,7 +88,7 @@ fn conventional_page_sizes_order_sanely() {
         let report = run_graph_experiment(
             &workload,
             &graph,
-            &ExperimentConfig::for_mmu(MmuConfig::Conventional { page_size }),
+            &ExperimentConfig::for_mmu(SchemeId::conventional(page_size)),
         )
         .unwrap();
         rates.push(report.tlb_miss_rate().unwrap());
@@ -101,7 +101,7 @@ fn conventional_page_sizes_order_sanely() {
 fn whole_pipeline_is_deterministic() {
     let graph = rmat(13, 6, RmatParams::default(), 5);
     let workload = Workload::PageRank { iterations: 2 };
-    let config = ExperimentConfig::for_mmu(MmuConfig::DvmBitmap);
+    let config = ExperimentConfig::for_mmu(SchemeId::DVM_BM);
     let a = run_graph_experiment(&workload, &graph, &config).unwrap();
     let b = run_graph_experiment(&workload, &graph, &config).unwrap();
     assert_eq!(a.cycles, b.cycles);

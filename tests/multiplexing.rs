@@ -7,7 +7,7 @@ use dvm_accel::{layout, run, AccelConfig, Workload};
 use dvm_core::{EnergyParams, MachineConfig, Os, OsConfig};
 use dvm_graph::{rmat, RmatParams};
 use dvm_mem::{Dram, DramConfig};
-use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_mmu::{Iommu, MemSystem, SchemeId};
 use dvm_types::{AccessKind, Permission, VirtAddr};
 
 #[test]
@@ -25,7 +25,7 @@ fn two_processes_share_one_accelerator_safely() {
     let g_a = layout::load_graph(&mut os, pid_a, &graph_a, workload.prop_stride()).unwrap();
     let g_b = layout::load_graph(&mut os, pid_b, &graph_b, workload.prop_stride()).unwrap();
 
-    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+    let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
 
     // Offload for A.
@@ -74,7 +74,7 @@ fn accelerator_cannot_reach_another_process_even_at_identity_addresses() {
     let b_secret = os.mmap(pid_b, 1 << 20, Permission::ReadWrite).unwrap();
     os.write_u64(pid_b, b_secret, 0xdead).unwrap();
 
-    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+    let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt_a = os.process(pid_a).unwrap().page_table;
     let mut sys = MemSystem::new(&mut iommu, &pt_a, None, &mut os.machine.mem, &mut dram);
@@ -86,7 +86,7 @@ fn accelerator_cannot_reach_another_process_even_at_identity_addresses() {
 
     // And the Ideal (no-protection) configuration demonstrates exactly why
     // raw physical access is unacceptable: it reads the secret just fine.
-    let mut unsafe_iommu = Iommu::new(MmuConfig::Ideal, EnergyParams::default());
+    let mut unsafe_iommu = Iommu::new(SchemeId::IDEAL, EnergyParams::default());
     let mut sys = MemSystem::new(
         &mut unsafe_iommu,
         &pt_a,
@@ -114,7 +114,7 @@ fn vfork_child_can_offload_to_the_same_graph() {
 
     let child = os.vfork(parent).unwrap();
     let pt = os.process(child).unwrap().page_table;
-    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+    let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
     let result = run(&workload, &g, &mut sys, &AccelConfig::default()).unwrap();

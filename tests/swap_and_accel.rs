@@ -6,7 +6,7 @@
 
 use dvm_core::{EnergyParams, MachineConfig, Os, OsConfig, Permission};
 use dvm_mem::{Dram, DramConfig};
-use dvm_mmu::{Iommu, MemSystem, MmuConfig};
+use dvm_mmu::{Iommu, MemSystem, SchemeId};
 use dvm_os::SwapStore;
 use dvm_types::{AccessKind, FaultKind, PAGE_SIZE};
 
@@ -31,7 +31,7 @@ fn accelerator_faults_on_swapped_page_and_resumes_after_swap_in() {
     let mut store = SwapStore::new();
     os.swap_out(pid, buf, &mut store).unwrap();
 
-    let mut iommu = Iommu::new(MmuConfig::DvmPe { preload: true }, EnergyParams::default());
+    let mut iommu = Iommu::new(SchemeId::DVM_PE_PLUS, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
     {
@@ -74,7 +74,7 @@ fn bitmap_is_coherent_across_swap() {
     assert_eq!(bitmap.perms_of(&os.machine.mem, vpn), Permission::ReadWrite);
 
     // And DVM-BM actually validates again end to end.
-    let mut iommu = Iommu::new(MmuConfig::DvmBitmap, EnergyParams::default());
+    let mut iommu = Iommu::new(SchemeId::DVM_BM, EnergyParams::default());
     let mut dram = Dram::new(DramConfig::default());
     let pt = os.process(pid).unwrap().page_table;
     let bm = os.bitmap;
