@@ -44,4 +44,7 @@ pub mod reference;
 pub mod run;
 
 pub use layout::{load_graph, GraphInMemory, EDGE_BYTES};
-pub use run::{dump_props_f32, dump_props_u32, run, AccelConfig, RunResult, Workload, BFS_INF};
+pub use run::{
+    dump_props_f32, dump_props_u32, effective_lanes, run, run_pipelined, run_pipelined_via,
+    run_via, AccelConfig, LaneParts, RunResult, Workload, BFS_INF, MAX_LANES,
+};

@@ -13,11 +13,27 @@
 //! Host-side preparation (array initialization) and the accelerator's
 //! small on-chip state (frontier membership bits, scalar counters) are
 //! functional-only and untimed; all graph-data traffic is timed.
+//!
+//! # Lanes
+//!
+//! One simulation unit can optionally split into two decoupled lanes (see
+//! DESIGN.md "Lane partitioning"): a *functional* lane that executes the
+//! workload — resolving control flow and data — while recording the
+//! address stream, and a *timing* lane on a second thread that replays
+//! that stream, in order, through the real IOMMU and DRAM models. Because
+//! the replay preserves the exact serial access order, every counter,
+//! histogram sample and energy figure is byte-identical to the fused
+//! single-lane path. [`run_via`] is the fused path; [`run_pipelined_via`]
+//! is the two-lane pipeline.
 
 use crate::layout::GraphInMemory;
-use dvm_mmu::MemSystem;
+use dvm_mem::{Dram, PhysMem};
+use dvm_mmu::{dispatch, translation_snapshot, FuncView, Iommu, MemSystem, SchemeDispatch};
+use dvm_pagetable::{PageTable, PermBitmap};
 use dvm_sim::{Cycles, Histogram};
-use dvm_types::{Fault, VirtAddr, PAGE_SIZE};
+use dvm_types::{AccessKind, Fault, FaultKind, Permission, PhysAddr, VirtAddr, PAGE_SIZE};
+use std::marker::PhantomData;
+use std::sync::mpsc;
 
 /// Accelerator hardware parameters (paper Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +161,30 @@ pub const CF_REGULARIZATION: f32 = 0.05;
 /// Unreached BFS level.
 pub const BFS_INF: u32 = u32::MAX;
 
+/// The lane pipeline has exactly two stages (functional | timing), so any
+/// requested lane count above this clamps down to it.
+pub const MAX_LANES: u32 = 2;
+
+/// Resolve a `--lanes` request: `0` means auto (as many as the host can
+/// run concurrently, at most [`MAX_LANES`]), `1` the fused serial path,
+/// and anything above [`MAX_LANES`] clamps.
+pub fn effective_lanes(lanes: u32) -> u32 {
+    match lanes {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get() as u32)
+            .unwrap_or(1)
+            .min(MAX_LANES),
+        n => n.min(MAX_LANES),
+    }
+}
+
+/// Destination sharding: hash the vertex id so RMAT's low-id hubs do not
+/// all land on engine 0 (Graphicionado interleaves destinations).
+#[inline]
+fn shard_of(v: u32, engines: usize) -> usize {
+    (v.wrapping_mul(0x9E37_79B1) >> 16) as usize % engines
+}
+
 struct Engines {
     clocks: Vec<Cycles>,
     stage: Cycles,
@@ -155,7 +195,7 @@ struct Engines {
 }
 
 impl Engines {
-    fn new(cfg: &AccelConfig, sys: &MemSystem<'_>) -> Self {
+    fn new(cfg: &AccelConfig, walker_busy_at_start: Cycles) -> Self {
         assert!(cfg.engines > 0, "need at least one engine");
         assert!(cfg.walker_ports > 0, "need at least one walker port");
         Self {
@@ -163,16 +203,14 @@ impl Engines {
             stage: cfg.stage_cycles,
             rr: 0,
             walker_ports: cfg.walker_ports,
-            walker_busy_at_start: sys.iommu.stats.walker_busy.get(),
+            walker_busy_at_start,
             latency_hist: Histogram::new("access_latency"),
         }
     }
 
-    /// Destination sharding: hash the vertex id so RMAT's low-id hubs do
-    /// not all land on engine 0 (Graphicionado interleaves destinations).
     #[inline]
     fn shard(&self, v: u32) -> usize {
-        (v.wrapping_mul(0x9E37_79B1) >> 16) as usize % self.clocks.len()
+        shard_of(v, self.clocks.len())
     }
 
     /// Streaming stages are interleaved round-robin across engines.
@@ -188,9 +226,9 @@ impl Engines {
         self.clocks[engine] += mem_latency + self.stage;
     }
 
-    fn result(self, sys: &MemSystem<'_>, edges_processed: u64, iterations: u32) -> RunResult {
-        let walker_cycles = (sys.iommu.stats.walker_busy.get() - self.walker_busy_at_start)
-            / self.walker_ports as u64;
+    fn result(self, walker_busy_now: Cycles, edges_processed: u64, iterations: u32) -> RunResult {
+        let walker_cycles =
+            (walker_busy_now - self.walker_busy_at_start) / self.walker_ports as u64;
         let engine_max = self.clocks.iter().copied().max().unwrap_or(0);
         RunResult {
             cycles: engine_max.max(walker_cycles),
@@ -207,26 +245,65 @@ impl Engines {
 // Untimed host/on-chip helpers (functional only).
 // ---------------------------------------------------------------------
 
-fn peek_u32(sys: &MemSystem, va: VirtAddr) -> u32 {
-    let (pa, _) = sys
-        .untimed_translate(va)
+/// Functional address-space access: translation plus raw physical memory.
+/// Implemented by the fused [`MemSystem`] and by the functional lane's
+/// [`FuncView`], so the untimed helpers below have a single definition.
+trait Func {
+    fn xlate(&self, va: VirtAddr) -> Option<(PhysAddr, Permission)>;
+    fn ram(&self) -> &PhysMem;
+    fn ram_mut(&mut self) -> &mut PhysMem;
+}
+
+impl Func for MemSystem<'_> {
+    #[inline]
+    fn xlate(&self, va: VirtAddr) -> Option<(PhysAddr, Permission)> {
+        self.untimed_translate(va)
+    }
+    #[inline]
+    fn ram(&self) -> &PhysMem {
+        self.mem
+    }
+    #[inline]
+    fn ram_mut(&mut self) -> &mut PhysMem {
+        self.mem
+    }
+}
+
+impl Func for FuncView<'_> {
+    #[inline]
+    fn xlate(&self, va: VirtAddr) -> Option<(PhysAddr, Permission)> {
+        self.translate(va)
+    }
+    #[inline]
+    fn ram(&self) -> &PhysMem {
+        self.mem
+    }
+    #[inline]
+    fn ram_mut(&mut self) -> &mut PhysMem {
+        self.mem
+    }
+}
+
+fn peek_u32<F: Func>(f: &F, va: VirtAddr) -> u32 {
+    let (pa, _) = f
+        .xlate(va)
         .unwrap_or_else(|| panic!("untimed read of unmapped {va}"));
-    sys.mem.read_u32(pa)
+    f.ram().read_u32(pa)
 }
 
-fn peek_f32(sys: &MemSystem, va: VirtAddr) -> f32 {
-    f32::from_bits(peek_u32(sys, va))
+fn peek_f32<F: Func>(f: &F, va: VirtAddr) -> f32 {
+    f32::from_bits(peek_u32(f, va))
 }
 
-fn poke_u32(sys: &mut MemSystem, va: VirtAddr, value: u32) {
-    let (pa, _) = sys
-        .untimed_translate(va)
+fn poke_u32<F: Func>(f: &mut F, va: VirtAddr, value: u32) {
+    let (pa, _) = f
+        .xlate(va)
         .unwrap_or_else(|| panic!("untimed write of unmapped {va}"));
-    sys.mem.write_u32(pa, value);
+    f.ram_mut().write_u32(pa, value);
 }
 
-fn poke_f32(sys: &mut MemSystem, va: VirtAddr, value: f32) {
-    poke_u32(sys, va, value.to_bits());
+fn poke_f32<F: Func>(f: &mut F, va: VirtAddr, value: f32) {
+    poke_u32(f, va, value.to_bits());
 }
 
 /// Largest factor vector (in bytes) the batched helpers handle on the
@@ -235,31 +312,31 @@ const VEC_BUF_BYTES: usize = 512;
 
 /// Untimed read of `k` contiguous f32 lanes with a single translation
 /// (the vector is page-contained: strides divide the page size).
-fn peek_vec(sys: &MemSystem, va: VirtAddr, k: u64, out: &mut Vec<f32>) {
-    let (pa, _) = sys
-        .untimed_translate(va)
+fn peek_vec<F: Func>(f: &F, va: VirtAddr, k: u64, out: &mut Vec<f32>) {
+    let (pa, _) = f
+        .xlate(va)
         .unwrap_or_else(|| panic!("untimed read of unmapped {va}"));
     out.clear();
     let len = k as usize * 4;
     if len <= VEC_BUF_BYTES {
         let mut buf = [0u8; VEC_BUF_BYTES];
-        sys.mem.read_bytes(pa, &mut buf[..len]);
+        f.ram().read_bytes(pa, &mut buf[..len]);
         out.extend(
             buf[..len]
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
         );
     } else {
-        for f in 0..k {
-            out.push(sys.mem.read_f32(pa + f * 4));
+        for lane in 0..k {
+            out.push(f.ram().read_f32(pa + lane * 4));
         }
     }
 }
 
 /// Untimed write of lanes `1..k` (lane 0 is written by the timed store).
-fn poke_vec_tail(sys: &mut MemSystem, va: VirtAddr, values: &[f32]) {
-    let (pa, _) = sys
-        .untimed_translate(va)
+fn poke_vec_tail<F: Func>(f: &mut F, va: VirtAddr, values: &[f32]) {
+    let (pa, _) = f
+        .xlate(va)
         .unwrap_or_else(|| panic!("untimed write of unmapped {va}"));
     let tail = &values[1..];
     let len = tail.len() * 4;
@@ -268,16 +345,16 @@ fn poke_vec_tail(sys: &mut MemSystem, va: VirtAddr, values: &[f32]) {
         for (chunk, v) in buf.chunks_exact_mut(4).zip(tail) {
             chunk.copy_from_slice(&v.to_le_bytes());
         }
-        sys.mem.write_bytes(pa + 4, &buf[..len]);
+        f.ram_mut().write_bytes(pa + 4, &buf[..len]);
     } else {
-        for (f, v) in values.iter().enumerate().skip(1) {
-            sys.mem.write_f32(pa + f as u64 * 4, *v);
+        for (lane, v) in values.iter().enumerate().skip(1) {
+            f.ram_mut().write_f32(pa + lane as u64 * 4, *v);
         }
     }
 }
 
 /// Host-side memset of a `u32` array (page-chunked, untimed).
-fn memset_u32(sys: &mut MemSystem, base: VirtAddr, count: u64, value: u32) {
+fn memset_u32<F: Func>(f: &mut F, base: VirtAddr, count: u64, value: u32) {
     // One full page of the fill pattern, sliced per chunk. `base` is
     // 4-aligned and pages are 4-aligned, so chunks are whole words.
     let mut buf = Vec::with_capacity(PAGE_SIZE as usize);
@@ -290,8 +367,8 @@ fn memset_u32(sys: &mut MemSystem, base: VirtAddr, count: u64, value: u32) {
         let va = base + done;
         let in_page = PAGE_SIZE - (va.raw() % PAGE_SIZE);
         let n = in_page.min(total - done);
-        let (pa, _) = sys.untimed_translate(va).expect("mapped");
-        sys.mem.write_bytes(pa, &buf[..n as usize]);
+        let (pa, _) = f.xlate(va).expect("mapped");
+        f.ram_mut().write_bytes(pa, &buf[..n as usize]);
         done += n;
     }
 }
@@ -311,23 +388,281 @@ pub fn dump_props_f32(sys: &MemSystem, g: &GraphInMemory) -> Vec<f32> {
 }
 
 // ---------------------------------------------------------------------
+// The port: what a workload skeleton needs from the machine.
+// ---------------------------------------------------------------------
+
+/// Everything a workload skeleton does to the machine: timed accesses,
+/// engine selection, cycle charging, and functional (untimed) access via
+/// [`Func`]. A timed access leaves its cost *pending*; the skeleton picks
+/// the engine — often from the value just read — and settles it with
+/// [`charge`](Port::charge). Exactly one charge follows every successful
+/// timed access.
+///
+/// Two implementations: [`FusedPort`] executes and times in one pass
+/// (the classic path), [`TracePort`] executes functionally and streams
+/// the address trace to the timing lane.
+trait Port {
+    type F: Func;
+    fn func(&self) -> &Self::F;
+    fn func_mut(&mut self) -> &mut Self::F;
+    fn read_u32(&mut self, va: VirtAddr) -> Result<u32, Fault>;
+    fn read_u64(&mut self, va: VirtAddr) -> Result<u64, Fault>;
+    fn read_f32(&mut self, va: VirtAddr) -> Result<f32, Fault>;
+    fn write_u32(&mut self, va: VirtAddr, value: u32) -> Result<(), Fault>;
+    fn write_f32(&mut self, va: VirtAddr, value: f32) -> Result<(), Fault>;
+    fn charge(&mut self, engine: usize);
+    fn shard(&self, v: u32) -> usize;
+    fn next_stream(&mut self) -> usize;
+}
+
+/// The fused single-lane port: every access validates, times and moves
+/// data in one step, exactly as the pre-lane simulator did.
+struct FusedPort<'s, 'a, D: SchemeDispatch> {
+    sys: &'s mut MemSystem<'a>,
+    engines: Engines,
+    pending: Cycles,
+    _dispatch: PhantomData<D>,
+}
+
+impl<'a, D: SchemeDispatch> Port for FusedPort<'_, 'a, D> {
+    type F = MemSystem<'a>;
+
+    #[inline]
+    fn func(&self) -> &MemSystem<'a> {
+        self.sys
+    }
+    #[inline]
+    fn func_mut(&mut self) -> &mut MemSystem<'a> {
+        self.sys
+    }
+
+    #[inline]
+    fn read_u32(&mut self, va: VirtAddr) -> Result<u32, Fault> {
+        let (value, lat) = self.sys.read_u32_via::<D>(va)?;
+        self.pending = lat;
+        Ok(value)
+    }
+    #[inline]
+    fn read_u64(&mut self, va: VirtAddr) -> Result<u64, Fault> {
+        let (value, lat) = self.sys.read_u64_via::<D>(va)?;
+        self.pending = lat;
+        Ok(value)
+    }
+    #[inline]
+    fn read_f32(&mut self, va: VirtAddr) -> Result<f32, Fault> {
+        let (value, lat) = self.sys.read_f32_via::<D>(va)?;
+        self.pending = lat;
+        Ok(value)
+    }
+    #[inline]
+    fn write_u32(&mut self, va: VirtAddr, value: u32) -> Result<(), Fault> {
+        self.pending = self.sys.write_u32_via::<D>(va, value)?;
+        Ok(())
+    }
+    #[inline]
+    fn write_f32(&mut self, va: VirtAddr, value: f32) -> Result<(), Fault> {
+        self.pending = self.sys.write_f32_via::<D>(va, value)?;
+        Ok(())
+    }
+    #[inline]
+    fn charge(&mut self, engine: usize) {
+        self.engines.charge(engine, self.pending);
+    }
+    #[inline]
+    fn shard(&self, v: u32) -> usize {
+        self.engines.shard(v)
+    }
+    #[inline]
+    fn next_stream(&mut self) -> usize {
+        self.engines.next_stream()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The trace port and the two-lane pipeline.
+// ---------------------------------------------------------------------
+
+/// Records per chunk sent from the functional to the timing lane.
+const CHUNK_RECORDS: usize = 4096;
+/// Chunks in flight before the functional lane blocks.
+const CHANNEL_DEPTH: usize = 8;
+
+/// One timed access, in program order.
+#[derive(Clone, Copy)]
+struct Record {
+    va: VirtAddr,
+    kind: AccessKind,
+    engine: u8,
+}
+
+enum Msg {
+    Chunk(Vec<Record>),
+    Finish {
+        edges_processed: u64,
+        iterations: u32,
+    },
+}
+
+/// The functional lane's port: accesses resolve against live memory via
+/// [`FuncView`] (no timing state touched), and the charged access stream
+/// is batched to the timing lane in order.
+struct TracePort<'s> {
+    view: FuncView<'s>,
+    tx: mpsc::SyncSender<Msg>,
+    buf: Vec<Record>,
+    num_engines: usize,
+    rr: usize,
+    pending: Option<(VirtAddr, AccessKind)>,
+    /// The timing lane hung up (it faulted, and its fault is the
+    /// authoritative outcome) — unwind fast without sending more.
+    dead: bool,
+}
+
+impl TracePort<'_> {
+    /// Functional half of a timed access: translate, check permissions,
+    /// and remember the access until the skeleton charges it. A failure
+    /// is still forwarded (the timing lane must replay it to raise the
+    /// authoritative fault) before unwinding with a placeholder.
+    fn access(&mut self, va: VirtAddr, kind: AccessKind) -> Result<PhysAddr, Fault> {
+        if self.dead {
+            return Err(Fault {
+                va,
+                access: kind,
+                kind: FaultKind::NotMapped,
+            });
+        }
+        match self.view.translate(va) {
+            Some((pa, perms)) if perms.allows(kind) => {
+                debug_assert!(self.pending.is_none(), "timed access without a charge");
+                self.pending = Some((va, kind));
+                Ok(pa)
+            }
+            outcome => {
+                self.push(Record {
+                    va,
+                    kind,
+                    engine: 0,
+                });
+                self.flush();
+                self.dead = true;
+                Err(Fault {
+                    va,
+                    access: kind,
+                    kind: if outcome.is_none() {
+                        FaultKind::NotMapped
+                    } else {
+                        FaultKind::Protection
+                    },
+                })
+            }
+        }
+    }
+
+    fn push(&mut self, rec: Record) {
+        self.buf.push(rec);
+        if self.buf.len() >= CHUNK_RECORDS {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(CHUNK_RECORDS));
+        if !self.dead && self.tx.send(Msg::Chunk(chunk)).is_err() {
+            self.dead = true;
+        }
+    }
+
+    /// Functional execution succeeded: flush the tail of the trace and
+    /// hand the timing lane the functional outcome.
+    fn finish(mut self, edges_processed: u64, iterations: u32) {
+        self.flush();
+        let _ = self.tx.send(Msg::Finish {
+            edges_processed,
+            iterations,
+        });
+    }
+}
+
+impl<'s> Port for TracePort<'s> {
+    type F = FuncView<'s>;
+
+    #[inline]
+    fn func(&self) -> &FuncView<'s> {
+        &self.view
+    }
+    #[inline]
+    fn func_mut(&mut self) -> &mut FuncView<'s> {
+        &mut self.view
+    }
+
+    #[inline]
+    fn read_u32(&mut self, va: VirtAddr) -> Result<u32, Fault> {
+        let pa = self.access(va, AccessKind::Read)?;
+        Ok(self.view.mem.read_u32(pa))
+    }
+    #[inline]
+    fn read_u64(&mut self, va: VirtAddr) -> Result<u64, Fault> {
+        let pa = self.access(va, AccessKind::Read)?;
+        Ok(self.view.mem.read_u64(pa))
+    }
+    #[inline]
+    fn read_f32(&mut self, va: VirtAddr) -> Result<f32, Fault> {
+        let pa = self.access(va, AccessKind::Read)?;
+        Ok(self.view.mem.read_f32(pa))
+    }
+    #[inline]
+    fn write_u32(&mut self, va: VirtAddr, value: u32) -> Result<(), Fault> {
+        let pa = self.access(va, AccessKind::Write)?;
+        self.view.mem.write_u32(pa, value);
+        Ok(())
+    }
+    #[inline]
+    fn write_f32(&mut self, va: VirtAddr, value: f32) -> Result<(), Fault> {
+        let pa = self.access(va, AccessKind::Write)?;
+        self.view.mem.write_f32(pa, value);
+        Ok(())
+    }
+    #[inline]
+    fn charge(&mut self, engine: usize) {
+        let (va, kind) = self
+            .pending
+            .take()
+            .expect("charge without a pending access");
+        self.push(Record {
+            va,
+            kind,
+            engine: engine as u8,
+        });
+    }
+    #[inline]
+    fn shard(&self, v: u32) -> usize {
+        shard_of(v, self.num_engines)
+    }
+    #[inline]
+    fn next_stream(&mut self) -> usize {
+        self.rr = (self.rr + 1) % self.num_engines;
+        self.rr
+    }
+}
+
+// ---------------------------------------------------------------------
 // Timed primitives.
 // ---------------------------------------------------------------------
 
-/// Timed read of an edge record; returns `(src, dst, weight)`. One timed
-/// transaction covers the 12-byte record (it fits a 64-byte line); the
-/// weight lane is completed functionally.
-fn read_edge(
-    sys: &mut MemSystem,
-    g: &GraphInMemory,
-    i: u64,
-) -> Result<(u32, u32, f32, Cycles), Fault> {
+/// Timed read of an edge record; returns `(src, dst, weight)` with the
+/// cost pending. One timed transaction covers the 12-byte record (it fits
+/// a 64-byte line); the weight lane is completed functionally.
+#[inline]
+fn read_edge<P: Port>(port: &mut P, g: &GraphInMemory, i: u64) -> Result<(u32, u32, f32), Fault> {
     let va = g.edge_entry(i);
-    let (srcdst, lat) = sys.read_u64(va)?;
+    let srcdst = port.read_u64(va)?;
     let src = srcdst as u32;
     let dst = (srcdst >> 32) as u32;
-    let weight = peek_f32(sys, va + 8);
-    Ok((src, dst, weight, lat))
+    let weight = peek_f32(port.func(), va + 8);
+    Ok((src, dst, weight))
 }
 
 // ---------------------------------------------------------------------
@@ -351,36 +686,182 @@ pub fn run(
     sys: &mut MemSystem<'_>,
     cfg: &AccelConfig,
 ) -> Result<RunResult, Fault> {
+    run_via::<dispatch::Dyn>(workload, g, sys, cfg)
+}
+
+/// [`run`] with a compile-time dispatch token (see
+/// [`SchemeDispatch`]): `D` must stand for the scheme `sys.iommu` was
+/// built for. Monomorphizing the workload loops over the builtin schemes
+/// is worth 1.5-2x on translation-heavy units; the sweep engine selects
+/// the token, everything else should call [`run`].
+///
+/// # Errors
+///
+/// Propagates the first [`Fault`] the IOMMU raises.
+///
+/// # Panics
+///
+/// Panics if `g.prop_stride` does not match the workload's stride.
+pub fn run_via<D: SchemeDispatch>(
+    workload: &Workload,
+    g: &GraphInMemory,
+    sys: &mut MemSystem<'_>,
+    cfg: &AccelConfig,
+) -> Result<RunResult, Fault> {
+    let engines = Engines::new(cfg, sys.iommu.stats.walker_busy.get());
+    let mut port = FusedPort::<D> {
+        sys,
+        engines,
+        pending: 0,
+        _dispatch: PhantomData,
+    };
+    let (edges_processed, iterations) = exec(workload, &mut port, g)?;
+    let walker_busy_now = port.sys.iommu.stats.walker_busy.get();
+    Ok(port
+        .engines
+        .result(walker_busy_now, edges_processed, iterations))
+}
+
+/// The borrows [`run_pipelined_via`] splits between its two lanes: the
+/// timing lane takes the IOMMU and DRAM (plus a snapshot of the
+/// translation frames), the functional lane keeps live physical memory.
+#[derive(Debug)]
+pub struct LaneParts<'a> {
+    /// The IOMMU validating accesses (timing lane).
+    pub iommu: &'a mut Iommu,
+    /// Page table of the offloading process (shared, immutable).
+    pub pt: &'a PageTable,
+    /// DVM-BM permission bitmap, when the configuration needs one.
+    pub bitmap: Option<&'a PermBitmap>,
+    /// Live simulated physical memory (functional lane).
+    pub mem: &'a mut PhysMem,
+    /// DRAM timing model (timing lane).
+    pub dram: &'a mut Dram,
+}
+
+/// [`run_pipelined_via`] with runtime scheme dispatch.
+///
+/// # Errors
+///
+/// Propagates the first [`Fault`] the IOMMU raises.
+pub fn run_pipelined(
+    workload: &Workload,
+    g: &GraphInMemory,
+    parts: LaneParts<'_>,
+    cfg: &AccelConfig,
+) -> Result<RunResult, Fault> {
+    run_pipelined_via::<dispatch::Dyn>(workload, g, parts, cfg)
+}
+
+/// Two-lane execution: the functional lane runs the workload on this
+/// thread against live memory, streaming each charged access; the timing
+/// lane replays the stream in order through the real IOMMU and DRAM on a
+/// scoped thread, walking a snapshot of the translation frames. Page
+/// tables are immutable during a run, so the replay observes exactly the
+/// fused path's machine state — results, counters, histograms and energy
+/// are byte-identical to [`run_via`].
+///
+/// # Errors
+///
+/// Propagates the first [`Fault`] the IOMMU raises (raised by the timing
+/// lane, which is authoritative).
+///
+/// # Panics
+///
+/// Panics if `g.prop_stride` does not match the workload's stride, or if
+/// `cfg.engines` exceeds 256 (trace records hold engine ids in a byte).
+pub fn run_pipelined_via<D: SchemeDispatch>(
+    workload: &Workload,
+    g: &GraphInMemory,
+    parts: LaneParts<'_>,
+    cfg: &AccelConfig,
+) -> Result<RunResult, Fault> {
+    assert!(
+        cfg.engines <= 256,
+        "trace records hold engine ids in a byte"
+    );
+    let LaneParts {
+        iommu,
+        pt,
+        bitmap,
+        mem,
+        dram,
+    } = parts;
+    let mut snapshot = translation_snapshot(pt, bitmap, mem);
+    let (tx, rx) = mpsc::sync_channel::<Msg>(CHANNEL_DEPTH);
+    std::thread::scope(|scope| {
+        let timing = scope.spawn(move || -> Result<RunResult, Fault> {
+            let mut sys = MemSystem::new(iommu, pt, bitmap, &mut snapshot, dram);
+            let mut engines = Engines::new(cfg, sys.iommu.stats.walker_busy.get());
+            let mut verdict = None;
+            for msg in rx {
+                match msg {
+                    Msg::Chunk(records) => {
+                        for rec in records {
+                            let lat = sys.access_via::<D>(rec.va, rec.kind)?;
+                            engines.charge(rec.engine as usize, lat);
+                        }
+                    }
+                    Msg::Finish {
+                        edges_processed,
+                        iterations,
+                    } => verdict = Some((edges_processed, iterations)),
+                }
+            }
+            let (edges_processed, iterations) =
+                verdict.expect("functional lane ended without a verdict");
+            let walker_busy_now = sys.iommu.stats.walker_busy.get();
+            Ok(engines.result(walker_busy_now, edges_processed, iterations))
+        });
+        let mut port = TracePort {
+            view: FuncView::new(pt, mem),
+            tx,
+            buf: Vec::with_capacity(CHUNK_RECORDS),
+            num_engines: cfg.engines as usize,
+            rr: 0,
+            pending: None,
+            dead: false,
+        };
+        match exec(workload, &mut port, g) {
+            // Success: hand over the functional outcome.
+            Ok((edges_processed, iterations)) => port.finish(edges_processed, iterations),
+            // The trace ends at the faulting access; dropping the sender
+            // without a Finish tells the timing lane to fault there.
+            Err(_) => drop(port),
+        }
+        timing.join().expect("timing lane panicked")
+    })
+}
+
+fn exec<P: Port>(
+    workload: &Workload,
+    port: &mut P,
+    g: &GraphInMemory,
+) -> Result<(u64, u32), Fault> {
     assert_eq!(
         g.prop_stride,
         workload.prop_stride(),
         "graph laid out for a different workload"
     );
     match *workload {
-        Workload::Bfs { root } => run_bfs(g, sys, cfg, root),
-        Workload::PageRank { iterations } => run_pagerank(g, sys, cfg, iterations),
+        Workload::Bfs { root } => bfs(port, g, root),
+        Workload::PageRank { iterations } => pagerank(port, g, iterations),
         Workload::Sssp {
             root,
             max_iterations,
-        } => run_sssp(g, sys, cfg, root, max_iterations),
+        } => sssp(port, g, root, max_iterations),
         Workload::Cf {
             iterations,
             features,
-        } => run_cf(g, sys, cfg, iterations, features),
+        } => cf(port, g, iterations, features),
     }
 }
 
-fn run_bfs(
-    g: &GraphInMemory,
-    sys: &mut MemSystem<'_>,
-    cfg: &AccelConfig,
-    root: u32,
-) -> Result<RunResult, Fault> {
+fn bfs<P: Port>(port: &mut P, g: &GraphInMemory, root: u32) -> Result<(u64, u32), Fault> {
     assert!(root < g.num_vertices, "root out of range");
-    let mut engines = Engines::new(cfg, sys);
-    memset_u32(sys, g.prop_va, g.num_vertices as u64, BFS_INF);
-    poke_u32(sys, g.prop_entry(root), 0);
-    poke_u32(sys, g.frontier_a_va, root);
+    memset_u32(port.func_mut(), g.prop_va, g.num_vertices as u64, BFS_INF);
+    poke_u32(port.func_mut(), g.prop_entry(root), 0);
+    poke_u32(port.func_mut(), g.frontier_a_va, root);
 
     let (mut cur, mut nxt) = (g.frontier_a_va, g.frontier_b_va);
     let mut frontier_len = 1u64;
@@ -390,26 +871,26 @@ fn run_bfs(
     while frontier_len > 0 {
         let mut next_len = 0u64;
         for i in 0..frontier_len {
-            let (v, lat) = sys.read_u32(cur + i * 4)?;
-            let e_src = engines.shard(v);
-            engines.charge(e_src, lat);
-            let (lo, lat) = sys.read_u64(g.offset_entry(v))?;
-            engines.charge(e_src, lat);
-            let (hi, lat) = sys.read_u64(g.offset_entry(v + 1))?;
-            engines.charge(e_src, lat);
+            let v = port.read_u32(cur + i * 4)?;
+            let e_src = port.shard(v);
+            port.charge(e_src);
+            let lo = port.read_u64(g.offset_entry(v))?;
+            port.charge(e_src);
+            let hi = port.read_u64(g.offset_entry(v + 1))?;
+            port.charge(e_src);
             for j in lo..hi {
-                let (_src, dst, _w, lat) = read_edge(sys, g, j)?;
-                let e_stream = engines.next_stream();
-                engines.charge(e_stream, lat);
+                let (_src, dst, _w) = read_edge(port, g, j)?;
+                let e_stream = port.next_stream();
+                port.charge(e_stream);
                 edges_processed += 1;
-                let e_dst = engines.shard(dst);
-                let (dist, lat) = sys.read_u32(g.prop_entry(dst))?;
-                engines.charge(e_dst, lat);
+                let e_dst = port.shard(dst);
+                let dist = port.read_u32(g.prop_entry(dst))?;
+                port.charge(e_dst);
                 if dist == BFS_INF {
-                    let lat = sys.write_u32(g.prop_entry(dst), level + 1)?;
-                    engines.charge(e_dst, lat);
-                    let lat = sys.write_u32(nxt + next_len * 4, dst)?;
-                    engines.charge(e_dst, lat);
+                    port.write_u32(g.prop_entry(dst), level + 1)?;
+                    port.charge(e_dst);
+                    port.write_u32(nxt + next_len * 4, dst)?;
+                    port.charge(e_dst);
                     next_len += 1;
                 }
             }
@@ -418,85 +899,81 @@ fn run_bfs(
         frontier_len = next_len;
         level += 1;
     }
-    Ok(engines.result(sys, edges_processed, level))
+    Ok((edges_processed, level))
 }
 
-fn run_pagerank(
+fn pagerank<P: Port>(
+    port: &mut P,
     g: &GraphInMemory,
-    sys: &mut MemSystem<'_>,
-    cfg: &AccelConfig,
     iterations: u32,
-) -> Result<RunResult, Fault> {
-    let mut engines = Engines::new(cfg, sys);
+) -> Result<(u64, u32), Fault> {
     let v_count = g.num_vertices;
     let init = 1.0f32 / v_count as f32;
     for v in 0..v_count {
-        poke_f32(sys, g.prop_entry(v), init);
-        poke_f32(sys, g.temp_entry(v), 0.0);
+        poke_f32(port.func_mut(), g.prop_entry(v), init);
+        poke_f32(port.func_mut(), g.temp_entry(v), 0.0);
     }
     let mut edges_processed = 0u64;
 
     for _ in 0..iterations {
         // Scatter: stream every vertex's rank into its out-neighbours.
         for v in 0..v_count {
-            let e_src = engines.shard(v);
-            let (lo, lat) = sys.read_u64(g.offset_entry(v))?;
-            engines.charge(e_src, lat);
-            let (hi, lat) = sys.read_u64(g.offset_entry(v + 1))?;
-            engines.charge(e_src, lat);
+            let e_src = port.shard(v);
+            let lo = port.read_u64(g.offset_entry(v))?;
+            port.charge(e_src);
+            let hi = port.read_u64(g.offset_entry(v + 1))?;
+            port.charge(e_src);
             if hi == lo {
                 continue;
             }
-            let (rank_bits, lat) = sys.read_u32(g.prop_entry(v))?;
-            engines.charge(e_src, lat);
+            let rank_bits = port.read_u32(g.prop_entry(v))?;
+            port.charge(e_src);
             let contrib = f32::from_bits(rank_bits) / (hi - lo) as f32;
             for j in lo..hi {
-                let (_src, dst, _w, lat) = read_edge(sys, g, j)?;
-                let e_stream = engines.next_stream();
-                engines.charge(e_stream, lat);
+                let (_src, dst, _w) = read_edge(port, g, j)?;
+                let e_stream = port.next_stream();
+                port.charge(e_stream);
                 edges_processed += 1;
-                let e_dst = engines.shard(dst);
-                let (acc_bits, lat) = sys.read_u32(g.temp_entry(dst))?;
-                engines.charge(e_dst, lat);
-                let lat = sys.write_u32(
+                let e_dst = port.shard(dst);
+                let acc_bits = port.read_u32(g.temp_entry(dst))?;
+                port.charge(e_dst);
+                port.write_u32(
                     g.temp_entry(dst),
                     (f32::from_bits(acc_bits) + contrib).to_bits(),
                 )?;
-                engines.charge(e_dst, lat);
+                port.charge(e_dst);
             }
         }
         // Apply: fold accumulators into ranks.
         for v in 0..v_count {
-            let e = engines.shard(v);
-            let (acc_bits, lat) = sys.read_u32(g.temp_entry(v))?;
-            engines.charge(e, lat);
+            let e = port.shard(v);
+            let acc_bits = port.read_u32(g.temp_entry(v))?;
+            port.charge(e);
             let rank = (1.0 - DAMPING) / v_count as f32 + DAMPING * f32::from_bits(acc_bits);
-            let lat = sys.write_u32(g.prop_entry(v), rank.to_bits())?;
-            engines.charge(e, lat);
+            port.write_u32(g.prop_entry(v), rank.to_bits())?;
+            port.charge(e);
             // Accumulator reset rides the same store functionally.
-            poke_f32(sys, g.temp_entry(v), 0.0);
+            poke_f32(port.func_mut(), g.temp_entry(v), 0.0);
         }
     }
-    Ok(engines.result(sys, edges_processed, iterations))
+    Ok((edges_processed, iterations))
 }
 
-fn run_sssp(
+fn sssp<P: Port>(
+    port: &mut P,
     g: &GraphInMemory,
-    sys: &mut MemSystem<'_>,
-    cfg: &AccelConfig,
     root: u32,
     max_iterations: u32,
-) -> Result<RunResult, Fault> {
+) -> Result<(u64, u32), Fault> {
     assert!(root < g.num_vertices, "root out of range");
-    let mut engines = Engines::new(cfg, sys);
     memset_u32(
-        sys,
+        port.func_mut(),
         g.prop_va,
         g.num_vertices as u64,
         f32::INFINITY.to_bits(),
     );
-    poke_f32(sys, g.prop_entry(root), 0.0);
-    poke_u32(sys, g.frontier_a_va, root);
+    poke_f32(port.func_mut(), g.prop_entry(root), 0.0);
+    poke_u32(port.func_mut(), g.frontier_a_va, root);
 
     let (mut cur, mut nxt) = (g.frontier_a_va, g.frontier_b_va);
     let mut frontier_len = 1u64;
@@ -508,32 +985,32 @@ fn run_sssp(
     while frontier_len > 0 && iterations < max_iterations {
         let mut next_len = 0u64;
         for i in 0..frontier_len {
-            let (v, lat) = sys.read_u32(cur + i * 4)?;
-            let e_src = engines.shard(v);
-            engines.charge(e_src, lat);
-            let (dist_bits, lat) = sys.read_u32(g.prop_entry(v))?;
-            engines.charge(e_src, lat);
+            let v = port.read_u32(cur + i * 4)?;
+            let e_src = port.shard(v);
+            port.charge(e_src);
+            let dist_bits = port.read_u32(g.prop_entry(v))?;
+            port.charge(e_src);
             let dist_v = f32::from_bits(dist_bits);
-            let (lo, lat) = sys.read_u64(g.offset_entry(v))?;
-            engines.charge(e_src, lat);
-            let (hi, lat) = sys.read_u64(g.offset_entry(v + 1))?;
-            engines.charge(e_src, lat);
+            let lo = port.read_u64(g.offset_entry(v))?;
+            port.charge(e_src);
+            let hi = port.read_u64(g.offset_entry(v + 1))?;
+            port.charge(e_src);
             for j in lo..hi {
-                let (_src, dst, weight, lat) = read_edge(sys, g, j)?;
-                let e_stream = engines.next_stream();
-                engines.charge(e_stream, lat);
+                let (_src, dst, weight) = read_edge(port, g, j)?;
+                let e_stream = port.next_stream();
+                port.charge(e_stream);
                 edges_processed += 1;
-                let e_dst = engines.shard(dst);
-                let (old_bits, lat) = sys.read_u32(g.prop_entry(dst))?;
-                engines.charge(e_dst, lat);
+                let e_dst = port.shard(dst);
+                let old_bits = port.read_u32(g.prop_entry(dst))?;
+                port.charge(e_dst);
                 let candidate = dist_v + weight;
                 if candidate < f32::from_bits(old_bits) {
-                    let lat = sys.write_u32(g.prop_entry(dst), candidate.to_bits())?;
-                    engines.charge(e_dst, lat);
+                    port.write_u32(g.prop_entry(dst), candidate.to_bits())?;
+                    port.charge(e_dst);
                     if !in_next[dst as usize] {
                         in_next[dst as usize] = true;
-                        let lat = sys.write_u32(nxt + next_len * 4, dst)?;
-                        engines.charge(e_dst, lat);
+                        port.write_u32(nxt + next_len * 4, dst)?;
+                        port.charge(e_dst);
                         next_len += 1;
                     }
                 }
@@ -541,38 +1018,35 @@ fn run_sssp(
         }
         // Clear membership bits for the vertices we queued.
         for i in 0..next_len {
-            let dst = peek_u32(sys, nxt + i * 4);
+            let dst = peek_u32(port.func(), nxt + i * 4);
             in_next[dst as usize] = false;
         }
         core::mem::swap(&mut cur, &mut nxt);
         frontier_len = next_len;
         iterations += 1;
     }
-    Ok(engines.result(sys, edges_processed, iterations))
+    Ok((edges_processed, iterations))
 }
 
-fn run_cf(
+fn cf<P: Port>(
+    port: &mut P,
     g: &GraphInMemory,
-    sys: &mut MemSystem<'_>,
-    cfg: &AccelConfig,
     iterations: u32,
     features: u32,
-) -> Result<RunResult, Fault> {
+) -> Result<(u64, u32), Fault> {
     assert!(features > 0, "CF needs at least one feature");
-    let mut engines = Engines::new(cfg, sys);
     // Deterministic small initial factors (one translation and one byte
     // write per vertex).
     let mut row = Vec::with_capacity(features as usize * 4);
     for v in 0..g.num_vertices {
-        let (pa, _) = sys
-            .untimed_translate(g.prop_entry(v))
-            .expect("prop array mapped");
         row.clear();
         for f in 0..features {
             let seed = ((v as u64 * 31 + f as u64 * 7) % 97) as f32;
             row.extend_from_slice(&(0.05 + seed / 1000.0).to_le_bytes());
         }
-        sys.mem.write_bytes(pa, &row);
+        let func = port.func_mut();
+        let (pa, _) = func.xlate(g.prop_entry(v)).expect("prop array mapped");
+        func.ram_mut().write_bytes(pa, &row);
     }
     let mut edges_processed = 0u64;
     let k = features as u64;
@@ -583,22 +1057,22 @@ fn run_cf(
 
     for _ in 0..iterations {
         for j in 0..g.num_edges {
-            let (user, item, rating, lat) = read_edge(sys, g, j)?;
-            let e_user = engines.shard(user);
-            let e_item = engines.shard(item);
-            let e_stream = engines.next_stream();
-            engines.charge(e_stream, lat);
+            let (user, item, rating) = read_edge(port, g, j)?;
+            let e_user = port.shard(user);
+            let e_item = port.shard(item);
+            let e_stream = port.next_stream();
+            port.charge(e_stream);
             edges_processed += 1;
             // Vector reads: one timed transaction each (the vector is one
             // DRAM burst), remaining lanes functional with one translation.
             let user_va = g.prop_entry(user);
             let item_va = g.prop_entry(item);
-            let (u0, lat) = sys.read_f32(user_va)?;
-            engines.charge(e_user, lat);
-            let (m0, lat) = sys.read_f32(item_va)?;
-            engines.charge(e_item, lat);
-            peek_vec(sys, user_va, k, &mut uvec);
-            peek_vec(sys, item_va, k, &mut mvec);
+            let u0 = port.read_f32(user_va)?;
+            port.charge(e_user);
+            let m0 = port.read_f32(item_va)?;
+            port.charge(e_item);
+            peek_vec(port.func(), user_va, k, &mut uvec);
+            peek_vec(port.func(), item_va, k, &mut mvec);
             uvec[0] = u0;
             mvec[0] = m0;
             let err = rating - uvec.iter().zip(&mvec).map(|(a, b)| a * b).sum::<f32>();
@@ -613,13 +1087,13 @@ fn run_cf(
                     mvec[f] + CF_LEARNING_RATE * (err * uvec[f] - CF_REGULARIZATION * mvec[f]),
                 );
             }
-            let lat = sys.write_f32(user_va, unew[0])?;
-            engines.charge(e_user, lat);
-            let lat = sys.write_f32(item_va, mnew[0])?;
-            engines.charge(e_item, lat);
-            poke_vec_tail(sys, user_va, &unew);
-            poke_vec_tail(sys, item_va, &mnew);
+            port.write_f32(user_va, unew[0])?;
+            port.charge(e_user);
+            port.write_f32(item_va, mnew[0])?;
+            port.charge(e_item);
+            poke_vec_tail(port.func_mut(), user_va, &unew);
+            poke_vec_tail(port.func_mut(), item_va, &mnew);
         }
     }
-    Ok(engines.result(sys, edges_processed, iterations))
+    Ok((edges_processed, iterations))
 }

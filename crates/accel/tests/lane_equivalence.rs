@@ -1,0 +1,156 @@
+//! Lane partitioning is a pure execution strategy: a pipelined run
+//! (functional lane + timing lane) must be *bit-identical* — results,
+//! property arrays, every IOMMU counter, every DRAM counter — to the
+//! fused serial run on every registered scheme, the paper set and the
+//! SVA rivals alike. This is the whole-system counterpart of the sweep
+//! test `lanes_do_not_perturb_results` in `dvm-core`.
+
+use dvm_accel::{layout, run, run_pipelined, AccelConfig, LaneParts, Workload};
+use dvm_energy::EnergyParams;
+use dvm_graph::{rmat, to_bipartite, Graph, RmatParams};
+use dvm_mem::{Dram, DramConfig, MachineConfig};
+use dvm_mmu::{Iommu, MemSystem, SchemeId};
+use dvm_os::{MapFlavor, Os, OsConfig};
+
+fn os_for(config: SchemeId) -> Os {
+    let flavor = match config.required_leaf_size() {
+        Some(page_size) => MapFlavor::Paged(page_size),
+        None => MapFlavor::DvmPe,
+    };
+    Os::new(OsConfig {
+        machine: MachineConfig { mem_bytes: 8 << 30 },
+        flavor,
+        maintain_bitmap: config.needs_bitmap(),
+        ..OsConfig::default()
+    })
+}
+
+/// Everything observable about a run, formatted so a plain `assert_eq!`
+/// reports the first diverging component.
+struct Observation {
+    result: String,
+    props_u32: Vec<u32>,
+    props_f32: Vec<u32>,
+    iommu: String,
+    dram: String,
+}
+
+fn observe(config: SchemeId, workload: &Workload, graph: &Graph, pipelined: bool) -> Observation {
+    let mut os = os_for(config);
+    let pid = os.spawn().unwrap();
+    let g = layout::load_graph(&mut os, pid, graph, workload.prop_stride()).unwrap();
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    let mut dram = Dram::new(DramConfig::default());
+    let pt = os.process(pid).unwrap().page_table;
+    let bitmap = os.bitmap;
+    let cfg = AccelConfig::default();
+    let result = if pipelined {
+        run_pipelined(
+            workload,
+            &g,
+            LaneParts {
+                iommu: &mut iommu,
+                pt: &pt,
+                bitmap: bitmap.as_ref(),
+                mem: &mut os.machine.mem,
+                dram: &mut dram,
+            },
+            &cfg,
+        )
+        .unwrap()
+    } else {
+        let mut sys = MemSystem::new(
+            &mut iommu,
+            &pt,
+            bitmap.as_ref(),
+            &mut os.machine.mem,
+            &mut dram,
+        );
+        run(workload, &g, &mut sys, &cfg).unwrap()
+    };
+    // The pipelined run hands the borrows back when it returns; a fresh
+    // MemSystem over the same parts reads the final property arrays.
+    let sys = MemSystem::new(
+        &mut iommu,
+        &pt,
+        bitmap.as_ref(),
+        &mut os.machine.mem,
+        &mut dram,
+    );
+    let props_u32 = dvm_accel::dump_props_u32(&sys, &g);
+    // Compare float properties by bit pattern: equality must be exact,
+    // including any NaN payloads.
+    let props_f32 = dvm_accel::dump_props_f32(&sys, &g)
+        .into_iter()
+        .map(f32::to_bits)
+        .collect();
+    Observation {
+        result: format!("{result:?}"),
+        props_u32,
+        props_f32,
+        iommu: format!(
+            "{:?} tlb={:?} ptc={:?} bitmap={:?} energy={:?}",
+            sys.iommu.stats,
+            sys.iommu.tlb_stats(),
+            sys.iommu.ptc_stats(),
+            sys.iommu.bitmap_cache_stats(),
+            sys.iommu.energy,
+        ),
+        dram: format!(
+            "reads={} writes={} channels={:?}",
+            sys.dram.reads(),
+            sys.dram.writes(),
+            sys.dram.channel_accesses(),
+        ),
+    }
+}
+
+fn assert_equivalent(workload: &Workload, graph: &Graph) {
+    // Every registered scheme: the seven paper configurations plus the
+    // SVA rivals (and anything a test registered before this ran).
+    for config in SchemeId::all() {
+        let serial = observe(config, workload, graph, false);
+        let laned = observe(config, workload, graph, true);
+        assert_eq!(serial.result, laned.result, "{config}: run result");
+        assert_eq!(serial.props_u32, laned.props_u32, "{config}: u32 props");
+        assert_eq!(serial.props_f32, laned.props_f32, "{config}: f32 props");
+        assert_eq!(serial.iommu, laned.iommu, "{config}: IOMMU state");
+        assert_eq!(serial.dram, laned.dram, "{config}: DRAM counters");
+    }
+}
+
+#[test]
+fn bfs_is_lane_invariant_on_all_schemes() {
+    let graph = rmat(9, 8, RmatParams::default(), 42);
+    assert_equivalent(&Workload::Bfs { root: 0 }, &graph);
+}
+
+#[test]
+fn pagerank_is_lane_invariant_on_all_schemes() {
+    let graph = rmat(9, 8, RmatParams::default(), 42);
+    assert_equivalent(&Workload::PageRank { iterations: 2 }, &graph);
+}
+
+#[test]
+fn sssp_is_lane_invariant_on_all_schemes() {
+    let graph = rmat(9, 8, RmatParams::default(), 42);
+    assert_equivalent(
+        &Workload::Sssp {
+            root: 0,
+            max_iterations: 64,
+        },
+        &graph,
+    );
+}
+
+#[test]
+fn cf_is_lane_invariant_on_all_schemes() {
+    let graph = to_bipartite(&rmat(9, 8, RmatParams::default(), 43), 400, 80);
+    assert_equivalent(
+        &Workload::Cf {
+            iterations: 1,
+            features: 8,
+        },
+        &graph,
+    );
+}

@@ -3,7 +3,7 @@
 //! Figures 2, 8 and 9 sweep the *same* (workload × dataset × scheme)
 //! grid — fig2 a 2-scheme subset, fig8 and fig9 the full 7-scheme set —
 //! and each binary used to re-simulate every unit from scratch. A
-//! [`ReportCache`] plugged into [`dvm_core::SweepOptions::reports`]
+//! [`ReportCache`] plugged into [`dvm_core::SweepRunner::report_store`]
 //! records each unit's [`GraphRunReport`] as it completes and replays it
 //! on the next request, so one simulation pass serves every figure that
 //! shares the grid.
@@ -209,8 +209,7 @@ impl ReportStore for ReportCache {
 mod tests {
     use super::*;
     use dvm_core::{
-        run_graph_experiment, run_sweep_opts, Dataset, ExperimentConfig, SchemeId, SweepOptions,
-        SweepSpec, Workload,
+        run_graph_experiment, Dataset, ExperimentConfig, SchemeId, SweepRunner, SweepSpec, Workload,
     };
     use dvm_graph::rmat;
 
@@ -417,25 +416,11 @@ mod tests {
             &[SchemeId::IDEAL, SchemeId::DVM_PE],
             |_| 1024,
         );
-        let plain = dvm_core::run_sweep(&spec, 1).unwrap();
-        let first = run_sweep_opts(
-            &spec,
-            &SweepOptions {
-                reports: Some(&cache),
-                ..SweepOptions::with_jobs(1)
-            },
-        )
-        .unwrap();
+        let plain = SweepRunner::new(&spec).run().unwrap();
+        let first = SweepRunner::new(&spec).report_store(&cache).run().unwrap();
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 4);
-        let second = run_sweep_opts(
-            &spec,
-            &SweepOptions {
-                reports: Some(&cache),
-                ..SweepOptions::with_jobs(1)
-            },
-        )
-        .unwrap();
+        let second = SweepRunner::new(&spec).report_store(&cache).run().unwrap();
         assert_eq!(cache.hits(), 4, "second sweep replays every unit");
         for (a, b) in plain.iter().zip(&second) {
             for (ra, rb) in a.reports.iter().zip(&b.reports) {
@@ -448,14 +433,7 @@ mod tests {
             &[SchemeId::IDEAL, SchemeId::DVM_BM],
             |_| 1024,
         );
-        let mixed = run_sweep_opts(
-            &wider,
-            &SweepOptions {
-                reports: Some(&cache),
-                ..SweepOptions::with_jobs(1)
-            },
-        )
-        .unwrap();
+        let mixed = SweepRunner::new(&wider).report_store(&cache).run().unwrap();
         assert_eq!(mixed[0].reports.len(), 2);
         assert_eq!(cache.hits(), 5);
         assert_eq!(cache.misses(), 5);

@@ -37,8 +37,8 @@ use crate::{
     pair_label, parse, report_json, validate_header, BenchArgs, Json, JsonDoc, Shard, ShardRole,
 };
 use dvm_core::{
-    parallel_map_ordered, run_sweep_opts, CellReports, GraphRunReport, RunResult, SchemeId,
-    SweepOptions, SweepProgress, SweepSpec, Workload,
+    parallel_map_ordered, CellReports, GraphRunReport, RunResult, SchemeId, SweepProgress,
+    SweepRunner, SweepSpec, Workload,
 };
 use dvm_pagetable::SizeReport;
 use dvm_sim::Histogram;
@@ -593,20 +593,17 @@ fn sweep_with_options(
             p.done, p.total, p.workload, p.dataset, p.scheme
         );
     };
-    let options = SweepOptions {
-        jobs: args.jobs,
-        cache: args.cache.as_ref(),
-        progress: if args.progress {
-            Some(&report as &(dyn Fn(SweepProgress<'_>) + Sync))
-        } else {
-            None
-        },
-        reports: args
-            .reports
-            .as_ref()
-            .map(|cache| cache as &dyn dvm_core::ReportStore),
-    };
-    run_sweep_opts(spec, &options).expect("experiment failed")
+    let mut runner = SweepRunner::new(spec).jobs(args.jobs).lanes(args.lanes);
+    if let Some(cache) = args.cache.as_ref() {
+        runner = runner.cache(cache);
+    }
+    if args.progress {
+        runner = runner.progress(&report);
+    }
+    if let Some(reports) = args.reports.as_ref() {
+        runner = runner.report_store(reports);
+    }
+    runner.run().expect("experiment failed")
 }
 
 /// Run an arbitrary shared-nothing grid — `compute(i)` for each of

@@ -51,9 +51,11 @@ pub use experiment::{
     flavor_for, run_graph_experiment, run_paper_configs, ExperimentConfig, GraphRunReport,
 };
 pub use sweep::{
-    effective_jobs, parallel_map_ordered, run_sweep, run_sweep_opts, CellReports, ReportStore,
-    SweepCell, SweepOptions, SweepProgress, SweepSpec, UnitKey,
+    effective_jobs, parallel_map_ordered, CellReports, ReportStore, SweepCell, SweepProgress,
+    SweepRunner, SweepSpec, UnitKey,
 };
+#[allow(deprecated)]
+pub use sweep::{run_sweep, run_sweep_opts, SweepOptions};
 pub use table1::{page_table_study, PageTableStudy};
 
 // Re-export the pieces downstream users need most, so `dvm-core` works as

@@ -3,10 +3,10 @@
 //! carry individually.
 //!
 //! A [`SweepSpec`] describes a grid of (workload × dataset × scheme)
-//! cells; [`run_sweep`] executes the grid on a scoped-thread worker pool
-//! and returns results **in spec order**, so a parallel run's output is
-//! byte-identical to a serial one. Each dataset's graph is generated once
-//! per (dataset, divisor) key, shared between cells via [`Arc`], and
+//! cells; [`SweepRunner`] executes the grid on a scoped-thread worker
+//! pool and returns results **in spec order**, so a parallel run's output
+//! is byte-identical to a serial one. Each dataset's graph is generated
+//! once per (dataset, divisor) key, shared between cells via [`Arc`], and
 //! dropped as soon as its last cell completes — a `--jobs 1` sweep
 //! therefore holds at most as many graphs in memory as the old serial
 //! loops did.
@@ -14,12 +14,15 @@
 //! Every cell is shared-nothing (its own `Os`, IOMMU, DRAM and
 //! accelerator instances), which is what makes the grid embarrassingly
 //! parallel; the only cross-cell state is the read-only input graph.
+//! Inside one unit, [`SweepRunner::lanes`] can additionally split
+//! execution into a functional/timing pipeline — orthogonal to `jobs`,
+//! and equally invisible in the results.
 //!
-//! Both optional stores ([`SweepOptions::cache`] for datasets,
-//! [`SweepOptions::reports`] for finished cell reports) are best-effort:
-//! a miss — including one manufactured by LRU byte-budget eviction while
-//! the sweep is running — falls back to regeneration, so caching can
-//! change only wall-clock time, never results.
+//! Both optional stores ([`SweepRunner::cache`] for datasets,
+//! [`SweepRunner::report_store`] for finished cell reports) are
+//! best-effort: a miss — including one manufactured by LRU byte-budget
+//! eviction while the sweep is running — falls back to regeneration, so
+//! caching can change only wall-clock time, never results.
 
 use crate::experiment::{run_graph_experiment, ExperimentConfig, GraphRunReport};
 use dvm_accel::Workload;
@@ -100,7 +103,7 @@ impl SweepSpec {
     }
 }
 
-/// Progress snapshot handed to [`SweepOptions::progress`] after each
+/// Progress snapshot handed to [`SweepRunner::progress`] after each
 /// (cell, scheme) unit completes.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepProgress<'a> {
@@ -143,8 +146,9 @@ pub trait ReportStore: Sync {
     fn store(&self, key: &UnitKey<'_>, report: &GraphRunReport);
 }
 
-/// Knobs for [`run_sweep_opts`]; [`run_sweep`] is the plain-`jobs`
-/// shorthand.
+/// Legacy knobs for the deprecated [`run_sweep_opts`]; new code chains
+/// the same options on [`SweepRunner`].
+#[deprecated(note = "use `SweepRunner` and chain the options you need")]
 #[derive(Default)]
 pub struct SweepOptions<'a> {
     /// Worker threads (`0` = all cores, `1` = serial).
@@ -159,6 +163,7 @@ pub struct SweepOptions<'a> {
     pub reports: Option<&'a dyn ReportStore>,
 }
 
+#[allow(deprecated)]
 impl<'a> SweepOptions<'a> {
     /// Options equivalent to the `run_sweep(spec, jobs)` shorthand.
     pub fn with_jobs(jobs: usize) -> Self {
@@ -169,6 +174,7 @@ impl<'a> SweepOptions<'a> {
     }
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for SweepOptions<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SweepOptions")
@@ -286,132 +292,253 @@ impl SharedGraph {
     }
 }
 
-/// Execute a sweep on `jobs` worker threads (`0` = all cores).
+/// The sweep executor, as a builder: construct with
+/// [`SweepRunner::new`], chain the knobs the harness needs, and call
+/// [`run`](SweepRunner::run). This is the single entry point behind every
+/// figure/table binary — it replaced the `run_sweep` / `run_sweep_opts` /
+/// [`SweepOptions`] trio, which survive only as deprecated wrappers.
 ///
-/// Results come back in spec order — cell by cell, scheme by scheme —
-/// regardless of `jobs`, so downstream formatting is reproducible across
-/// parallelism levels.
+/// ```
+/// use dvm_core::{SchemeId, SweepRunner, SweepSpec, Workload};
+/// use dvm_graph::Dataset;
 ///
-/// # Errors
-///
-/// Returns the first failing unit's error, in spec order. Remaining units
-/// still run to completion before the error is returned.
-pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> Result<Vec<CellReports>, DvmError> {
-    run_sweep_opts(spec, &SweepOptions::with_jobs(jobs))
+/// # fn main() -> Result<(), dvm_types::DvmError> {
+/// let spec = SweepSpec::for_pairs(
+///     [(Workload::Bfs { root: 0 }, Dataset::Flickr)],
+///     &[SchemeId::IDEAL],
+///     |_| 1024,
+/// );
+/// let results = SweepRunner::new(&spec).jobs(2).lanes(1).run()?;
+/// assert_eq!(results.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SweepRunner<'a> {
+    spec: &'a SweepSpec,
+    jobs: usize,
+    lanes: u32,
+    cache: Option<&'a DatasetCache>,
+    progress: Option<&'a (dyn Fn(SweepProgress<'_>) + Sync)>,
+    reports: Option<&'a dyn ReportStore>,
 }
 
-/// [`run_sweep`] with the full option set: worker threads, the on-disk
-/// dataset cache, and per-unit progress reporting. Neither option
-/// perturbs results — a cached, progress-reporting run returns exactly
-/// what a bare serial run does.
+impl std::fmt::Debug for SweepRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepRunner")
+            .field("cells", &self.spec.cells.len())
+            .field("jobs", &self.jobs)
+            .field("lanes", &self.lanes)
+            .field("cache", &self.cache.map(|c| c.dir().to_path_buf()))
+            .field("progress", &self.progress.is_some())
+            .field("reports", &self.reports.is_some())
+            .finish()
+    }
+}
+
+impl<'a> SweepRunner<'a> {
+    /// A serial, single-lane, cache-less runner for `spec`; chain the
+    /// builder methods to turn features on.
+    pub fn new(spec: &'a SweepSpec) -> Self {
+        Self {
+            spec,
+            jobs: 1,
+            lanes: 1,
+            cache: None,
+            progress: None,
+            reports: None,
+        }
+    }
+
+    /// Worker threads (`0` = all cores, `1` = serial). Parallelism never
+    /// changes output: results always come back in spec order.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Intra-unit lanes (`0` = auto, `1` = fused serial, `2` = the
+    /// functional/timing pipeline; higher values clamp). Lanes compose
+    /// with [`jobs`](Self::jobs): each worker thread splits its unit into
+    /// lanes. Reports are byte-identical whatever the lane count, so lane
+    /// choice is — deliberately — absent from [`UnitKey`].
+    pub fn lanes(mut self, lanes: u32) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Load/store generated graphs through an on-disk cache.
+    pub fn cache(mut self, cache: &'a DatasetCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Invoke `callback` after every completed unit, from worker threads.
+    /// Must not touch stdout: the byte-identical output contract lives
+    /// there. A unit split into lanes still reports exactly one tick.
+    pub fn progress(mut self, callback: &'a (dyn Fn(SweepProgress<'_>) + Sync)) -> Self {
+        self.progress = Some(callback);
+        self
+    }
+
+    /// Reuse per-unit reports across runs (and across figure binaries
+    /// that sweep the same grid) instead of re-simulating them.
+    pub fn report_store(mut self, store: &'a dyn ReportStore) -> Self {
+        self.reports = Some(store);
+        self
+    }
+
+    /// Execute the sweep.
+    ///
+    /// Results come back in spec order — cell by cell, scheme by scheme —
+    /// regardless of `jobs` and `lanes`, so downstream formatting is
+    /// reproducible across parallelism levels. No option perturbs
+    /// results: a cached, parallel, pipelined, progress-reporting run
+    /// returns exactly what a bare serial run does.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing unit's error, in spec order. Remaining
+    /// units still run to completion before the error is returned.
+    pub fn run(&self) -> Result<Vec<CellReports>, DvmError> {
+        let spec = self.spec;
+        // One shared graph per distinct (dataset, divisor) key.
+        let mut shared: Vec<SharedGraph> = Vec::new();
+        let mut key_of_cell: Vec<usize> = Vec::with_capacity(spec.cells.len());
+        for cell in &spec.cells {
+            let key = shared
+                .iter()
+                .position(|s| s.dataset == cell.dataset && s.divisor == cell.divisor)
+                .unwrap_or_else(|| {
+                    shared.push(SharedGraph {
+                        dataset: cell.dataset,
+                        divisor: cell.divisor,
+                        slot: Mutex::new(None),
+                        remaining: AtomicUsize::new(0),
+                    });
+                    shared.len() - 1
+                });
+            shared[key]
+                .remaining
+                .fetch_add(cell.schemes.len(), Ordering::Relaxed);
+            key_of_cell.push(key);
+        }
+
+        // Flatten to shared-nothing units: one (cell, scheme) experiment
+        // each.
+        struct Unit {
+            cell: usize,
+            workload: Workload,
+            dataset: Dataset,
+            divisor: u32,
+            mmu: SchemeId,
+            key: usize,
+        }
+        let units: Vec<Unit> = spec
+            .cells
+            .iter()
+            .enumerate()
+            .flat_map(|(cell, c)| {
+                let key = key_of_cell[cell];
+                c.schemes.iter().map(move |&mmu| Unit {
+                    cell,
+                    workload: c.workload,
+                    dataset: c.dataset,
+                    divisor: c.divisor,
+                    mmu,
+                    key,
+                })
+            })
+            .collect();
+
+        let total = units.len();
+        let done = AtomicUsize::new(0);
+        let outcomes = parallel_map_ordered(&units, self.jobs, |unit| {
+            // The cache key deliberately excludes `lanes` (and `jobs`):
+            // neither affects the report, so a report computed at any
+            // parallelism level serves every other one.
+            let unit_key = UnitKey {
+                workload: &unit.workload,
+                dataset: unit.dataset,
+                divisor: unit.divisor,
+                mmu: unit.mmu,
+            };
+            let report = match self.reports.and_then(|store| store.load(&unit_key)) {
+                Some(cached) => Ok(cached),
+                None => {
+                    let graph = shared[unit.key].get(self.cache);
+                    let report = run_graph_experiment(
+                        &unit.workload,
+                        &graph,
+                        &ExperimentConfig::for_mmu(unit.mmu).with_lanes(self.lanes),
+                    );
+                    if let (Some(store), Ok(report)) = (self.reports, &report) {
+                        store.store(&unit_key, report);
+                    }
+                    report
+                }
+            };
+            shared[unit.key].release();
+            if let Some(progress) = self.progress {
+                progress(SweepProgress {
+                    done: done.fetch_add(1, Ordering::AcqRel) + 1,
+                    total,
+                    workload: unit.workload.name(),
+                    dataset: unit.dataset.short_name(),
+                    scheme: unit.mmu.name(),
+                });
+            }
+            report
+        });
+
+        // Reassemble in spec order; surface the first error in that order.
+        let mut results: Vec<CellReports> = spec
+            .cells
+            .iter()
+            .map(|c| CellReports {
+                workload: c.workload,
+                dataset: c.dataset,
+                reports: Vec::with_capacity(c.schemes.len()),
+            })
+            .collect();
+        for (unit, outcome) in units.iter().zip(outcomes) {
+            results[unit.cell].reports.push(outcome?);
+        }
+        Ok(results)
+    }
+}
+
+/// Execute a sweep on `jobs` worker threads (`0` = all cores).
 ///
 /// # Errors
 ///
-/// Returns the first failing unit's error, in spec order. Remaining units
-/// still run to completion before the error is returned.
+/// Returns the first failing unit's error, in spec order.
+#[deprecated(note = "use `SweepRunner::new(spec).jobs(jobs).run()`")]
+pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> Result<Vec<CellReports>, DvmError> {
+    SweepRunner::new(spec).jobs(jobs).run()
+}
+
+/// [`run_sweep`] with the full legacy option set.
+///
+/// # Errors
+///
+/// Returns the first failing unit's error, in spec order.
+#[deprecated(note = "use `SweepRunner` and chain the options you need")]
+#[allow(deprecated)]
 pub fn run_sweep_opts(
     spec: &SweepSpec,
     options: &SweepOptions<'_>,
 ) -> Result<Vec<CellReports>, DvmError> {
-    // One shared graph per distinct (dataset, divisor) key.
-    let mut shared: Vec<SharedGraph> = Vec::new();
-    let mut key_of_cell: Vec<usize> = Vec::with_capacity(spec.cells.len());
-    for cell in &spec.cells {
-        let key = shared
-            .iter()
-            .position(|s| s.dataset == cell.dataset && s.divisor == cell.divisor)
-            .unwrap_or_else(|| {
-                shared.push(SharedGraph {
-                    dataset: cell.dataset,
-                    divisor: cell.divisor,
-                    slot: Mutex::new(None),
-                    remaining: AtomicUsize::new(0),
-                });
-                shared.len() - 1
-            });
-        shared[key]
-            .remaining
-            .fetch_add(cell.schemes.len(), Ordering::Relaxed);
-        key_of_cell.push(key);
+    let mut runner = SweepRunner::new(spec).jobs(options.jobs);
+    if let Some(cache) = options.cache {
+        runner = runner.cache(cache);
     }
-
-    // Flatten to shared-nothing units: one (cell, scheme) experiment each.
-    struct Unit {
-        cell: usize,
-        workload: Workload,
-        dataset: Dataset,
-        divisor: u32,
-        mmu: SchemeId,
-        key: usize,
+    if let Some(progress) = options.progress {
+        runner = runner.progress(progress);
     }
-    let units: Vec<Unit> = spec
-        .cells
-        .iter()
-        .enumerate()
-        .flat_map(|(cell, c)| {
-            let key = key_of_cell[cell];
-            c.schemes.iter().map(move |&mmu| Unit {
-                cell,
-                workload: c.workload,
-                dataset: c.dataset,
-                divisor: c.divisor,
-                mmu,
-                key,
-            })
-        })
-        .collect();
-
-    let total = units.len();
-    let done = AtomicUsize::new(0);
-    let outcomes = parallel_map_ordered(&units, options.jobs, |unit| {
-        let unit_key = UnitKey {
-            workload: &unit.workload,
-            dataset: unit.dataset,
-            divisor: unit.divisor,
-            mmu: unit.mmu,
-        };
-        let report = match options.reports.and_then(|store| store.load(&unit_key)) {
-            Some(cached) => Ok(cached),
-            None => {
-                let graph = shared[unit.key].get(options.cache);
-                let report = run_graph_experiment(
-                    &unit.workload,
-                    &graph,
-                    &ExperimentConfig::for_mmu(unit.mmu),
-                );
-                if let (Some(store), Ok(report)) = (options.reports, &report) {
-                    store.store(&unit_key, report);
-                }
-                report
-            }
-        };
-        shared[unit.key].release();
-        if let Some(progress) = options.progress {
-            progress(SweepProgress {
-                done: done.fetch_add(1, Ordering::AcqRel) + 1,
-                total,
-                workload: unit.workload.name(),
-                dataset: unit.dataset.short_name(),
-                scheme: unit.mmu.name(),
-            });
-        }
-        report
-    });
-
-    // Reassemble in spec order; surface the first error in that order.
-    let mut results: Vec<CellReports> = spec
-        .cells
-        .iter()
-        .map(|c| CellReports {
-            workload: c.workload,
-            dataset: c.dataset,
-            reports: Vec::with_capacity(c.schemes.len()),
-        })
-        .collect();
-    for (unit, outcome) in units.iter().zip(outcomes) {
-        results[unit.cell].reports.push(outcome?);
+    if let Some(reports) = options.reports {
+        runner = runner.report_store(reports);
     }
-    Ok(results)
+    runner.run()
 }
 
 #[cfg(test)]
@@ -503,7 +630,7 @@ mod tests {
             &[SchemeId::IDEAL, SchemeId::DVM_PE],
             |_| 1024,
         );
-        let plain = run_sweep(&spec, 1).unwrap();
+        let plain = SweepRunner::new(&spec).run().unwrap();
 
         let dir = std::env::temp_dir().join(format!("dvm-sweep-opts-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -516,13 +643,12 @@ mod tests {
                 format!("{}/{} {}", p.workload, p.dataset, p.scheme),
             ));
         };
-        let options = SweepOptions {
-            jobs: 2,
-            cache: Some(&cache),
-            progress: Some(&record),
-            reports: None,
-        };
-        let opted = run_sweep_opts(&spec, &options).unwrap();
+        let opted = SweepRunner::new(&spec)
+            .jobs(2)
+            .cache(&cache)
+            .progress(&record)
+            .run()
+            .unwrap();
         assert_eq!(format!("{plain:?}"), format!("{opted:?}"));
 
         let events = events.into_inner().unwrap();
@@ -536,19 +662,40 @@ mod tests {
         assert_eq!(cache.misses(), 1);
 
         // A second cached run hits instead of generating, same results.
-        let rerun = run_sweep_opts(
-            &spec,
-            &SweepOptions {
-                jobs: 1,
-                cache: Some(&cache),
-                progress: None,
-                reports: None,
-            },
-        )
-        .unwrap();
+        let rerun = SweepRunner::new(&spec).cache(&cache).run().unwrap();
         assert_eq!(format!("{plain:?}"), format!("{rerun:?}"));
         assert_eq!(cache.hits(), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lanes_do_not_perturb_results() {
+        let spec = SweepSpec::for_pairs(
+            [
+                (Workload::Bfs { root: 0 }, Dataset::Flickr),
+                (Workload::PageRank { iterations: 1 }, Dataset::Flickr),
+            ],
+            &[SchemeId::CONV_4K, SchemeId::DVM_PE_PLUS, SchemeId::IDEAL],
+            |_| 1024,
+        );
+        let serial = SweepRunner::new(&spec).lanes(1).run().unwrap();
+        let piped = SweepRunner::new(&spec).lanes(4).run().unwrap();
+        assert_eq!(format!("{serial:?}"), format!("{piped:?}"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_run() {
+        let spec = SweepSpec::for_pairs(
+            [(Workload::Bfs { root: 0 }, Dataset::Flickr)],
+            &[SchemeId::IDEAL],
+            |_| 1024,
+        );
+        let via_runner = SweepRunner::new(&spec).run().unwrap();
+        let via_free = run_sweep(&spec, 1).unwrap();
+        let via_opts = run_sweep_opts(&spec, &SweepOptions::with_jobs(1)).unwrap();
+        assert_eq!(format!("{via_runner:?}"), format!("{via_free:?}"));
+        assert_eq!(format!("{via_runner:?}"), format!("{via_opts:?}"));
     }
 
     #[test]
@@ -558,7 +705,7 @@ mod tests {
             &[SchemeId::DVM_PE_PLUS, SchemeId::IDEAL],
             |_| 1024,
         );
-        let results = run_sweep(&spec, 1).unwrap();
+        let results = SweepRunner::new(&spec).run().unwrap();
         assert_eq!(results.len(), 1);
         let cell = &results[0];
         assert_eq!(

@@ -1,9 +1,9 @@
 //! The sweep engine's contract: results are identical — bit for bit —
-//! regardless of how many worker threads execute the grid. The bench
-//! binaries rely on this to keep `--jobs N` output byte-identical to a
-//! serial run.
+//! regardless of how many worker threads execute the grid or how many
+//! lanes each unit splits into. The bench binaries rely on this to keep
+//! `--jobs N` / `--lanes N` output byte-identical to a serial run.
 
-use dvm_core::{run_sweep, SchemeId, SweepSpec, Workload};
+use dvm_core::{SchemeId, SweepRunner, SweepSpec, Workload};
 use dvm_graph::Dataset;
 
 fn small_spec() -> SweepSpec {
@@ -22,8 +22,12 @@ fn small_spec() -> SweepSpec {
 
 #[test]
 fn parallel_sweep_matches_serial_bit_for_bit() {
-    let serial = run_sweep(&small_spec(), 1).expect("serial sweep");
-    let parallel = run_sweep(&small_spec(), 4).expect("parallel sweep");
+    let spec = small_spec();
+    let serial = SweepRunner::new(&spec).run().expect("serial sweep");
+    let parallel = SweepRunner::new(&spec)
+        .jobs(4)
+        .run()
+        .expect("parallel sweep");
     assert_eq!(serial.len(), parallel.len());
     // GraphRunReport has no Eq impl (it carries floats), so compare the
     // full Debug rendering — any field diverging shows up here.
@@ -34,7 +38,23 @@ fn parallel_sweep_matches_serial_bit_for_bit() {
 
 #[test]
 fn repeated_serial_sweeps_are_stable() {
-    let a = run_sweep(&small_spec(), 1).expect("first run");
-    let b = run_sweep(&small_spec(), 1).expect("second run");
+    let spec = small_spec();
+    let a = SweepRunner::new(&spec).run().expect("first run");
+    let b = SweepRunner::new(&spec).run().expect("second run");
     assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn laned_sweep_matches_serial_bit_for_bit() {
+    let spec = small_spec();
+    let serial = SweepRunner::new(&spec).run().expect("serial sweep");
+    // Lanes and jobs compose; 2 workers × 2 lanes still byte-identical.
+    let laned = SweepRunner::new(&spec)
+        .jobs(2)
+        .lanes(2)
+        .run()
+        .expect("laned sweep");
+    for (s, p) in serial.iter().zip(&laned) {
+        assert_eq!(format!("{s:?}"), format!("{p:?}"));
+    }
 }

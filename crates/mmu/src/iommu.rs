@@ -6,7 +6,7 @@
 
 use crate::memo::WalkMemo;
 use crate::ptcache::{PtCache, PtcLookup};
-use crate::scheme::{SchemeId, TranslationScheme};
+use crate::scheme::{SchemeDispatch, SchemeId, TranslationScheme};
 use crate::tlb::{Associativity, Tlb};
 use dvm_energy::{EnergyAccount, EnergyParams, MmEvent};
 use dvm_mem::{Dram, PhysMem};
@@ -221,19 +221,42 @@ impl Iommu {
         mem: &PhysMem,
         dram: &mut Dram,
     ) -> Result<Validation, Fault> {
+        self.access_via::<crate::scheme::dispatch::Dyn>(va, kind, pt, bitmap, mem, dram)
+    }
+
+    /// [`access`](Self::access) with the dispatch chosen at compile time:
+    /// `D` must stand for the same scheme this IOMMU was built for (the
+    /// default [`dispatch::Dyn`](crate::scheme::dispatch::Dyn) always
+    /// does). The sweep engine uses the static tokens to monomorphize the
+    /// hot per-access path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Fault`] the IOMMU would raise on the host CPU when the
+    /// access is to unmapped memory or lacks permissions.
+    #[inline]
+    pub fn access_via<D: SchemeDispatch>(
+        &mut self,
+        va: VirtAddr,
+        kind: AccessKind,
+        pt: &PageTable,
+        bitmap: Option<&PermBitmap>,
+        mem: &PhysMem,
+        dram: &mut Dram,
+    ) -> Result<Validation, Fault> {
         self.stats.accesses.inc();
-        let scheme = self.scheme;
         let mut ctx = AccessCtx {
             pt,
             bitmap,
             mem,
             dram,
         };
-        scheme.access(self, &mut ctx, va, kind)
+        D::access(self, &mut ctx, va, kind)
     }
 
     /// The energy event a probe of this IOMMU's TLB costs (CAMs are an
     /// order of magnitude more expensive than set-associative arrays).
+    #[inline]
     pub fn tlb_energy_event(&self) -> MmEvent {
         match self.tlb.as_ref().map(|t| t.config().assoc) {
             Some(Associativity::Full) => MmEvent::FaTlbLookup,
@@ -242,6 +265,7 @@ impl Iommu {
     }
 
     /// Count and construct a fault.
+    #[inline]
     pub fn fault(&mut self, va: VirtAddr, kind: AccessKind, fk: FaultKind) -> Fault {
         self.stats.faults.inc();
         Fault {
@@ -257,6 +281,7 @@ impl Iommu {
     ///
     /// `NotMapped` if the permissions are absent, `Protection` if they
     /// do not allow `kind`.
+    #[inline]
     pub fn check(
         &mut self,
         perms: Permission,
@@ -276,6 +301,7 @@ impl Iommu {
     /// pipelined in the walker (back-to-back walks stream through them),
     /// so the returned stall latency counts only the memory fetches; the
     /// per-probe cycles are charged to the shared walker's occupancy.
+    #[inline]
     pub fn timed_walk(&mut self, ctx: &mut AccessCtx<'_>, va: VirtAddr) -> (Walk, Cycles) {
         self.stats.walks.inc();
         let walk = self.walk_memo.walk(ctx.pt, ctx.mem, va);

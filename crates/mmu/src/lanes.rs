@@ -1,0 +1,143 @@
+//! Per-lane translation state for the intra-unit lane pipeline.
+//!
+//! The accelerator's two-lane mode (see `dvm-accel`) splits one simulation
+//! unit into a *functional* lane that executes the workload and a *timing*
+//! lane that replays the exact access stream through the real [`Iommu`].
+//! The timing lane keeps the caller's IOMMU, DRAM and physical memory; the
+//! functional lane runs on a [`FuncView`] — the page table plus physical
+//! memory, with the same per-page memoization [`MemSystem`] uses, but no
+//! timing machinery at all.
+//!
+//! [`translation_snapshot`] captures the frames backing translation (page
+//! -table pages and, when present, the permission bitmap) so the timing
+//! lane can walk them from another thread while the functional lane keeps
+//! mutating data pages in the live memory. Page tables are immutable for
+//! the duration of an accelerator run, so the snapshot stays exact.
+//!
+//! [`Iommu`]: crate::Iommu
+//! [`MemSystem`]: crate::MemSystem
+
+use crate::memo::TranslationMemo;
+use dvm_mem::PhysMem;
+use dvm_pagetable::{PageTable, PermBitmap};
+use dvm_types::{Permission, PhysAddr, VirtAddr};
+
+/// The functional lane's view of an address space: translation without
+/// timing. Mirrors [`MemSystem::untimed_translate`] exactly, including the
+/// memo, so functional results match the fused single-lane path.
+///
+/// [`MemSystem::untimed_translate`]: crate::MemSystem::untimed_translate
+#[derive(Debug)]
+pub struct FuncView<'a> {
+    /// Page table of the offloading process.
+    pub pt: &'a PageTable,
+    /// Live physical memory (data pages are read and written here).
+    pub mem: &'a mut PhysMem,
+    /// Per-page translation memo, as in [`MemSystem`](crate::MemSystem).
+    pub memo: TranslationMemo,
+}
+
+impl<'a> FuncView<'a> {
+    /// Bundle a page table and physical memory for functional execution.
+    pub fn new(pt: &'a PageTable, mem: &'a mut PhysMem) -> Self {
+        Self {
+            pt,
+            mem,
+            memo: TranslationMemo::new(),
+        }
+    }
+
+    /// Translate `va` functionally, memoized per 4 KiB page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `va` is outside the canonical range (as
+    /// [`PageTable::translate`]).
+    #[inline]
+    pub fn translate(&self, va: VirtAddr) -> Option<(PhysAddr, Permission)> {
+        let tag = (self.mem.pt_gen(), self.pt.root_frame());
+        if let Some(hit) = self.memo.lookup(tag, va) {
+            return Some(hit);
+        }
+        let (pa, perms) = self.pt.translate(self.mem, va)?;
+        self.memo.store(tag, va, pa, perms);
+        Some((pa, perms))
+    }
+}
+
+/// Copy the frames that back translation — every page-table page plus the
+/// permission bitmap's storage, when present — into a fresh [`PhysMem`] of
+/// the same size. Walking the snapshot resolves every VA (and reads every
+/// bitmap entry) exactly as the original memory does at the moment of the
+/// snapshot.
+pub fn translation_snapshot(pt: &PageTable, bitmap: Option<&PermBitmap>, mem: &PhysMem) -> PhysMem {
+    let mut frames = pt.table_frames(mem);
+    if let Some(bm) = bitmap {
+        let range = bm.frames();
+        frames.extend(range.start..range.start + range.count);
+    }
+    mem.clone_frames(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_mem::BuddyAllocator;
+    use dvm_types::PAGE_SIZE;
+
+    #[test]
+    fn func_view_matches_page_table() {
+        let mut mem = PhysMem::new(1 << 16);
+        let mut alloc = BuddyAllocator::new(1 << 16);
+        let mut pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+        pt.map_identity_pe(
+            &mut mem,
+            &mut alloc,
+            VirtAddr::new(16 << 20),
+            2 << 20,
+            Permission::ReadWrite,
+        )
+        .unwrap();
+        let expected = pt.translate(&mem, VirtAddr::new((16 << 20) + 0x123));
+        let view = FuncView::new(&pt, &mut mem);
+        let va = VirtAddr::new((16 << 20) + 0x123);
+        assert_eq!(view.translate(va), expected);
+        // Second lookup comes from the memo and must agree.
+        assert_eq!(view.translate(va), expected);
+        assert_eq!(view.translate(VirtAddr::new(900 << 20)), None);
+    }
+
+    #[test]
+    fn snapshot_translates_and_reads_bitmap() {
+        let mut mem = PhysMem::new(1 << 16);
+        let mut alloc = BuddyAllocator::new(1 << 16);
+        let mut pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+        let bitmap = PermBitmap::new(&mut mem, &mut alloc, 1 << 30).unwrap();
+        pt.map_identity_pe(
+            &mut mem,
+            &mut alloc,
+            VirtAddr::new(16 << 20),
+            1 << 20,
+            Permission::ReadWrite,
+        )
+        .unwrap();
+        bitmap.set_bytes(
+            &mut mem,
+            VirtAddr::new(16 << 20),
+            1 << 20,
+            Permission::ReadWrite,
+        );
+        // Materialize a data page; it must stay out of the snapshot.
+        let va = VirtAddr::new(16 << 20);
+        let (data_pa, _) = pt.translate(&mem, va).unwrap();
+        mem.write_u64(data_pa, 0xdead_beef);
+        let snap = translation_snapshot(&pt, Some(&bitmap), &mem);
+        assert_eq!(pt.translate(&snap, va), pt.translate(&mem, va));
+        let vpn = (16 << 20) / PAGE_SIZE;
+        assert_eq!(bitmap.perms_of(&snap, vpn), Permission::ReadWrite);
+        assert_eq!(bitmap.perms_of(&snap, vpn - 1), Permission::None);
+        // Data pages are absent from the snapshot by design.
+        assert!(snap.resident_frames() < mem.resident_frames());
+        assert_eq!(snap.read_u64(data_pa), 0);
+    }
+}

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod iommu;
+pub mod lanes;
 pub mod memo;
 pub mod memsys;
 pub mod nested;
@@ -44,9 +45,12 @@ pub mod scheme;
 pub mod tlb;
 
 pub use iommu::{AccessCtx, Iommu, IommuStats, Validation};
+pub use lanes::{translation_snapshot, FuncView};
 pub use memo::TranslationMemo;
 pub use memsys::MemSystem;
 pub use nested::{NestedScheme, NestedTranslation, NestedWalker};
 pub use ptcache::{PtCache, PtCacheConfig, PtcLookup};
-pub use scheme::{register_scheme, SchemeId, SchemeStructures, TranslationScheme};
+pub use scheme::{
+    dispatch, register_scheme, SchemeDispatch, SchemeId, SchemeStructures, TranslationScheme,
+};
 pub use tlb::{Associativity, Tlb, TlbConfig, TlbEntry};

@@ -29,10 +29,13 @@ use dvm_mem::PhysMem;
 use dvm_pagetable::{PageTable, Walk, WalkOutcome};
 use dvm_types::{Permission, PhysAddr, VirtAddr, PAGE_SIZE};
 
-/// log2 of the slot count: 4096 slots cover a ~16 MiB working set per
-/// conflict-free stride, far more pages than the quick-scale property
-/// arrays span and enough that sequential edge scans miss once per page.
-const LOG2_SLOTS: u32 = 12;
+/// log2 of the slot count: 65536 slots cover a ~256 MiB working set per
+/// conflict-free stride. The quick-scale RMAT datasets touch tens of
+/// thousands of distinct pages; at the previous 4096 slots their
+/// random property accesses thrashed the memo and most TLB misses paid
+/// a real 4-level walk through cache-cold table frames, which dominated
+/// the simulator's miss path.
+const LOG2_SLOTS: u32 = 16;
 const SLOTS: usize = 1 << LOG2_SLOTS;
 
 /// Fibonacci multiplier; spreads clustered VPNs across slots so distinct

@@ -9,6 +9,7 @@
 
 use crate::iommu::{Iommu, Validation};
 use crate::memo::TranslationMemo;
+use crate::scheme::{dispatch, SchemeDispatch};
 use dvm_mem::{Dram, PhysMem};
 use dvm_pagetable::{PageTable, PermBitmap};
 use dvm_sim::Cycles;
@@ -79,15 +80,36 @@ impl<'a> MemSystem<'a> {
     ///
     /// Propagates the IOMMU's [`Fault`].
     pub fn access(&mut self, va: VirtAddr, kind: AccessKind) -> Result<Cycles, Fault> {
-        let v = self.validate(va, kind)?;
+        self.access_via::<dispatch::Dyn>(va, kind)
+    }
+
+    /// [`access`](Self::access) with a compile-time dispatch token (see
+    /// [`SchemeDispatch`]); `D` must match the IOMMU's configured scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the IOMMU's [`Fault`].
+    #[inline]
+    pub fn access_via<D: SchemeDispatch>(
+        &mut self,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<Cycles, Fault> {
+        let v = self.validate::<D>(va, kind)?;
         Ok(self.finish(va, kind, v))
     }
 
-    fn validate(&mut self, va: VirtAddr, kind: AccessKind) -> Result<Validation, Fault> {
+    #[inline]
+    fn validate<D: SchemeDispatch>(
+        &mut self,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<Validation, Fault> {
         self.iommu
-            .access(va, kind, self.pt, self.bitmap, self.mem, self.dram)
+            .access_via::<D>(va, kind, self.pt, self.bitmap, self.mem, self.dram)
     }
 
+    #[inline]
     fn finish(&mut self, va: VirtAddr, kind: AccessKind, v: Validation) -> Cycles {
         if v.squashed_preload {
             // The mispredicted preload consumed a DRAM transaction at the
@@ -104,7 +126,8 @@ impl<'a> MemSystem<'a> {
 }
 
 macro_rules! typed {
-    ($read:ident, $write:ident, $ty:ty, $mem_read:ident, $mem_write:ident) => {
+    ($read:ident, $read_via:ident, $write:ident, $write_via:ident, $ty:ty,
+     $mem_read:ident, $mem_write:ident) => {
         impl<'a> MemSystem<'a> {
             /// Load a value through the IOMMU; returns `(value, latency)`.
             ///
@@ -112,7 +135,20 @@ macro_rules! typed {
             ///
             /// Propagates the IOMMU's [`Fault`].
             pub fn $read(&mut self, va: VirtAddr) -> Result<($ty, Cycles), Fault> {
-                let v = self.validate(va, AccessKind::Read)?;
+                self.$read_via::<dispatch::Dyn>(va)
+            }
+
+            /// Statically dispatched load (see [`SchemeDispatch`]).
+            ///
+            /// # Errors
+            ///
+            /// Propagates the IOMMU's [`Fault`].
+            #[inline]
+            pub fn $read_via<D: SchemeDispatch>(
+                &mut self,
+                va: VirtAddr,
+            ) -> Result<($ty, Cycles), Fault> {
+                let v = self.validate::<D>(va, AccessKind::Read)?;
                 let latency = self.finish(va, AccessKind::Read, v);
                 Ok((self.mem.$mem_read(v.pa), latency))
             }
@@ -123,7 +159,21 @@ macro_rules! typed {
             ///
             /// Propagates the IOMMU's [`Fault`].
             pub fn $write(&mut self, va: VirtAddr, value: $ty) -> Result<Cycles, Fault> {
-                let v = self.validate(va, AccessKind::Write)?;
+                self.$write_via::<dispatch::Dyn>(va, value)
+            }
+
+            /// Statically dispatched store (see [`SchemeDispatch`]).
+            ///
+            /// # Errors
+            ///
+            /// Propagates the IOMMU's [`Fault`].
+            #[inline]
+            pub fn $write_via<D: SchemeDispatch>(
+                &mut self,
+                va: VirtAddr,
+                value: $ty,
+            ) -> Result<Cycles, Fault> {
+                let v = self.validate::<D>(va, AccessKind::Write)?;
                 let latency = self.finish(va, AccessKind::Write, v);
                 self.mem.$mem_write(v.pa, value);
                 Ok(latency)
@@ -132,9 +182,33 @@ macro_rules! typed {
     };
 }
 
-typed!(read_u32, write_u32, u32, read_u32, write_u32);
-typed!(read_u64, write_u64, u64, read_u64, write_u64);
-typed!(read_f32, write_f32, f32, read_f32, write_f32);
+typed!(
+    read_u32,
+    read_u32_via,
+    write_u32,
+    write_u32_via,
+    u32,
+    read_u32,
+    write_u32
+);
+typed!(
+    read_u64,
+    read_u64_via,
+    write_u64,
+    write_u64_via,
+    u64,
+    read_u64,
+    write_u64
+);
+typed!(
+    read_f32,
+    read_f32_via,
+    write_f32,
+    write_f32_via,
+    f32,
+    read_f32,
+    write_f32
+);
 
 #[cfg(test)]
 mod tests {

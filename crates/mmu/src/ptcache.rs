@@ -85,13 +85,20 @@ pub enum PtcLookup {
 #[derive(Debug, Clone)]
 pub struct PtCache {
     config: PtCacheConfig,
-    /// Per-set block tags in recency order (index 0 = LRU): a hit
-    /// rotates the tag to the back, eviction pops the front — the exact
-    /// victim the previous tick-scan picked, since ticks were unique.
-    sets: Vec<Vec<u64>>,
+    /// Per-set block tags in recency order (offset 0 in the set = LRU):
+    /// a hit rotates the tag to the back, eviction shifts out the front
+    /// — the exact victim the previous tick-scan picked, since ticks
+    /// were unique. Flat `num_sets * ways` array; set `s` occupies
+    /// `[s * ways, s * ways + lens[s])`. A walk probes this several
+    /// times per access, so the sets live inline instead of behind
+    /// per-set `Vec` indirections.
+    tags: Box<[u64]>,
+    /// Valid tags per set.
+    lens: Box<[u32]>,
+    num_sets: usize,
     /// Precomputed shift for `block_bytes` (asserted a power of two).
     block_shift: u32,
-    /// `sets.len() - 1` when the set count is a power of two, replacing
+    /// `num_sets - 1` when the set count is a power of two, replacing
     /// the per-access modulo with a mask; `None` falls back to modulo.
     set_mask: Option<u64>,
     stats: RatioStat,
@@ -113,7 +120,9 @@ impl PtCache {
         let num_sets = config.num_sets();
         Self {
             config,
-            sets: vec![Vec::with_capacity(config.ways as usize); num_sets],
+            tags: vec![0; num_sets * config.ways as usize].into_boxed_slice(),
+            lens: vec![0; num_sets].into_boxed_slice(),
+            num_sets,
             block_shift: config.block_bytes.trailing_zeros(),
             set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
             stats: RatioStat::new("ptc"),
@@ -132,6 +141,7 @@ impl PtCache {
 
     /// Probe for the block holding the PTE at `pte_pa` (an entry at
     /// page-table level `level`), filling on miss.
+    #[inline]
     pub fn access(&mut self, pte_pa: PhysAddr, level: u8) -> PtcLookup {
         if level == 1 && !self.config.cache_l1 {
             return PtcLookup::Bypass;
@@ -144,21 +154,27 @@ impl PtCache {
         let hashed = block ^ (block >> 6) ^ (block >> 12);
         let set_idx = match self.set_mask {
             Some(mask) => (hashed & mask) as usize,
-            None => (hashed % self.sets.len() as u64) as usize,
+            None => (hashed % self.num_sets as u64) as usize,
         };
         let ways = self.config.ways as usize;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * ways;
+        let len = self.lens[set_idx] as usize;
+        let set = &mut self.tags[base..base + len];
         if let Some(pos) = set.iter().position(|tag| *tag == block) {
-            set.remove(pos);
-            set.push(block);
+            set.copy_within(pos + 1.., pos);
+            set[len - 1] = block;
             self.stats.hit();
             return PtcLookup::Hit;
         }
         self.stats.miss();
-        if set.len() >= ways {
-            set.remove(0);
+        if len >= ways {
+            let set = &mut self.tags[base..base + ways];
+            set.copy_within(1.., 0);
+            set[ways - 1] = block;
+        } else {
+            self.tags[base + len] = block;
+            self.lens[set_idx] = len as u32 + 1;
         }
-        set.push(block);
         PtcLookup::Miss
     }
 
@@ -169,7 +185,7 @@ impl PtCache {
 
     /// Drop all blocks.
     pub fn flush(&mut self) {
-        self.sets.iter_mut().for_each(Vec::clear);
+        self.lens.fill(0);
     }
 }
 
@@ -319,7 +335,11 @@ mod tests {
 
     impl PtCache {
         fn contents(&self) -> Vec<u64> {
-            let mut all: Vec<u64> = self.sets.iter().flatten().copied().collect();
+            let ways = self.config.ways as usize;
+            let mut all: Vec<u64> = (0..self.num_sets)
+                .flat_map(|s| self.tags[s * ways..s * ways + self.lens[s] as usize].iter())
+                .copied()
+                .collect();
             all.sort_unstable();
             all
         }

@@ -231,33 +231,153 @@ fn registry() -> &'static RwLock<Vec<&'static dyn TranslationScheme>> {
     REGISTRY.get_or_init(|| RwLock::new(builtins()))
 }
 
+static CONV_4K_SCHEME: Conventional = Conventional {
+    page_size: PageSize::Size4K,
+};
+static CONV_2M_SCHEME: Conventional = Conventional {
+    page_size: PageSize::Size2M,
+};
+static CONV_1G_SCHEME: Conventional = Conventional {
+    page_size: PageSize::Size1G,
+};
+static DVM_BM_SCHEME: DvmBitmap = DvmBitmap;
+static DVM_PE_SCHEME: DvmPe = DvmPe { preload: false };
+static DVM_PE_PLUS_SCHEME: DvmPe = DvmPe { preload: true };
+static IDEAL_SCHEME: Ideal = Ideal;
+static SVA_PF_SCHEME: SvaPf = SvaPf;
+static SVA_IOMMU_SCHEME: SvaIommu = SvaIommu;
+
 fn builtins() -> Vec<&'static dyn TranslationScheme> {
-    static CONV_4K: Conventional = Conventional {
-        page_size: PageSize::Size4K,
-    };
-    static CONV_2M: Conventional = Conventional {
-        page_size: PageSize::Size2M,
-    };
-    static CONV_1G: Conventional = Conventional {
-        page_size: PageSize::Size1G,
-    };
-    static DVM_BM: DvmBitmap = DvmBitmap;
-    static DVM_PE: DvmPe = DvmPe { preload: false };
-    static DVM_PE_PLUS: DvmPe = DvmPe { preload: true };
-    static IDEAL: Ideal = Ideal;
-    static SVA_PF: SvaPf = SvaPf;
-    static SVA_IOMMU: SvaIommu = SvaIommu;
     vec![
-        &CONV_4K,
-        &CONV_2M,
-        &CONV_1G,
-        &DVM_BM,
-        &DVM_PE,
-        &DVM_PE_PLUS,
-        &IDEAL,
-        &SVA_PF,
-        &SVA_IOMMU,
+        &CONV_4K_SCHEME,
+        &CONV_2M_SCHEME,
+        &CONV_1G_SCHEME,
+        &DVM_BM_SCHEME,
+        &DVM_PE_SCHEME,
+        &DVM_PE_PLUS_SCHEME,
+        &IDEAL_SCHEME,
+        &SVA_PF_SCHEME,
+        &SVA_IOMMU_SCHEME,
     ]
+}
+
+/// Statically resolved per-access dispatch.
+///
+/// Every access the accelerator issues crosses the
+/// [`TranslationScheme::access`] boundary; through the registry that is a
+/// virtual call the compiler cannot inline, which leaves the whole
+/// translate-validate-charge chain opaque to the optimizer. A
+/// `SchemeDispatch` implementor is a zero-sized token that routes the
+/// call to one concrete builtin scheme *statically* — same code, same
+/// state, same counters, but monomorphized so page sizes constant-fold
+/// and the TLB/walker fast paths inline into the workload loops.
+///
+/// [`dispatch::Dyn`] preserves the registry-driven virtual call and is
+/// the default everywhere; it is also the only correct choice for
+/// schemes registered at runtime. The sweep engine picks the matching
+/// static token for builtin schemes (see `dvm-core`).
+pub trait SchemeDispatch: Copy + Send + Sync + 'static {
+    /// Validate/translate one access exactly as the scheme the token
+    /// stands for would.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Fault`] the scheme raises for unmapped or
+    /// permission-violating accesses.
+    fn access(
+        iommu: &mut Iommu,
+        ctx: &mut AccessCtx<'_>,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<Validation, Fault>;
+}
+
+/// Zero-sized dispatch tokens: one per builtin scheme plus the dynamic
+/// fallback. See [`SchemeDispatch`].
+pub mod dispatch {
+    use super::*;
+
+    /// Registry-driven virtual dispatch (works for every scheme).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Dyn;
+
+    impl SchemeDispatch for Dyn {
+        #[inline]
+        fn access(
+            iommu: &mut Iommu,
+            ctx: &mut AccessCtx<'_>,
+            va: VirtAddr,
+            kind: AccessKind,
+        ) -> Result<Validation, Fault> {
+            iommu.scheme().access(iommu, ctx, va, kind)
+        }
+    }
+
+    macro_rules! static_token {
+        ($(#[$doc:meta])* $name:ident, $scheme:ident) => {
+            $(#[$doc])*
+            #[derive(Debug, Clone, Copy)]
+            pub struct $name;
+
+            impl SchemeDispatch for $name {
+                #[inline]
+                fn access(
+                    iommu: &mut Iommu,
+                    ctx: &mut AccessCtx<'_>,
+                    va: VirtAddr,
+                    kind: AccessKind,
+                ) -> Result<Validation, Fault> {
+                    $scheme.access(iommu, ctx, va, kind)
+                }
+            }
+        };
+    }
+
+    static_token!(
+        /// `4K,TLB+PWC`.
+        Conv4K,
+        CONV_4K_SCHEME
+    );
+    static_token!(
+        /// `2M,TLB+PWC`.
+        Conv2M,
+        CONV_2M_SCHEME
+    );
+    static_token!(
+        /// `1G,TLB+PWC`.
+        Conv1G,
+        CONV_1G_SCHEME
+    );
+    static_token!(
+        /// `DVM-BM`.
+        DvmBm,
+        DVM_BM_SCHEME
+    );
+    static_token!(
+        /// `DVM-PE`.
+        DvmPe,
+        DVM_PE_SCHEME
+    );
+    static_token!(
+        /// `DVM-PE+`.
+        DvmPePlus,
+        DVM_PE_PLUS_SCHEME
+    );
+    static_token!(
+        /// `Ideal`.
+        Ideal,
+        IDEAL_SCHEME
+    );
+    static_token!(
+        /// `SVA-Pf`.
+        SvaPf,
+        SVA_PF_SCHEME
+    );
+    static_token!(
+        /// `SVA-IOMMU`.
+        SvaIommu,
+        SVA_IOMMU_SCHEME
+    );
 }
 
 /// Register a new translation scheme; returns its [`SchemeId`].
@@ -331,6 +451,7 @@ impl TranslationScheme for Conventional {
         }
     }
 
+    #[inline]
     fn access(
         &self,
         iommu: &mut Iommu,
@@ -423,6 +544,7 @@ impl TranslationScheme for DvmBitmap {
         }
     }
 
+    #[inline]
     fn access(
         &self,
         iommu: &mut Iommu,
@@ -549,6 +671,7 @@ impl TranslationScheme for DvmPe {
         }
     }
 
+    #[inline]
     fn access(
         &self,
         iommu: &mut Iommu,
@@ -629,6 +752,7 @@ impl TranslationScheme for Ideal {
         SchemeStructures::default()
     }
 
+    #[inline]
     fn access(
         &self,
         _iommu: &mut Iommu,
@@ -662,6 +786,7 @@ impl SvaPf {
     /// Background next-page prefetch. `iommu.scratch[0]` remembers the
     /// last prefetched vpn (+1 so zero means "none"), filtering repeated
     /// prefetches of the same page on clustered misses.
+    #[inline]
     fn prefetch_next(&self, iommu: &mut Iommu, ctx: &mut AccessCtx<'_>, va: VirtAddr) {
         let Some(next) = va.raw().checked_add(SVA_PAGE.bytes()) else {
             return;
@@ -718,6 +843,7 @@ impl TranslationScheme for SvaPf {
         }
     }
 
+    #[inline]
     fn access(
         &self,
         iommu: &mut Iommu,
@@ -808,6 +934,7 @@ impl TranslationScheme for SvaIommu {
         }
     }
 
+    #[inline]
     fn access(
         &self,
         iommu: &mut Iommu,

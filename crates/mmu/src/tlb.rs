@@ -8,8 +8,6 @@
 
 use dvm_sim::RatioStat;
 use dvm_types::{PageSize, Permission, VirtAddr};
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
 
 /// TLB organization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,27 +57,9 @@ pub struct TlbEntry {
 /// Sentinel "no slot" index for the intrusive recency list.
 const NIL: u32 = u32::MAX;
 
-/// Multiply-shift hasher for u64 VPN keys. The default SipHash dominated
-/// the fully-associative lookup cost; a Fibonacci multiply puts the key's
-/// entropy in the high bits, which is exactly where hashbrown looks.
-#[derive(Debug, Clone, Default)]
-struct VpnHasher(u64);
-
-impl Hasher for VpnHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, _bytes: &[u8]) {
-        unreachable!("VPN keys hash through write_u64");
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-}
+/// Fibonacci multiplier; puts the VPN's entropy in the high bits, which
+/// the multiply-shift index hash then selects.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
 
 #[derive(Debug, Clone)]
 struct Slot {
@@ -88,14 +68,26 @@ struct Slot {
     next: u32,
 }
 
-/// Fully-associative store: O(1) hash lookup plus an intrusive
-/// doubly-linked recency list through the slot arena. The list head is
-/// the least-recently-used entry — the exact victim the previous
-/// tick-scan implementation chose, since every lookup and insert stamped
-/// a unique tick and `min_by_key` over unique ticks is strict LRU order.
+/// Fully-associative store: a small open-addressed index (vpn → slot)
+/// plus an intrusive doubly-linked recency list through the slot arena.
+/// The list head is the least-recently-used entry — the exact victim the
+/// original tick-scan implementation chose, since every lookup and
+/// insert stamped a unique tick and `min_by_key` over unique ticks is
+/// strict LRU order.
+///
+/// The index is a linear-probed power-of-two table at ≤ 25% load,
+/// replacing a `HashMap` that dominated the lookup cost: the common hit
+/// is now one multiply, one load and one compare. Deletion (on LRU
+/// eviction) uses the classic backward-shift so no tombstones accrue.
 #[derive(Debug, Clone)]
 struct FullStore {
-    map: HashMap<u64, u32, BuildHasherDefault<VpnHasher>>,
+    /// Open-addressed index; entries are `slot + 1`, 0 = empty.
+    idx: Box<[u32]>,
+    /// `idx.len() - 1` (the table is a power of two).
+    mask: usize,
+    /// `64 - log2(idx.len())`: multiply-shift hash into the table.
+    shift: u32,
+    /// Slot arena; every slot is a live entry (eviction reuses in place).
     slots: Vec<Slot>,
     /// Least recently used slot.
     head: u32,
@@ -105,12 +97,62 @@ struct FullStore {
 
 impl FullStore {
     fn new(capacity: usize) -> Self {
+        let table = (capacity * 4).next_power_of_two().max(8);
         Self {
-            map: HashMap::with_capacity_and_hasher(capacity, Default::default()),
+            idx: vec![0; table].into_boxed_slice(),
+            mask: table - 1,
+            shift: 64 - table.trailing_zeros(),
             slots: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,
         }
+    }
+
+    #[inline]
+    fn home(&self, vpn: u64) -> usize {
+        (vpn.wrapping_mul(HASH_MUL) >> self.shift) as usize
+    }
+
+    /// Probe for `vpn`: `Ok(table position)` when present, `Err(first
+    /// empty position)` when absent.
+    #[inline]
+    fn probe(&self, vpn: u64) -> Result<usize, usize> {
+        let mut pos = self.home(vpn);
+        loop {
+            match self.idx[pos] {
+                0 => return Err(pos),
+                e if self.slots[(e - 1) as usize].entry.vpn == vpn => return Ok(pos),
+                _ => pos = (pos + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Backward-shift deletion at table position `pos`: re-home any
+    /// displaced entries in the probe chain so lookups never need
+    /// tombstones.
+    fn remove_at(&mut self, mut pos: usize) {
+        let mut next = (pos + 1) & self.mask;
+        loop {
+            let e = self.idx[next];
+            if e == 0 {
+                break;
+            }
+            let home = self.home(self.slots[(e - 1) as usize].entry.vpn);
+            // The entry at `next` may fill the hole unless its home lies
+            // cyclically within (pos, next] — moving it before its home
+            // would break its own probe chain.
+            let pinned = if pos <= next {
+                home > pos && home <= next
+            } else {
+                home > pos || home <= next
+            };
+            if !pinned {
+                self.idx[pos] = e;
+                pos = next;
+            }
+            next = (next + 1) & self.mask;
+        }
+        self.idx[pos] = 0;
     }
 
     fn unlink(&mut self, i: u32) {
@@ -135,6 +177,7 @@ impl FullStore {
         self.tail = i;
     }
 
+    #[inline]
     fn touch(&mut self, i: u32) {
         if self.tail != i {
             self.unlink(i);
@@ -142,38 +185,53 @@ impl FullStore {
         }
     }
 
+    #[inline]
     fn lookup(&mut self, vpn: u64) -> Option<TlbEntry> {
-        let i = *self.map.get(&vpn)?;
+        let Ok(pos) = self.probe(vpn) else {
+            return None;
+        };
+        let i = self.idx[pos] - 1;
         self.touch(i);
         Some(self.slots[i as usize].entry)
     }
 
     fn insert(&mut self, entry: TlbEntry, capacity: usize) {
-        if let Some(&i) = self.map.get(&entry.vpn) {
-            self.slots[i as usize].entry = entry;
-            self.touch(i);
-            return;
+        match self.probe(entry.vpn) {
+            Ok(pos) => {
+                let i = self.idx[pos] - 1;
+                self.slots[i as usize].entry = entry;
+                self.touch(i);
+            }
+            Err(empty) if self.slots.len() < capacity => {
+                self.slots.push(Slot {
+                    entry,
+                    prev: NIL,
+                    next: NIL,
+                });
+                let i = (self.slots.len() - 1) as u32;
+                self.idx[empty] = i + 1;
+                self.push_back(i);
+            }
+            Err(_) => {
+                // Evict the LRU entry and reuse its slot. The deletion's
+                // backward shift can move table entries, so re-probe for
+                // the insertion position afterwards.
+                let i = self.head;
+                let victim_pos = self
+                    .probe(self.slots[i as usize].entry.vpn)
+                    .expect("LRU entry is indexed");
+                self.remove_at(victim_pos);
+                self.unlink(i);
+                self.slots[i as usize].entry = entry;
+                let empty = self.probe(entry.vpn).expect_err("vpn was absent");
+                self.idx[empty] = i + 1;
+                self.push_back(i);
+            }
         }
-        let i = if self.map.len() >= capacity {
-            let i = self.head;
-            self.map.remove(&self.slots[i as usize].entry.vpn);
-            self.unlink(i);
-            self.slots[i as usize].entry = entry;
-            i
-        } else {
-            self.slots.push(Slot {
-                entry,
-                prev: NIL,
-                next: NIL,
-            });
-            (self.slots.len() - 1) as u32
-        };
-        self.map.insert(entry.vpn, i);
-        self.push_back(i);
     }
 
     fn clear(&mut self) {
-        self.map.clear();
+        self.idx.fill(0);
         self.slots.clear();
         self.head = NIL;
         self.tail = NIL;
@@ -315,7 +373,7 @@ impl Tlb {
     /// Number of currently valid entries.
     pub fn occupancy(&self) -> usize {
         match &self.store {
-            Store::Full(store) => store.map.len(),
+            Store::Full(store) => store.slots.len(),
             Store::Sets(sets) => sets.iter().map(Vec::len).sum(),
         }
     }
@@ -324,6 +382,7 @@ impl Tlb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn entry(vpn: u64) -> TlbEntry {
         TlbEntry {
@@ -537,11 +596,7 @@ mod tests {
     impl Tlb {
         fn contents(&self) -> Vec<TlbEntry> {
             let mut all: Vec<TlbEntry> = match &self.store {
-                Store::Full(store) => store.slots[..]
-                    .iter()
-                    .filter(|s| store.map.contains_key(&s.entry.vpn))
-                    .map(|s| s.entry)
-                    .collect(),
+                Store::Full(store) => store.slots.iter().map(|s| s.entry).collect(),
                 Store::Sets(sets) => sets.iter().flatten().copied().collect(),
             };
             all.sort_by_key(|e| e.vpn);

@@ -22,6 +22,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release (tier-1)"
 cargo build --release
+# The root package does not depend on dvm-bench, so build its binaries
+# explicitly — the gates below run them from target/release.
+cargo build --release -p dvm-bench
 
 echo "== cargo test (tier-1)"
 cargo test -q
@@ -44,6 +47,16 @@ target/release/fig2 --scale quick --datasets FR --jobs 1 --shards 2 \
 cmp "$SHARD_TMP/serial.txt" "$SHARD_TMP/sharded.txt"
 cmp "$SHARD_TMP/serial.json" "$SHARD_TMP/sharded.json"
 echo "fig2 sharded output is byte-identical to serial"
+
+echo "== lane determinism (fig2, quick scale, --lanes 2)"
+# A pipelined (functional|timing lane) run must be byte-identical to the
+# fused serial run — text table and JSON document alike.
+target/release/fig2 --scale quick --datasets FR --jobs 1 --lanes 2 \
+    --cache-dir "$SHARD_TMP/cache" \
+    --json "$SHARD_TMP/laned.json" > "$SHARD_TMP/laned.txt"
+cmp "$SHARD_TMP/serial.txt" "$SHARD_TMP/laned.txt"
+cmp "$SHARD_TMP/serial.json" "$SHARD_TMP/laned.json"
+echo "fig2 laned output is byte-identical to serial"
 
 echo "== cache byte budget (fig2, quick scale, budget below working set)"
 # A budget one byte below the two-dataset working set forces an eviction
