@@ -48,7 +48,7 @@ impl fmt::Display for Shard {
     }
 }
 
-/// Which of the three sharding roles this process plays.
+/// Which of the sharding roles this process plays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardRole {
     /// Run the whole grid in this process (the default).
@@ -60,6 +60,9 @@ pub enum ShardRole {
     /// Merge fragments other workers already wrote (e.g. on other
     /// machines) without running anything.
     Merge,
+    /// Submit the sweep to a `farmd` coordinator (`--farm host:port`)
+    /// and merge the fragments its workers send back.
+    Farm,
 }
 
 /// Typed options for a bench binary.
@@ -93,6 +96,9 @@ pub struct BenchArgs {
     pub shard_out: Option<PathBuf>,
     /// Merge fragments from this directory instead of running.
     pub merge_dir: Option<PathBuf>,
+    /// Submit the sweep to this `farmd` coordinator (`host:port`)
+    /// instead of running locally.
+    pub farm: Option<String>,
     /// Opened dataset cache, when `--cache-dir` was given.
     pub cache: Option<DatasetCache>,
     /// Byte budget for the dataset cache (LRU eviction), if any.
@@ -128,6 +134,7 @@ pub const USAGE: &str = "usage: [--scale smoke|quick|paper|full] [--datasets FR,
        [--cache-max-bytes N] [--cache-stats] [--report-cache DIR]
        [--report-cache-max-bytes N]
        [--shards N | --shard I/N [--shard-out PATH] | --merge-dir DIR]
+       [--farm HOST:PORT]
 
   --scale        dataset sizing (default: quick; smoke is for CI/tests)
   --datasets     comma-separated short names; others are skipped
@@ -152,7 +159,10 @@ pub const USAGE: &str = "usage: [--scale smoke|quick|paper|full] [--datasets FR,
   --shards       fan the grid out over N worker processes and merge
   --shard        run only shard I of N and write a fragment, then exit
   --shard-out    fragment path for --shard (default results/shards/...)
-  --merge-dir    merge fragments already written by --shard workers";
+  --merge-dir    merge fragments already written by --shard workers
+  --farm         submit the sweep to a farmd coordinator and merge the
+                 fragments its workers return (with --shards N, ask for
+                 N slices; default: one slice per connected worker)";
 
 /// Parse a byte count with an optional binary suffix: `1536`, `64K`,
 /// `512M`, `8G`, `1T` (case-insensitive).
@@ -188,6 +198,7 @@ impl BenchArgs {
         let mut shard = None;
         let mut shard_out = None;
         let mut merge_dir = None;
+        let mut farm = None;
         let mut cache_dir: Option<PathBuf> = None;
         let mut cache_max_bytes = None;
         let mut report_dir: Option<PathBuf> = None;
@@ -256,19 +267,21 @@ impl BenchArgs {
                 }
                 "--shard" => {
                     let v = value_of("--shard", &mut args)?;
-                    let (i, n) = v
-                        .split_once('/')
-                        .ok_or_else(|| err(format!("--shard needs I/N (e.g. 0/4), got '{v}'")))?;
+                    // One message for every malformed shape — no slash,
+                    // non-numeric I or N, N = 0, I >= N — so all ten
+                    // binaries reject bad slices identically (exit 2).
+                    let bad = || {
+                        err(format!(
+                            "--shard needs I/N with 0 <= I < N (e.g. 0/4), got '{v}'"
+                        ))
+                    };
+                    let (i, n) = v.split_once('/').ok_or_else(bad)?;
                     let parsed = (i.parse::<usize>(), n.parse::<usize>());
                     shard = match parsed {
                         (Ok(index), Ok(count)) if count >= 1 && index < count => {
                             Some(Shard { index, count })
                         }
-                        _ => {
-                            return Err(err(format!(
-                                "--shard needs I/N with I < N and N >= 1, got '{v}'"
-                            )))
-                        }
+                        _ => return Err(bad()),
                     };
                 }
                 "--shard-out" => {
@@ -276,6 +289,16 @@ impl BenchArgs {
                 }
                 "--merge-dir" => {
                     merge_dir = Some(PathBuf::from(value_of("--merge-dir", &mut args)?));
+                }
+                "--farm" => {
+                    let v = value_of("--farm", &mut args)?;
+                    let valid = v.rsplit_once(':').is_some_and(|(host, port)| {
+                        !host.is_empty() && port.parse::<u16>().is_ok()
+                    });
+                    if !valid {
+                        return Err(err(format!("--farm needs HOST:PORT, got '{v}'")));
+                    }
+                    farm = Some(v);
                 }
                 "--cache-dir" => {
                     cache_dir = Some(PathBuf::from(value_of("--cache-dir", &mut args)?));
@@ -313,6 +336,12 @@ impl BenchArgs {
             return Err(err(
                 "--shards, --shard and --merge-dir are mutually exclusive",
             ));
+        }
+        // --farm composes with --shards (the requested slice count) but
+        // not with the other roles: a farm worker already is a --shard
+        // process, and --merge-dir never runs anything.
+        if farm.is_some() && (shard.is_some() || merge_dir.is_some()) {
+            return Err(err("--farm cannot be combined with --shard or --merge-dir"));
         }
         if shard_out.is_some() && shard.is_none() {
             return Err(err("--shard-out only makes sense with --shard"));
@@ -352,6 +381,7 @@ impl BenchArgs {
             shard,
             shard_out,
             merge_dir,
+            farm,
             cache,
             cache_max_bytes,
             reports,
@@ -477,6 +507,8 @@ impl BenchArgs {
     pub fn role(&self) -> ShardRole {
         if let Some(shard) = self.shard {
             ShardRole::Worker(shard)
+        } else if self.farm.is_some() {
+            ShardRole::Farm
         } else if let Some(n) = self.shards {
             ShardRole::Coordinator(n)
         } else if self.merge_dir.is_some() {
@@ -662,15 +694,9 @@ impl BenchArgs {
         }
     }
 
-    /// The argv a coordinator hands to worker `index` of `count`:
-    /// everything the worker needs to build the identical grid, minus the
-    /// coordinator-only flags.
-    pub fn worker_argv(
-        &self,
-        index: usize,
-        count: usize,
-        fragment: &std::path::Path,
-    ) -> Vec<String> {
+    /// The grid-defining flags every re-spawned process needs: scale,
+    /// filters, jobs/lanes, caches, progress — minus any role flag.
+    fn base_argv(&self) -> Vec<String> {
         let mut argv = vec!["--scale".to_string(), self.scale.name().to_string()];
         if let Some(datasets) = &self.datasets {
             argv.push("--datasets".to_string());
@@ -707,11 +733,32 @@ impl BenchArgs {
         if self.progress {
             argv.push("--progress".to_string());
         }
+        argv
+    }
+
+    /// The argv a coordinator hands to worker `index` of `count`:
+    /// everything the worker needs to build the identical grid, minus the
+    /// coordinator-only flags.
+    pub fn worker_argv(
+        &self,
+        index: usize,
+        count: usize,
+        fragment: &std::path::Path,
+    ) -> Vec<String> {
+        let mut argv = self.base_argv();
         argv.push("--shard".to_string());
         argv.push(format!("{index}/{count}"));
         argv.push("--shard-out".to_string());
         argv.push(fragment.display().to_string());
         argv
+    }
+
+    /// The argv submitted with a `--farm` job: the same grid-defining
+    /// flags as [`Self::worker_argv`], but with no shard assignment —
+    /// farm workers append `--shard I/N --shard-out PATH` themselves
+    /// per slice (and may override the cache paths with local ones).
+    pub fn farm_argv(&self) -> Vec<String> {
+        self.base_argv()
     }
 }
 
@@ -779,6 +826,58 @@ mod tests {
         assert!(parse(&["--shards", "0"]).is_err());
         assert!(parse(&["--shards", "2", "--shard", "0/2"]).is_err());
         assert!(parse(&["--shard-out", "f.json"]).is_err());
+    }
+
+    #[test]
+    fn bad_shards_share_one_message() {
+        // Every malformed shape — no slash, bad numbers, N = 0, I >= N —
+        // produces the same diagnostic across all binaries.
+        for bad in ["0/0", "3/3", "7/2", "x/3", "1/y", "2", "/", "1/", "-1/3"] {
+            let msg = parse(&["--shard", bad]).unwrap_err().0;
+            assert_eq!(
+                msg,
+                format!("--shard needs I/N with 0 <= I < N (e.g. 0/4), got '{bad}'")
+            );
+        }
+    }
+
+    #[test]
+    fn farm_parses_and_excludes_worker_roles() {
+        let args = parse(&["--farm", "127.0.0.1:9000"]).unwrap();
+        assert_eq!(args.farm.as_deref(), Some("127.0.0.1:9000"));
+        assert_eq!(args.role(), ShardRole::Farm);
+        // --shards under --farm is the requested slice count, not a
+        // local coordinator role.
+        let args = parse(&["--farm", "host:1", "--shards", "4"]).unwrap();
+        assert_eq!(args.role(), ShardRole::Farm);
+        assert_eq!(args.shards, Some(4));
+        for bad in ["nohost", "host:", ":9000", "host:notaport", "host:99999"] {
+            assert!(parse(&["--farm", bad]).unwrap_err().0.contains("HOST:PORT"));
+        }
+        assert!(parse(&["--farm", "h:1", "--shard", "0/2"]).is_err());
+        assert!(parse(&["--farm", "h:1", "--merge-dir", "d"]).is_err());
+    }
+
+    #[test]
+    fn farm_argv_is_worker_argv_without_the_shard_tail() {
+        let args = parse(&[
+            "--farm",
+            "h:1",
+            "--scale",
+            "smoke",
+            "--jobs",
+            "2",
+            "--progress",
+        ])
+        .unwrap();
+        let farm = args.farm_argv();
+        let worker = args.worker_argv(0, 2, std::path::Path::new("f.json"));
+        assert_eq!(worker[..farm.len()], farm[..]);
+        assert_eq!(
+            worker[farm.len()..],
+            ["--shard", "0/2", "--shard-out", "f.json"]
+        );
+        assert!(!farm.iter().any(|a| a == "--farm" || a == "--shard"));
     }
 
     #[test]

@@ -428,14 +428,17 @@ fn spawn_workers(
 
 /// Stream one worker's stderr to ours, collapsing its `progress:` lines
 /// into the shared global count; everything else (dataset-cache
-/// statistics, diagnostics) passes through untouched.
+/// statistics, diagnostics) passes through untouched. Lines go out via
+/// [`dvm_farm::emit_stderr_line`] — length-checked and written whole
+/// under the stderr lock — so concurrent relay threads can never tear
+/// each other's lines the way buffered `eprintln!` fragments could.
 fn relay_worker_stderr(stderr: std::process::ChildStderr, done: &AtomicUsize, total: usize) {
     use std::io::BufRead as _;
     for line in std::io::BufReader::new(stderr).lines() {
         let Ok(line) = line else { return };
         match collapse_progress(&line, done, total) {
-            Some(merged) => eprintln!("{merged}"),
-            None => eprintln!("{line}"),
+            Some(merged) => dvm_farm::emit_stderr_line(&merged),
+            None => dvm_farm::emit_stderr_line(&line),
         }
     }
 }
@@ -451,6 +454,51 @@ fn collapse_progress(line: &str, done: &AtomicUsize, total: usize) -> Option<Str
         .map_or(rest, |open| rest[open + 1..].trim_end_matches(')'));
     let n = done.fetch_add(1, Ordering::AcqRel) + 1;
     Some(format!("progress: {n}/{total} ({label})"))
+}
+
+/// Submit the sweep to the `--farm` coordinator and return the parsed
+/// fragments its workers produced, in slice order. The farm ships
+/// fragment *bytes*; they are the same documents `--shard` workers
+/// write, so the ordinary merge path downstream keeps the output
+/// byte-identical to a serial run.
+fn farm_fragments(
+    args: &BenchArgs,
+    experiment: &str,
+    total_units: usize,
+) -> Result<Vec<Json>, String> {
+    let addr = args.farm.as_deref().expect("farm role has an address");
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own executable: {e}"))?;
+    let bin = exe
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or("cannot name own executable")?
+        .to_string();
+    let req = dvm_farm::JobRequest {
+        bin,
+        experiment: experiment.to_string(),
+        slices: args.shards.unwrap_or(0),
+        total_units,
+        argv: args.farm_argv(),
+    };
+    let progress = args.progress;
+    let mut on_event = |event: dvm_farm::JobEvent<'_>| match event {
+        dvm_farm::JobEvent::Progress { done, total, label } => {
+            if progress {
+                dvm_farm::emit_stderr_line(&format!("progress: {done}/{total} ({label})"));
+            }
+        }
+        dvm_farm::JobEvent::Line(line) => dvm_farm::emit_stderr_line(line),
+    };
+    let fragments = dvm_farm::run_job(addr, &req, &mut on_event)?;
+    fragments
+        .iter()
+        .enumerate()
+        .map(|(i, bytes)| {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| format!("farm fragment {i} is not UTF-8"))?;
+            parse(text).map_err(|e| format!("farm fragment {i} is not valid JSON: {e}"))
+        })
+        .collect()
 }
 
 fn read_fragment(path: &Path) -> Result<Json, String> {
@@ -480,7 +528,7 @@ fn read_merge_dir(dir: &Path, experiment: &str) -> Result<Vec<Json>, String> {
 
 /// Run a graph sweep under this process's sharding role, returning
 /// merged results in spec order. Workers write their fragment and exit
-/// inside this call; only the single/coordinator/merge roles return.
+/// inside this call; the single/coordinator/farm/merge roles return.
 ///
 /// # Panics
 ///
@@ -517,8 +565,12 @@ pub fn run_sharded_sweep(
             std::process::exit(0);
         }
         ShardRole::Coordinator(count) => {
-            let total_units = spec.cells.iter().map(|cell| cell.schemes.len()).sum();
-            let fragments = spawn_workers(args, experiment, count, total_units)
+            let fragments = spawn_workers(args, experiment, count, spec.unit_count())
+                .unwrap_or_else(|e| fail(experiment, &e));
+            cells_from_fragments(args, experiment, &spec, &fragments)
+        }
+        ShardRole::Farm => {
+            let fragments = farm_fragments(args, experiment, spec.unit_count())
                 .unwrap_or_else(|e| fail(experiment, &e));
             cells_from_fragments(args, experiment, &spec, &fragments)
         }
@@ -643,6 +695,11 @@ where
         }
         ShardRole::Coordinator(count) => {
             let fragments = spawn_workers(args, experiment, count, labels.len())
+                .unwrap_or_else(|e| fail(experiment, &e));
+            grid_from_fragments(args, experiment, labels, &fragments)
+        }
+        ShardRole::Farm => {
+            let fragments = farm_fragments(args, experiment, labels.len())
                 .unwrap_or_else(|e| fail(experiment, &e));
             grid_from_fragments(args, experiment, labels, &fragments)
         }

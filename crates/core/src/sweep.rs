@@ -101,6 +101,13 @@ impl SweepSpec {
         assert!(index < count, "shard {index} out of {count}");
         (index..self.cells.len()).step_by(count)
     }
+
+    /// Total simulation units in the grid: one per (cell, scheme). This
+    /// is the `total` a sweep's progress counts toward, and what sharding
+    /// coordinators aggregate worker progress against.
+    pub fn unit_count(&self) -> usize {
+        self.cells.iter().map(|cell| cell.schemes.len()).sum()
+    }
 }
 
 /// Progress snapshot handed to [`SweepRunner::progress`] after each

@@ -1,0 +1,158 @@
+//! The client side of the farm protocol: submit one sweep job to a
+//! coordinator and collect the ordered fragment bytes. Used by the
+//! bench binaries when `--farm host:port` is passed; the caller merges
+//! the fragments through the ordinary shard-merge path, which is what
+//! keeps farm output byte-identical to a serial run.
+
+use crate::proto::{is_token, read_frame, version_token, write_frame};
+use std::io::BufReader;
+use std::net::TcpStream;
+
+/// One sweep job as submitted to `farmd`.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Bench binary name (plain token; workers resolve it in their
+    /// `--bin-dir`).
+    pub bin: String,
+    /// Experiment name, for coordinator logs.
+    pub experiment: String,
+    /// Requested slice count; 0 lets the coordinator pick one slice per
+    /// live worker.
+    pub slices: usize,
+    /// Grid size, so the coordinator can aggregate progress.
+    pub total_units: usize,
+    /// Argv the workers run the binary with (shard flags are appended
+    /// worker-side).
+    pub argv: Vec<String>,
+}
+
+/// Live updates streamed back while a job runs.
+#[derive(Debug, Clone, Copy)]
+pub enum JobEvent<'a> {
+    /// Aggregated done/total across all workers, with the unit label
+    /// that just finished.
+    Progress {
+        /// Units finished so far (coordinator-capped at `total`).
+        done: usize,
+        /// Total units in the grid.
+        total: usize,
+        /// Label of the finishing unit.
+        label: &'a str,
+    },
+    /// A non-progress worker stderr line, passed through verbatim.
+    Line(&'a str),
+}
+
+fn bad(msg: String) -> String {
+    format!("farm: {msg}")
+}
+
+/// Submit `req` to the coordinator at `addr` and block until the job
+/// finishes. Returns the fragment bytes in slice order.
+///
+/// # Errors
+///
+/// Connect/handshake failures, protocol violations, and `JOBFAIL` (a
+/// slice exhausted its retry budget) all surface as `Err(message)`.
+pub fn run_job(
+    addr: &str,
+    req: &JobRequest,
+    on_event: &mut dyn FnMut(JobEvent<'_>),
+) -> Result<Vec<Vec<u8>>, String> {
+    if !is_token(&req.bin) || !is_token(&req.experiment) {
+        return Err(bad(format!(
+            "bin/experiment must be plain tokens, got '{}'/'{}'",
+            req.bin, req.experiment
+        )));
+    }
+    if let Some(arg) = req.argv.iter().find(|a| a.contains('\n')) {
+        return Err(bad(format!("argv entry contains a newline: {arg:?}")));
+    }
+    let stream = TcpStream::connect(addr)
+        .map_err(|err| bad(format!("cannot connect to coordinator {addr}: {err}")))?;
+    stream.set_nodelay(true).ok();
+    let writer = stream
+        .try_clone()
+        .map_err(|err| bad(format!("socket clone failed: {err}")))?;
+    let mut reader = BufReader::new(stream);
+    let send = |header: &str, body: &[u8]| {
+        write_frame(&mut &writer, header, body)
+            .map_err(|err| bad(format!("send to coordinator failed: {err}")))
+    };
+    send(
+        &format!("HELLO {} client {}", version_token(), req.bin),
+        b"",
+    )?;
+    let oleh =
+        read_frame(&mut reader).map_err(|err| bad(format!("handshake read failed: {err}")))?;
+    if oleh.verb() != "OLEH" {
+        return Err(bad(format!(
+            "coordinator rejected handshake: {} {}",
+            oleh.header,
+            oleh.body_str()
+        )));
+    }
+    send(
+        &format!(
+            "SUBMIT {} {} {} {}",
+            req.bin, req.experiment, req.slices, req.total_units
+        ),
+        req.argv.join("\n").as_bytes(),
+    )?;
+    let mut fragments: Vec<Option<Vec<u8>>> = Vec::new();
+    loop {
+        let frame = read_frame(&mut reader)
+            .map_err(|err| bad(format!("coordinator connection lost: {err}")))?;
+        let args = frame.args();
+        match frame.verb() {
+            "ACCEPT" => {
+                let [_job, slices] = args.as_slice() else {
+                    return Err(bad(format!("malformed ACCEPT '{}'", frame.header)));
+                };
+                let slices: usize = slices
+                    .parse()
+                    .map_err(|_| bad(format!("malformed ACCEPT '{}'", frame.header)))?;
+                fragments = vec![None; slices];
+            }
+            "PROG" => {
+                if let [done, total] = args.as_slice() {
+                    if let (Ok(done), Ok(total)) = (done.parse(), total.parse()) {
+                        on_event(JobEvent::Progress {
+                            done,
+                            total,
+                            label: &frame.body_str(),
+                        });
+                    }
+                }
+            }
+            "LINE" => on_event(JobEvent::Line(&frame.body_str())),
+            "FRAG" => {
+                let [slice, _count] = args.as_slice() else {
+                    return Err(bad(format!("malformed FRAG '{}'", frame.header)));
+                };
+                let slice: usize = slice
+                    .parse()
+                    .map_err(|_| bad(format!("malformed FRAG '{}'", frame.header)))?;
+                let slot = fragments
+                    .get_mut(slice)
+                    .ok_or_else(|| bad(format!("fragment index {slice} out of range")))?;
+                *slot = Some(frame.body);
+            }
+            "JOBDONE" => {
+                let mut out = Vec::with_capacity(fragments.len());
+                for (index, slot) in fragments.iter_mut().enumerate() {
+                    out.push(slot.take().ok_or_else(|| {
+                        bad(format!("job done but fragment {index} never arrived"))
+                    })?);
+                }
+                if out.is_empty() {
+                    return Err(bad("job done before ACCEPT".into()));
+                }
+                return Ok(out);
+            }
+            "JOBFAIL" => return Err(bad(format!("job failed: {}", frame.body_str()))),
+            "ERR" => return Err(bad(format!("coordinator error: {}", frame.body_str()))),
+            other => return Err(bad(format!("unexpected frame '{other}' from coordinator"))),
+        }
+    }
+}

@@ -22,9 +22,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release (tier-1)"
 cargo build --release
-# The root package does not depend on dvm-bench, so build its binaries
-# explicitly — the gates below run them from target/release.
+# The root package does not depend on the bench/farm *binaries*, so
+# build them explicitly — the gates below run them from target/release.
 cargo build --release -p dvm-bench
+cargo build --release -p dvm-farm
 
 echo "== cargo test (tier-1)"
 cargo test -q
@@ -37,7 +38,8 @@ echo "== shard-merge determinism (fig2, quick scale, 2 shards)"
 # run — text table and JSON document alike. The shared dataset cache
 # means the second run skips regeneration entirely.
 SHARD_TMP=$(mktemp -d)
-trap 'rm -rf "$SHARD_TMP"' EXIT
+FARM_PIDS=""
+trap 'kill $FARM_PIDS 2> /dev/null || true; rm -rf "$SHARD_TMP"' EXIT
 target/release/fig2 --scale quick --datasets FR --jobs 1 \
     --cache-dir "$SHARD_TMP/cache" \
     --json "$SHARD_TMP/serial.json" > "$SHARD_TMP/serial.txt"
@@ -47,6 +49,35 @@ target/release/fig2 --scale quick --datasets FR --jobs 1 --shards 2 \
 cmp "$SHARD_TMP/serial.txt" "$SHARD_TMP/sharded.txt"
 cmp "$SHARD_TMP/serial.json" "$SHARD_TMP/sharded.json"
 echo "fig2 sharded output is byte-identical to serial"
+
+echo "== farm determinism (fig2 through farmd + 2 workers on loopback)"
+# The same sweep submitted to a live coordinator with two registered
+# workers must also be byte-identical to the serial run above. farmd
+# binds port 0; its actual address is scraped from the log line it
+# prints once bound.
+target/release/farmd --listen 127.0.0.1:0 2> "$SHARD_TMP/farmd.log" &
+FARM_PIDS="$!"
+FARM_ADDR=""
+for _ in $(seq 1 100); do
+    FARM_ADDR=$(sed -n 's/^farmd: listening on //p' "$SHARD_TMP/farmd.log")
+    [[ -n $FARM_ADDR ]] && break
+    sleep 0.1
+done
+[[ -n $FARM_ADDR ]] || { echo "farmd never printed its address" >&2; exit 1; }
+target/release/farmworker --connect "$FARM_ADDR" --name ci-w1 \
+    --bin-dir target/release --scratch "$SHARD_TMP" 2> /dev/null &
+FARM_PIDS="$FARM_PIDS $!"
+target/release/farmworker --connect "$FARM_ADDR" --name ci-w2 \
+    --bin-dir target/release --scratch "$SHARD_TMP" 2> /dev/null &
+FARM_PIDS="$FARM_PIDS $!"
+target/release/fig2 --scale quick --datasets FR --jobs 1 --shards 2 \
+    --farm "$FARM_ADDR" --cache-dir "$SHARD_TMP/cache" \
+    --json "$SHARD_TMP/farm.json" > "$SHARD_TMP/farm.txt"
+cmp "$SHARD_TMP/serial.txt" "$SHARD_TMP/farm.txt"
+cmp "$SHARD_TMP/serial.json" "$SHARD_TMP/farm.json"
+kill $FARM_PIDS 2> /dev/null || true
+FARM_PIDS=""
+echo "fig2 farm output is byte-identical to serial"
 
 echo "== lane determinism (fig2, quick scale, --lanes 2)"
 # A pipelined (functional|timing lane) run must be byte-identical to the

@@ -3,15 +3,17 @@
 # EXPERIMENTS.md. Usage:
 #
 #   scripts/reproduce_all.sh [smoke|quick|paper|full] [--jobs N] [--shards N]
-#       [--cache-max-bytes N] [--report-cache-max-bytes N]
+#       [--farm HOST:PORT] [--cache-max-bytes N] [--report-cache-max-bytes N]
 #
 # quick: minutes. paper: ~1-2 hours on one core (Figure 8/9 dominate).
 # full: unscaled Table 3 datasets; hours and ~16 GiB of host RAM.
 # smoke: seconds; only checks the machinery.
 #
 # --jobs N fans each harness's grid across N worker threads (0 = all
-# cores); --shards N fans it across N worker processes. Output is
-# byte-identical to a serial run either way; only wall-clock changes.
+# cores); --shards N fans it across N worker processes; --farm HOST:PORT
+# submits every grid to a running farmd coordinator instead (with
+# --shards N as the requested slice count). Output is byte-identical to
+# a serial run any way; only wall-clock changes.
 # Generated datasets are cached under results/.dataset-cache, so repeat
 # runs skip regeneration. Figures 2, 8, 9 and 11 sweep overlapping unit
 # grids, so they share a per-invocation report cache (results/.report-cache, cleared
@@ -29,6 +31,7 @@ cd "$(dirname "$0")/.."
 SCALE="quick"
 JOBS=1
 SHARDS=0
+FARM=""
 CACHE_MAX=""
 REPORT_CACHE_MAX=""
 while [[ $# -gt 0 ]]; do
@@ -36,9 +39,10 @@ while [[ $# -gt 0 ]]; do
         smoke|quick|paper|full) SCALE="$1"; shift ;;
         --jobs) JOBS="$2"; shift 2 ;;
         --shards) SHARDS="$2"; shift 2 ;;
+        --farm) FARM="$2"; shift 2 ;;
         --cache-max-bytes) CACHE_MAX="$2"; shift 2 ;;
         --report-cache-max-bytes) REPORT_CACHE_MAX="$2"; shift 2 ;;
-        *) echo "usage: $0 [smoke|quick|paper|full] [--jobs N] [--shards N] [--cache-max-bytes N] [--report-cache-max-bytes N]" >&2; exit 2 ;;
+        *) echo "usage: $0 [smoke|quick|paper|full] [--jobs N] [--shards N] [--farm HOST:PORT] [--cache-max-bytes N] [--report-cache-max-bytes N]" >&2; exit 2 ;;
     esac
 done
 
@@ -69,6 +73,9 @@ run() { # name, extra args...
     local extra=()
     if [[ $SHARDS -gt 0 ]]; then
         extra+=(--shards "$SHARDS")
+    fi
+    if [[ -n $FARM ]]; then
+        extra+=(--farm "$FARM")
     fi
     if [[ -n $CACHE_MAX ]]; then
         extra+=(--cache-max-bytes "$CACHE_MAX")

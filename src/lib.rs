@@ -33,6 +33,7 @@ pub use dvm_core as core;
 pub use dvm_accel as accel;
 pub use dvm_cpu as cpu;
 pub use dvm_energy as energy;
+pub use dvm_farm as farm;
 pub use dvm_graph as graph;
 pub use dvm_mem as mem;
 pub use dvm_mmu as mmu;
