@@ -16,24 +16,37 @@
 //!
 //! # Lanes
 //!
-//! One simulation unit can optionally split into two decoupled lanes (see
-//! DESIGN.md "Lane partitioning"): a *functional* lane that executes the
-//! workload — resolving control flow and data — while recording the
-//! address stream, and a *timing* lane on a second thread that replays
-//! that stream, in order, through the real IOMMU and DRAM models. Because
-//! the replay preserves the exact serial access order, every counter,
-//! histogram sample and energy figure is byte-identical to the fused
-//! single-lane path. [`run_via`] is the fused path; [`run_pipelined_via`]
-//! is the two-lane pipeline.
+//! One simulation unit can optionally split into up to three decoupled
+//! lanes (see DESIGN.md "Lane partitioning"), each owning a disjoint set
+//! of machine state and streaming records to the next over the recycling
+//! chunk transport in [`crate::transport`]:
+//!
+//! - the *functional* lane executes the workload — resolving control flow
+//!   and data against live memory — while recording the charged access
+//!   stream `(va, kind, engine)`;
+//! - the *translate* lane owns the IOMMU: it replays the access stream in
+//!   order through TLB/PT-cache/walker against a snapshot of the
+//!   translation frames, computes each access's end-to-end latency, and
+//!   emits the DRAM transaction stream (walker fetches plus one pipelined
+//!   data access per access);
+//! - the *memory* lane owns the DRAM counters and the engine clocks: it
+//!   replays the transaction stream into the real [`Dram`] and charges
+//!   each access's latency to its engine.
+//!
+//! Every stream preserves the exact serial access order and every counter
+//! has exactly one owner, so results are byte-identical to the fused
+//! single-lane path by construction. [`run_via`] is the fused path;
+//! [`run_pipelined_via`] runs the two-lane (functional | fused-timing) or
+//! three-lane (functional | translate | memory) pipeline.
 
 use crate::layout::GraphInMemory;
-use dvm_mem::{Dram, PhysMem};
+use crate::transport::{self, ChunkSender, LaneTuning, Received};
+use dvm_mem::{Dram, DramClass, PhysMem};
 use dvm_mmu::{dispatch, translation_snapshot, FuncView, Iommu, MemSystem, SchemeDispatch};
 use dvm_pagetable::{PageTable, PermBitmap};
 use dvm_sim::{Cycles, Histogram};
 use dvm_types::{AccessKind, Fault, FaultKind, Permission, PhysAddr, VirtAddr, PAGE_SIZE};
 use std::marker::PhantomData;
-use std::sync::mpsc;
 
 /// Accelerator hardware parameters (paper Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,21 +174,40 @@ pub const CF_REGULARIZATION: f32 = 0.05;
 /// Unreached BFS level.
 pub const BFS_INF: u32 = u32::MAX;
 
-/// The lane pipeline has exactly two stages (functional | timing), so any
-/// requested lane count above this clamps down to it.
-pub const MAX_LANES: u32 = 2;
+/// The lane pipeline has at most three stages (functional | translate |
+/// memory), so any requested lane count above this clamps down to it.
+pub const MAX_LANES: u32 = 3;
 
-/// Resolve a `--lanes` request: `0` means auto (as many as the host can
-/// run concurrently, at most [`MAX_LANES`]), `1` the fused serial path,
-/// and anything above [`MAX_LANES`] clamps.
+/// Resolve a `--lanes` request for a process running one unit at a time:
+/// `0` means auto (as many as the host can run concurrently, at most
+/// [`MAX_LANES`]), `1` the fused serial path, and anything above
+/// [`MAX_LANES`] clamps.
 pub fn effective_lanes(lanes: u32) -> u32 {
+    effective_lanes_with_jobs(lanes, 1)
+}
+
+/// [`effective_lanes`] for a process that also runs `jobs` sweep workers
+/// concurrently: auto mode divides the host's cores among the workers
+/// first, so `jobs × lanes` never oversubscribes the machine. Explicit
+/// lane counts are honoured (clamped to [`MAX_LANES`]) regardless of
+/// `jobs`.
+pub fn effective_lanes_with_jobs(lanes: u32, jobs: u32) -> u32 {
     match lanes {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get() as u32)
-            .unwrap_or(1)
-            .min(MAX_LANES),
+        0 => auto_lanes(
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+            jobs,
+        ),
         n => n.min(MAX_LANES),
     }
+}
+
+/// The auto heuristic, separated from the host probe for testability:
+/// each of `jobs` workers gets its fair share of `cores`, floored at one
+/// lane (fused serial) and capped at the pipeline depth.
+fn auto_lanes(cores: u32, jobs: u32) -> u32 {
+    (cores / jobs.max(1)).clamp(1, MAX_LANES)
 }
 
 /// Destination sharding: hash the vertex id so RMAT's low-id hubs do not
@@ -479,15 +511,10 @@ impl<'a, D: SchemeDispatch> Port for FusedPort<'_, 'a, D> {
 }
 
 // ---------------------------------------------------------------------
-// The trace port and the two-lane pipeline.
+// The trace port and the lane pipelines.
 // ---------------------------------------------------------------------
 
-/// Records per chunk sent from the functional to the timing lane.
-const CHUNK_RECORDS: usize = 4096;
-/// Chunks in flight before the functional lane blocks.
-const CHANNEL_DEPTH: usize = 8;
-
-/// One timed access, in program order.
+/// One timed access, in program order (functional → translate stream).
 #[derive(Clone, Copy)]
 struct Record {
     va: VirtAddr,
@@ -495,36 +522,67 @@ struct Record {
     engine: u8,
 }
 
-enum Msg {
-    Chunk(Vec<Record>),
-    Finish {
-        edges_processed: u64,
-        iterations: u32,
+/// The functional lane's outcome, delivered after its last chunk.
+#[derive(Clone, Copy)]
+struct FuncVerdict {
+    edges_processed: u64,
+    iterations: u32,
+}
+
+/// One DRAM transaction, in program order (translate → memory stream).
+/// The translate lane owns the IOMMU and the DRAM latency *constants*;
+/// the memory lane owns the DRAM *counters* and the engine clocks.
+#[derive(Clone, Copy)]
+enum MemEvent {
+    /// A full-latency transaction (walker fetch, squashed preload): it
+    /// counts against DRAM but charges no engine — its latency is
+    /// already folded into its access's [`MemEvent::Data`] total.
+    Fetch { pa: PhysAddr, kind: AccessKind },
+    /// The pipelined data transaction ending one successful access,
+    /// carrying the engine to charge and the translate-computed
+    /// end-to-end latency of the whole access.
+    Data {
+        pa: PhysAddr,
+        kind: AccessKind,
+        engine: u8,
+        latency: Cycles,
     },
+}
+
+/// The translate lane's outcome: the functional verdict plus the final
+/// walker-occupancy counter the memory lane folds into the result.
+#[derive(Clone, Copy)]
+struct TimingVerdict {
+    edges_processed: u64,
+    iterations: u32,
+    walker_busy: Cycles,
 }
 
 /// The functional lane's port: accesses resolve against live memory via
 /// [`FuncView`] (no timing state touched), and the charged access stream
-/// is batched to the timing lane in order.
+/// is batched downstream in order over the recycling chunk transport.
 struct TracePort<'s> {
     view: FuncView<'s>,
-    tx: mpsc::SyncSender<Msg>,
-    buf: Vec<Record>,
+    tx: ChunkSender<Record, FuncVerdict>,
     num_engines: usize,
     rr: usize,
     pending: Option<(VirtAddr, AccessKind)>,
-    /// The timing lane hung up (it faulted, and its fault is the
-    /// authoritative outcome) — unwind fast without sending more.
-    dead: bool,
+    /// Engine of the most recent charge. A faulting access is forwarded
+    /// before the skeleton picks its engine (the fault pre-empts the
+    /// charge), so its record carries the last attributed engine — the
+    /// engine mid-burst at the fault — rather than a bogus constant.
+    last_engine: u8,
 }
 
 impl TracePort<'_> {
     /// Functional half of a timed access: translate, check permissions,
     /// and remember the access until the skeleton charges it. A failure
-    /// is still forwarded (the timing lane must replay it to raise the
-    /// authoritative fault) before unwinding with a placeholder.
+    /// is still forwarded (the downstream lane must replay it to raise
+    /// the authoritative fault) before unwinding with a placeholder.
     fn access(&mut self, va: VirtAddr, kind: AccessKind) -> Result<PhysAddr, Fault> {
-        if self.dead {
+        if self.tx.is_dead() {
+            // The downstream lane hung up (it faulted, and its fault is
+            // the authoritative outcome) — unwind without sending more.
             return Err(Fault {
                 va,
                 access: kind,
@@ -538,13 +596,12 @@ impl TracePort<'_> {
                 Ok(pa)
             }
             outcome => {
-                self.push(Record {
+                self.tx.push(Record {
                     va,
                     kind,
-                    engine: 0,
+                    engine: self.last_engine,
                 });
-                self.flush();
-                self.dead = true;
+                self.tx.flush();
                 Err(Fault {
                     va,
                     access: kind,
@@ -558,28 +615,10 @@ impl TracePort<'_> {
         }
     }
 
-    fn push(&mut self, rec: Record) {
-        self.buf.push(rec);
-        if self.buf.len() >= CHUNK_RECORDS {
-            self.flush();
-        }
-    }
-
-    fn flush(&mut self) {
-        if self.buf.is_empty() {
-            return;
-        }
-        let chunk = std::mem::replace(&mut self.buf, Vec::with_capacity(CHUNK_RECORDS));
-        if !self.dead && self.tx.send(Msg::Chunk(chunk)).is_err() {
-            self.dead = true;
-        }
-    }
-
     /// Functional execution succeeded: flush the tail of the trace and
-    /// hand the timing lane the functional outcome.
-    fn finish(mut self, edges_processed: u64, iterations: u32) {
-        self.flush();
-        let _ = self.tx.send(Msg::Finish {
+    /// hand the downstream lane the functional outcome.
+    fn finish(self, edges_processed: u64, iterations: u32) {
+        self.tx.finish(FuncVerdict {
             edges_processed,
             iterations,
         });
@@ -631,7 +670,8 @@ impl<'s> Port for TracePort<'s> {
             .pending
             .take()
             .expect("charge without a pending access");
-        self.push(Record {
+        self.last_engine = engine as u8;
+        self.tx.push(Record {
             va,
             kind,
             engine: engine as u8,
@@ -749,37 +789,104 @@ pub fn run_pipelined(
     g: &GraphInMemory,
     parts: LaneParts<'_>,
     cfg: &AccelConfig,
+    lanes: u32,
 ) -> Result<RunResult, Fault> {
-    run_pipelined_via::<dispatch::Dyn>(workload, g, parts, cfg)
+    run_pipelined_via::<dispatch::Dyn>(workload, g, parts, cfg, lanes)
 }
 
-/// Two-lane execution: the functional lane runs the workload on this
-/// thread against live memory, streaming each charged access; the timing
+/// Pipelined execution across `lanes` lanes (`2` or `3`; resolve a CLI
+/// request with [`effective_lanes`] first and call [`run_via`] for `1`).
+/// The functional lane runs the workload on this thread against live
+/// memory, streaming each charged access; with 2 lanes a single timing
 /// lane replays the stream in order through the real IOMMU and DRAM on a
-/// scoped thread, walking a snapshot of the translation frames. Page
-/// tables are immutable during a run, so the replay observes exactly the
-/// fused path's machine state — results, counters, histograms and energy
-/// are byte-identical to [`run_via`].
+/// scoped thread, walking a snapshot of the translation frames; with 3
+/// the timing work splits at the IOMMU→DRAM boundary into a translate
+/// lane and a memory lane (see the module docs). Page tables are
+/// immutable during a run and every stream preserves serial order, so
+/// the replay observes exactly the fused path's machine state — results,
+/// counters, histograms and energy are byte-identical to [`run_via`].
 ///
 /// # Errors
 ///
-/// Propagates the first [`Fault`] the IOMMU raises (raised by the timing
-/// lane, which is authoritative).
+/// Propagates the first [`Fault`] the IOMMU raises (raised by the lane
+/// owning the IOMMU, which is authoritative).
 ///
 /// # Panics
 ///
-/// Panics if `g.prop_stride` does not match the workload's stride, or if
-/// `cfg.engines` exceeds 256 (trace records hold engine ids in a byte).
+/// Panics if `g.prop_stride` does not match the workload's stride, if
+/// `cfg.engines` exceeds 256 (trace records hold engine ids in a byte),
+/// or if `lanes` is outside `2..=MAX_LANES`.
 pub fn run_pipelined_via<D: SchemeDispatch>(
     workload: &Workload,
     g: &GraphInMemory,
     parts: LaneParts<'_>,
     cfg: &AccelConfig,
+    lanes: u32,
+) -> Result<RunResult, Fault> {
+    run_pipelined_tuned_via::<D>(workload, g, parts, cfg, lanes, LaneTuning::default())
+}
+
+/// [`run_pipelined_via`] with explicit transport tuning. Tests shrink the
+/// chunk size and channel depth to force chunk-boundary and backpressure
+/// edges that production-sized chunks would only hit on huge units.
+#[doc(hidden)]
+pub fn run_pipelined_tuned_via<D: SchemeDispatch>(
+    workload: &Workload,
+    g: &GraphInMemory,
+    parts: LaneParts<'_>,
+    cfg: &AccelConfig,
+    lanes: u32,
+    tuning: LaneTuning,
 ) -> Result<RunResult, Fault> {
     assert!(
         cfg.engines <= 256,
         "trace records hold engine ids in a byte"
     );
+    assert!(
+        (2..=MAX_LANES).contains(&lanes),
+        "pipelined path needs 2..={MAX_LANES} lanes, got {lanes}"
+    );
+    if lanes >= 3 {
+        three_lane::<D>(workload, g, parts, cfg, tuning)
+    } else {
+        two_lane::<D>(workload, g, parts, cfg, tuning)
+    }
+}
+
+/// Drive the functional lane on the calling thread: execute the workload
+/// through a [`TracePort`], then either deliver the verdict or — on a
+/// fault — drop the sender with the faulting access as the stream's last
+/// record, telling the downstream lane to fault there.
+fn run_functional(
+    workload: &Workload,
+    g: &GraphInMemory,
+    pt: &PageTable,
+    mem: &mut PhysMem,
+    cfg: &AccelConfig,
+    tx: ChunkSender<Record, FuncVerdict>,
+) {
+    let mut port = TracePort {
+        view: FuncView::new(pt, mem),
+        tx,
+        num_engines: cfg.engines as usize,
+        rr: 0,
+        pending: None,
+        last_engine: 0,
+    };
+    match exec(workload, &mut port, g) {
+        Ok((edges_processed, iterations)) => port.finish(edges_processed, iterations),
+        Err(_) => drop(port),
+    }
+}
+
+/// Two lanes: functional | fused timing (IOMMU + DRAM on one thread).
+fn two_lane<D: SchemeDispatch>(
+    workload: &Workload,
+    g: &GraphInMemory,
+    parts: LaneParts<'_>,
+    cfg: &AccelConfig,
+    tuning: LaneTuning,
+) -> Result<RunResult, Fault> {
     let LaneParts {
         iommu,
         pt,
@@ -788,48 +895,172 @@ pub fn run_pipelined_via<D: SchemeDispatch>(
         dram,
     } = parts;
     let mut snapshot = translation_snapshot(pt, bitmap, mem);
-    let (tx, rx) = mpsc::sync_channel::<Msg>(CHANNEL_DEPTH);
+    let (tx, rx) = transport::channel::<Record, FuncVerdict>(tuning);
     std::thread::scope(|scope| {
         let timing = scope.spawn(move || -> Result<RunResult, Fault> {
             let mut sys = MemSystem::new(iommu, pt, bitmap, &mut snapshot, dram);
             let mut engines = Engines::new(cfg, sys.iommu.stats.walker_busy.get());
-            let mut verdict = None;
-            for msg in rx {
-                match msg {
-                    Msg::Chunk(records) => {
-                        for rec in records {
+            loop {
+                match rx.recv() {
+                    Some(Received::Chunk(chunk)) => {
+                        for rec in chunk.iter() {
                             let lat = sys.access_via::<D>(rec.va, rec.kind)?;
                             engines.charge(rec.engine as usize, lat);
                         }
                     }
-                    Msg::Finish {
+                    Some(Received::Finish(FuncVerdict {
                         edges_processed,
                         iterations,
-                    } => verdict = Some((edges_processed, iterations)),
+                    })) => {
+                        let walker_busy_now = sys.iommu.stats.walker_busy.get();
+                        return Ok(engines.result(walker_busy_now, edges_processed, iterations));
+                    }
+                    None => panic!("functional lane ended without a verdict"),
                 }
             }
-            let (edges_processed, iterations) =
-                verdict.expect("functional lane ended without a verdict");
-            let walker_busy_now = sys.iommu.stats.walker_busy.get();
-            Ok(engines.result(walker_busy_now, edges_processed, iterations))
         });
-        let mut port = TracePort {
-            view: FuncView::new(pt, mem),
-            tx,
-            buf: Vec::with_capacity(CHUNK_RECORDS),
-            num_engines: cfg.engines as usize,
-            rr: 0,
-            pending: None,
-            dead: false,
-        };
-        match exec(workload, &mut port, g) {
-            // Success: hand over the functional outcome.
-            Ok((edges_processed, iterations)) => port.finish(edges_processed, iterations),
-            // The trace ends at the faulting access; dropping the sender
-            // without a Finish tells the timing lane to fault there.
-            Err(_) => drop(port),
-        }
+        run_functional(workload, g, pt, mem, cfg, tx);
         timing.join().expect("timing lane panicked")
+    })
+}
+
+/// Three lanes: functional | translate (IOMMU) | memory (DRAM counters +
+/// engine clocks). The translate lane runs the full validation path
+/// against a *recording* scratch [`Dram`] — DRAM latencies are pure
+/// configuration constants, so the scratch instance answers latency
+/// queries identically while its counters are discarded; the recorded
+/// transaction stream replays into the real DRAM downstream, so every
+/// DRAM counter is owned by exactly one lane and ends byte-identical to
+/// the fused path.
+fn three_lane<D: SchemeDispatch>(
+    workload: &Workload,
+    g: &GraphInMemory,
+    parts: LaneParts<'_>,
+    cfg: &AccelConfig,
+    tuning: LaneTuning,
+) -> Result<RunResult, Fault> {
+    let LaneParts {
+        iommu,
+        pt,
+        bitmap,
+        mem,
+        dram,
+    } = parts;
+    let mut snapshot = translation_snapshot(pt, bitmap, mem);
+    let walker_busy_at_start = iommu.stats.walker_busy.get();
+    let dram_config = dram.config();
+    let (tx, rx) = transport::channel::<Record, FuncVerdict>(tuning);
+    let (etx, erx) = transport::channel::<MemEvent, TimingVerdict>(tuning);
+    std::thread::scope(|scope| {
+        // Memory lane: counters and clocks. `None` means the stream was
+        // cut short — the translate lane faulted and its Err is the
+        // authoritative outcome.
+        let memory = scope.spawn(move || -> Option<RunResult> {
+            let mut engines = Engines::new(cfg, walker_busy_at_start);
+            loop {
+                match erx.recv() {
+                    Some(Received::Chunk(chunk)) => {
+                        for &ev in chunk.iter() {
+                            match ev {
+                                MemEvent::Fetch { pa, kind } => {
+                                    let _ = dram.access(pa, kind);
+                                }
+                                MemEvent::Data {
+                                    pa,
+                                    kind,
+                                    engine,
+                                    latency,
+                                } => {
+                                    let _ = dram.occupancy_access(pa, kind);
+                                    engines.charge(engine as usize, latency);
+                                }
+                            }
+                        }
+                    }
+                    Some(Received::Finish(v)) => {
+                        return Some(engines.result(
+                            v.walker_busy,
+                            v.edges_processed,
+                            v.iterations,
+                        ));
+                    }
+                    None => return None,
+                }
+            }
+        });
+        // Translate lane: the IOMMU and every translation counter.
+        let translate = scope.spawn(move || -> Result<(), Fault> {
+            let mut scratch = Dram::recording(dram_config);
+            let mut sys = MemSystem::new(iommu, pt, bitmap, &mut snapshot, &mut scratch);
+            let mut etx = etx;
+            loop {
+                match rx.recv() {
+                    Some(Received::Chunk(chunk)) => {
+                        for rec in chunk.iter() {
+                            match sys.access_via::<D>(rec.va, rec.kind) {
+                                Ok(latency) => {
+                                    // Exactly one pipelined transaction ends
+                                    // every successful access (the data access
+                                    // in `MemSystem::finish`); it carries the
+                                    // access's engine and total latency.
+                                    for ev in sys.dram.drain_events() {
+                                        etx.push(match ev.class {
+                                            DramClass::Fetch => MemEvent::Fetch {
+                                                pa: ev.pa,
+                                                kind: ev.kind,
+                                            },
+                                            DramClass::Pipelined => MemEvent::Data {
+                                                pa: ev.pa,
+                                                kind: ev.kind,
+                                                engine: rec.engine,
+                                                latency,
+                                            },
+                                        });
+                                    }
+                                }
+                                Err(fault) => {
+                                    // The failed access's walker fetches still
+                                    // count against DRAM; forward them, then
+                                    // hang up without a verdict.
+                                    for ev in sys.dram.drain_events() {
+                                        debug_assert_eq!(
+                                            ev.class,
+                                            DramClass::Fetch,
+                                            "no data access on a faulted access"
+                                        );
+                                        etx.push(MemEvent::Fetch {
+                                            pa: ev.pa,
+                                            kind: ev.kind,
+                                        });
+                                    }
+                                    etx.flush();
+                                    return Err(fault);
+                                }
+                            }
+                        }
+                    }
+                    Some(Received::Finish(FuncVerdict {
+                        edges_processed,
+                        iterations,
+                    })) => {
+                        etx.finish(TimingVerdict {
+                            edges_processed,
+                            iterations,
+                            walker_busy: sys.iommu.stats.walker_busy.get(),
+                        });
+                        return Ok(());
+                    }
+                    None => panic!("functional lane ended without a verdict"),
+                }
+            }
+        });
+        run_functional(workload, g, pt, mem, cfg, tx);
+        let translated = translate.join().expect("translate lane panicked");
+        let timed = memory.join().expect("memory lane panicked");
+        match translated {
+            Err(fault) => Err(fault),
+            Ok(()) => Ok(timed.expect("memory lane ended without a verdict")),
+        }
     })
 }
 
@@ -1096,4 +1327,87 @@ fn cf<P: Port>(
         }
     }
     Ok((edges_processed, iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvm_mem::BuddyAllocator;
+
+    #[test]
+    fn auto_lanes_divides_cores_among_jobs() {
+        // Solo process: lanes track the core count up to the cap.
+        assert_eq!(auto_lanes(1, 1), 1);
+        assert_eq!(auto_lanes(2, 1), 2);
+        assert_eq!(auto_lanes(3, 1), 3);
+        assert_eq!(auto_lanes(64, 1), MAX_LANES);
+        // Sweep workers split the cores before lanes multiply them.
+        assert_eq!(auto_lanes(8, 2), MAX_LANES);
+        assert_eq!(auto_lanes(8, 4), 2);
+        assert_eq!(auto_lanes(8, 8), 1);
+        assert_eq!(auto_lanes(2, 2), 1);
+        // Oversubscribed jobs floor at the serial path; jobs=0 is 1.
+        assert_eq!(auto_lanes(4, 16), 1);
+        assert_eq!(auto_lanes(4, 0), MAX_LANES);
+    }
+
+    #[test]
+    fn explicit_lanes_ignore_jobs_and_clamp() {
+        assert_eq!(effective_lanes_with_jobs(1, 64), 1);
+        assert_eq!(effective_lanes_with_jobs(2, 64), 2);
+        assert_eq!(effective_lanes_with_jobs(3, 64), 3);
+        assert_eq!(effective_lanes_with_jobs(17, 64), MAX_LANES);
+        assert_eq!(effective_lanes(MAX_LANES + 1), MAX_LANES);
+    }
+
+    /// A faulting access is forwarded stamped with the engine of the most
+    /// recent charge (the engine mid-burst), not a hard-coded zero.
+    #[test]
+    fn fault_record_carries_last_charged_engine() {
+        let mut mem = PhysMem::new(1 << 16);
+        let mut alloc = BuddyAllocator::new(1 << 16);
+        let mut pt = PageTable::new(&mut mem, &mut alloc).unwrap();
+        pt.map_identity_pe(
+            &mut mem,
+            &mut alloc,
+            VirtAddr::new(16 << 20),
+            64 * 1024,
+            Permission::ReadOnly,
+        )
+        .unwrap();
+        let (tx, rx) = transport::channel(LaneTuning {
+            chunk_records: 4,
+            depth: 2,
+        });
+        let mut port = TracePort {
+            view: FuncView::new(&pt, &mut mem),
+            tx,
+            num_engines: 8,
+            rr: 0,
+            pending: None,
+            last_engine: 0,
+        };
+        let va = VirtAddr::new(16 << 20);
+        port.read_u32(va).unwrap();
+        port.charge(5);
+        // A store to the read-only page: forwarded, then refused.
+        let fault = port.write_u32(va, 1).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Protection);
+        drop(port);
+        let mut records: Vec<Record> = Vec::new();
+        while let Some(msg) = rx.recv() {
+            match msg {
+                Received::Chunk(chunk) => records.extend_from_slice(&chunk),
+                Received::Finish(_) => panic!("fault path must not deliver a verdict"),
+            }
+        }
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].engine, 5);
+        assert_eq!(
+            records[1].engine, 5,
+            "fault record inherits the last engine"
+        );
+        assert_eq!(records[1].kind, AccessKind::Write);
+        assert_eq!(records[1].va, va);
+    }
 }

@@ -1,0 +1,311 @@
+//! Zero-allocation chunk transport between pipeline lanes.
+//!
+//! The lane pipeline (see `run.rs` and DESIGN.md "Lane partitioning")
+//! ships its record streams between threads in chunks. A naive transport
+//! allocates a fresh `Vec` per chunk — millions of allocations on a long
+//! unit. This module recycles them instead: the consumer returns every
+//! spent chunk (cleared, capacity intact) to the producer over an
+//! unbounded *free-list* channel, so after warm-up the producer never
+//! allocates again. Steady-state chunk allocations are bounded by the
+//! channel depth plus the buffers in each lane's hands, regardless of how
+//! many chunks flow.
+//!
+//! The data channel is a bounded [`mpsc::sync_channel`], so a producer
+//! that runs ahead of its consumer blocks once `depth` chunks are in
+//! flight — backpressure, not unbounded buffering.
+//!
+//! ```
+//! use dvm_accel::transport::{channel, LaneTuning, Received};
+//! let (mut tx, rx) = channel::<u32, &'static str>(LaneTuning::default());
+//! std::thread::spawn(move || {
+//!     for i in 0..10_000 {
+//!         tx.push(i);
+//!     }
+//!     tx.finish("done");
+//! });
+//! let mut sum = 0u64;
+//! loop {
+//!     match rx.recv() {
+//!         Some(Received::Chunk(chunk)) => sum += chunk.iter().map(|&v| v as u64).sum::<u64>(),
+//!         Some(Received::Finish(v)) => break assert_eq!(v, "done"),
+//!         None => unreachable!("producer finished"),
+//!     }
+//! }
+//! assert_eq!(sum, (0..10_000u64).sum());
+//! ```
+
+use std::ops::Deref;
+use std::sync::mpsc;
+
+/// Chunking parameters for one lane-to-lane transport. The defaults are
+/// the production values; tests shrink them to force chunk-boundary and
+/// backpressure edges (see `run_pipelined_tuned` in `run.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneTuning {
+    /// Records per chunk sent downstream.
+    pub chunk_records: usize,
+    /// Chunks in flight before the producer blocks.
+    pub depth: usize,
+}
+
+impl Default for LaneTuning {
+    fn default() -> Self {
+        Self {
+            chunk_records: 4096,
+            depth: 8,
+        }
+    }
+}
+
+impl LaneTuning {
+    /// Upper bound on fresh chunk allocations the producer performs over
+    /// the transport's whole life: one buffer being filled by the
+    /// producer, one mid-send, up to `depth` in flight, and one in the
+    /// consumer's hands — constant in the number of chunks shipped.
+    pub fn alloc_bound(&self) -> u64 {
+        self.depth as u64 + 3
+    }
+}
+
+/// A message from producer to consumer: a chunk of records, or the
+/// producer's final verdict. A producer that drops its sender without
+/// calling [`ChunkSender::finish`] signals abnormal termination — the
+/// consumer's [`ChunkReceiver::recv`] returns `None` with no verdict.
+enum LaneMsg<T, V> {
+    Chunk(Vec<T>),
+    Finish(V),
+}
+
+/// What one [`ChunkReceiver::recv`] call yielded.
+pub enum Received<'a, T, V> {
+    /// A chunk of records, in stream order. The guard returns the chunk
+    /// to the producer's free list when dropped.
+    Chunk(ChunkGuard<'a, T>),
+    /// The producer's verdict; the stream is complete.
+    Finish(V),
+}
+
+/// Borrowed view of one received chunk. On drop the underlying buffer is
+/// cleared and sent back to the producer for reuse.
+pub struct ChunkGuard<'a, T> {
+    buf: Option<Vec<T>>,
+    recycle: &'a mpsc::Sender<Vec<T>>,
+}
+
+impl<T> Deref for ChunkGuard<'_, T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.buf.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl<T> Drop for ChunkGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut buf = self.buf.take().expect("dropped once");
+        buf.clear();
+        // A vanished producer no longer needs its buffers back.
+        let _ = self.recycle.send(buf);
+    }
+}
+
+/// Producer half: buffers records and ships full chunks downstream,
+/// drawing spent buffers from the free list before allocating.
+pub struct ChunkSender<T, V> {
+    tx: mpsc::SyncSender<LaneMsg<T, V>>,
+    pool: mpsc::Receiver<Vec<T>>,
+    buf: Vec<T>,
+    chunk_records: usize,
+    fresh_allocs: u64,
+    /// The consumer hung up; stop shipping (its outcome is authoritative).
+    dead: bool,
+}
+
+/// Consumer half: yields chunks in order, recycling each one.
+pub struct ChunkReceiver<T, V> {
+    rx: mpsc::Receiver<LaneMsg<T, V>>,
+    recycle: mpsc::Sender<Vec<T>>,
+}
+
+/// Build a connected transport with the given tuning.
+pub fn channel<T, V>(tuning: LaneTuning) -> (ChunkSender<T, V>, ChunkReceiver<T, V>) {
+    assert!(tuning.chunk_records > 0, "chunks must hold records");
+    assert!(tuning.depth > 0, "need at least one chunk in flight");
+    let (tx, rx) = mpsc::sync_channel(tuning.depth);
+    let (recycle, pool) = mpsc::channel();
+    (
+        ChunkSender {
+            tx,
+            pool,
+            buf: Vec::with_capacity(tuning.chunk_records),
+            chunk_records: tuning.chunk_records,
+            fresh_allocs: 1,
+            dead: false,
+        },
+        ChunkReceiver { rx, recycle },
+    )
+}
+
+impl<T, V> ChunkSender<T, V> {
+    /// Append one record, shipping the chunk downstream when full. The
+    /// send blocks while `depth` chunks are already in flight.
+    #[inline]
+    pub fn push(&mut self, record: T) {
+        self.buf.push(record);
+        if self.buf.len() >= self.chunk_records {
+            self.flush();
+        }
+    }
+
+    /// Ship the partial chunk now (no-op when empty or the consumer is
+    /// gone). Called automatically by [`push`](Self::push) and
+    /// [`finish`](Self::finish); fault paths call it directly to get the
+    /// final records out before dropping the sender.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() || self.dead {
+            return;
+        }
+        let next = match self.pool.try_recv() {
+            Ok(recycled) => recycled,
+            Err(_) => {
+                self.fresh_allocs += 1;
+                Vec::with_capacity(self.chunk_records)
+            }
+        };
+        let chunk = std::mem::replace(&mut self.buf, next);
+        if self.tx.send(LaneMsg::Chunk(chunk)).is_err() {
+            self.dead = true;
+        }
+    }
+
+    /// `true` once the consumer has hung up; further records are
+    /// discarded (the consumer's outcome is authoritative).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Flush the tail and deliver the final verdict. Returns the number
+    /// of fresh chunk allocations performed over the transport's life —
+    /// the recycling invariant tests assert it against
+    /// [`LaneTuning::alloc_bound`].
+    pub fn finish(mut self, verdict: V) -> u64 {
+        self.flush();
+        if !self.dead {
+            let _ = self.tx.send(LaneMsg::Finish(verdict));
+        }
+        self.fresh_allocs
+    }
+}
+
+impl<T, V> ChunkReceiver<T, V> {
+    /// Block for the next chunk or the verdict. `None` means the producer
+    /// dropped its sender without finishing (it hit a fault and the
+    /// consumer's replay of the already-received records is the
+    /// authoritative outcome).
+    pub fn recv(&self) -> Option<Received<'_, T, V>> {
+        match self.rx.recv().ok()? {
+            LaneMsg::Chunk(buf) => Some(Received::Chunk(ChunkGuard {
+                buf: Some(buf),
+                recycle: &self.recycle,
+            })),
+            LaneMsg::Finish(v) => Some(Received::Finish(v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every record arrives, in order, followed by the verdict.
+    #[test]
+    fn stream_order_and_verdict() {
+        let tuning = LaneTuning {
+            chunk_records: 3,
+            depth: 2,
+        };
+        let (mut tx, rx) = channel::<u32, u64>(tuning);
+        let consumer = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            loop {
+                match rx.recv() {
+                    Some(Received::Chunk(chunk)) => seen.extend_from_slice(&chunk),
+                    Some(Received::Finish(v)) => return (seen, Some(v)),
+                    None => return (seen, None),
+                }
+            }
+        });
+        for i in 0..100u32 {
+            tx.push(i);
+        }
+        tx.finish(12345);
+        let (seen, verdict) = consumer.join().unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert_eq!(verdict, Some(12345));
+    }
+
+    /// Steady-state recycling: allocations stay bounded by the tuning's
+    /// alloc bound no matter how many chunks flow.
+    #[test]
+    fn allocations_bounded_by_depth() {
+        let tuning = LaneTuning {
+            chunk_records: 4,
+            depth: 2,
+        };
+        let (mut tx, rx) = channel::<u64, ()>(tuning);
+        let consumer = std::thread::spawn(move || {
+            let mut total = 0u64;
+            while let Some(msg) = rx.recv() {
+                match msg {
+                    Received::Chunk(chunk) => total += chunk.len() as u64,
+                    Received::Finish(()) => break,
+                }
+            }
+            total
+        });
+        // 10k records through 4-record chunks: 2500 chunks, yet the
+        // producer may allocate at most depth + 3 = 5 buffers.
+        for i in 0..10_000u64 {
+            tx.push(i);
+        }
+        let allocs = tx.finish(());
+        assert_eq!(consumer.join().unwrap(), 10_000);
+        assert!(
+            allocs <= tuning.alloc_bound(),
+            "{allocs} fresh allocations exceed bound {}",
+            tuning.alloc_bound()
+        );
+    }
+
+    /// A producer that drops without finishing still delivers its flushed
+    /// records; the consumer then sees end-of-stream with no verdict.
+    #[test]
+    fn drop_without_finish_signals_fault() {
+        let (mut tx, rx) = channel::<u8, ()>(LaneTuning {
+            chunk_records: 8,
+            depth: 2,
+        });
+        tx.push(1);
+        tx.push(2);
+        tx.flush();
+        drop(tx);
+        match rx.recv() {
+            Some(Received::Chunk(chunk)) => assert_eq!(&*chunk, &[1, 2]),
+            _ => panic!("expected the flushed chunk"),
+        }
+        assert!(rx.recv().is_none(), "no verdict after an aborted producer");
+    }
+
+    /// A vanished consumer marks the sender dead instead of wedging it.
+    #[test]
+    fn consumer_hangup_kills_sender() {
+        let (mut tx, rx) = channel::<u8, ()>(LaneTuning {
+            chunk_records: 1,
+            depth: 4,
+        });
+        drop(rx);
+        tx.push(1); // chunk_records = 1: flushes, discovers the hangup
+        assert!(tx.is_dead());
+        tx.push(2); // silently discarded
+        tx.finish(());
+    }
+}

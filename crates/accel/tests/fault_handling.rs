@@ -1,7 +1,7 @@
 //! Accelerator fault behaviour: DAV must stop a workload that strays onto
 //! memory it has no right to touch, without corrupting anything.
 
-use dvm_accel::{layout, run, AccelConfig, Workload};
+use dvm_accel::{layout, run, run_pipelined, AccelConfig, LaneParts, Workload};
 use dvm_energy::EnergyParams;
 use dvm_graph::{rmat, RmatParams};
 use dvm_mem::{Dram, DramConfig, MachineConfig};
@@ -88,4 +88,66 @@ fn faults_do_not_corrupt_other_processes() {
     let result = run(&workload, &g, &mut sys, &AccelConfig::default());
     assert!(result.is_err());
     assert_eq!(os.read_u64(b, secret_va).unwrap(), 0x5ECE7);
+}
+
+/// A faulting offload must be observationally identical whatever the
+/// lane count: same fault, same IOMMU counters, same DRAM counters (the
+/// failed access's walker fetches included), on every pipelined path.
+#[test]
+fn pipelined_faults_match_serial_exactly() {
+    let observe = |lanes: u32, scheme: SchemeId| {
+        let flavor = match scheme.required_leaf_size() {
+            Some(page_size) => dvm_os::MapFlavor::Paged(page_size),
+            None => dvm_os::MapFlavor::DvmPe,
+        };
+        let mut os = Os::new(OsConfig {
+            machine: MachineConfig { mem_bytes: 1 << 30 },
+            flavor,
+            ..OsConfig::default()
+        });
+        let pid = os.spawn().unwrap();
+        let graph = rmat(9, 4, RmatParams::default(), 21);
+        let workload = Workload::PageRank { iterations: 1 };
+        let g = layout::load_graph(&mut os, pid, &graph, workload.prop_stride()).unwrap();
+        os.mprotect(pid, g.temp_va, Permission::ReadOnly).unwrap();
+
+        let mut iommu = Iommu::new(scheme, EnergyParams::default());
+        let mut dram = Dram::new(DramConfig::default());
+        let pt = os.process(pid).unwrap().page_table;
+        let cfg = AccelConfig::default();
+        let fault = if lanes >= 2 {
+            run_pipelined(
+                &workload,
+                &g,
+                LaneParts {
+                    iommu: &mut iommu,
+                    pt: &pt,
+                    bitmap: None,
+                    mem: &mut os.machine.mem,
+                    dram: &mut dram,
+                },
+                &cfg,
+                lanes,
+            )
+            .unwrap_err()
+        } else {
+            let mut sys = MemSystem::new(&mut iommu, &pt, None, &mut os.machine.mem, &mut dram);
+            run(&workload, &g, &mut sys, &cfg).unwrap_err()
+        };
+        assert_eq!(fault.kind, FaultKind::Protection, "lanes={lanes}");
+        assert_eq!(iommu.stats.faults.get(), 1, "lanes={lanes}");
+        format!(
+            "fault={fault:?} iommu={:?} dram: reads={} writes={} channels={:?}",
+            iommu.stats,
+            dram.reads(),
+            dram.writes(),
+            dram.channel_accesses(),
+        )
+    };
+    for scheme in [SchemeId::DVM_PE_PLUS, SchemeId::CONV_4K] {
+        let serial = observe(1, scheme);
+        for lanes in 2..=dvm_accel::MAX_LANES {
+            assert_eq!(serial, observe(lanes, scheme), "{scheme} @ {lanes} lanes");
+        }
+    }
 }

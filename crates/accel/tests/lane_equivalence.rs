@@ -1,15 +1,17 @@
-//! Lane partitioning is a pure execution strategy: a pipelined run
-//! (functional lane + timing lane) must be *bit-identical* — results,
-//! property arrays, every IOMMU counter, every DRAM counter — to the
-//! fused serial run on every registered scheme, the paper set and the
-//! SVA rivals alike. This is the whole-system counterpart of the sweep
-//! test `lanes_do_not_perturb_results` in `dvm-core`.
+//! Lane partitioning is a pure execution strategy: a pipelined run —
+//! two lanes (functional | timing) or three (functional | translate |
+//! memory) — must be *bit-identical* — results, property arrays, every
+//! IOMMU counter, every DRAM counter — to the fused serial run on every
+//! registered scheme, the paper set and the SVA rivals alike. This is
+//! the whole-system counterpart of the sweep test
+//! `lanes_do_not_perturb_results` in `dvm-core`.
 
-use dvm_accel::{layout, run, run_pipelined, AccelConfig, LaneParts, Workload};
+use dvm_accel::run::run_pipelined_tuned_via;
+use dvm_accel::{layout, run, run_pipelined, AccelConfig, LaneParts, LaneTuning, Workload};
 use dvm_energy::EnergyParams;
 use dvm_graph::{rmat, to_bipartite, Graph, RmatParams};
 use dvm_mem::{Dram, DramConfig, MachineConfig};
-use dvm_mmu::{Iommu, MemSystem, SchemeId};
+use dvm_mmu::{dispatch, Iommu, MemSystem, SchemeId};
 use dvm_os::{MapFlavor, Os, OsConfig};
 
 fn os_for(config: SchemeId) -> Os {
@@ -35,7 +37,16 @@ struct Observation {
     dram: String,
 }
 
-fn observe(config: SchemeId, workload: &Workload, graph: &Graph, pipelined: bool) -> Observation {
+/// Run one (scheme, workload, graph) unit at the given lane count
+/// (`1` = fused serial; `2`/`3` = pipelined) and dump the full counter
+/// state. `tuning` shrinks the transport for the chunk-edge tests.
+fn observe_tuned(
+    config: SchemeId,
+    workload: &Workload,
+    graph: &Graph,
+    lanes: u32,
+    tuning: LaneTuning,
+) -> Observation {
     let mut os = os_for(config);
     let pid = os.spawn().unwrap();
     let g = layout::load_graph(&mut os, pid, graph, workload.prop_stride()).unwrap();
@@ -44,8 +55,8 @@ fn observe(config: SchemeId, workload: &Workload, graph: &Graph, pipelined: bool
     let pt = os.process(pid).unwrap().page_table;
     let bitmap = os.bitmap;
     let cfg = AccelConfig::default();
-    let result = if pipelined {
-        run_pipelined(
+    let result = if lanes >= 2 {
+        run_pipelined_tuned_via::<dispatch::Dyn>(
             workload,
             &g,
             LaneParts {
@@ -56,6 +67,8 @@ fn observe(config: SchemeId, workload: &Workload, graph: &Graph, pipelined: bool
                 dram: &mut dram,
             },
             &cfg,
+            lanes,
+            tuning,
         )
         .unwrap()
     } else {
@@ -105,17 +118,27 @@ fn observe(config: SchemeId, workload: &Workload, graph: &Graph, pipelined: bool
     }
 }
 
+fn observe(config: SchemeId, workload: &Workload, graph: &Graph, lanes: u32) -> Observation {
+    observe_tuned(config, workload, graph, lanes, LaneTuning::default())
+}
+
+fn assert_matches(serial: &Observation, laned: &Observation, label: &str) {
+    assert_eq!(serial.result, laned.result, "{label}: run result");
+    assert_eq!(serial.props_u32, laned.props_u32, "{label}: u32 props");
+    assert_eq!(serial.props_f32, laned.props_f32, "{label}: f32 props");
+    assert_eq!(serial.iommu, laned.iommu, "{label}: IOMMU state");
+    assert_eq!(serial.dram, laned.dram, "{label}: DRAM counters");
+}
+
 fn assert_equivalent(workload: &Workload, graph: &Graph) {
     // Every registered scheme: the seven paper configurations plus the
     // SVA rivals (and anything a test registered before this ran).
     for config in SchemeId::all() {
-        let serial = observe(config, workload, graph, false);
-        let laned = observe(config, workload, graph, true);
-        assert_eq!(serial.result, laned.result, "{config}: run result");
-        assert_eq!(serial.props_u32, laned.props_u32, "{config}: u32 props");
-        assert_eq!(serial.props_f32, laned.props_f32, "{config}: f32 props");
-        assert_eq!(serial.iommu, laned.iommu, "{config}: IOMMU state");
-        assert_eq!(serial.dram, laned.dram, "{config}: DRAM counters");
+        let serial = observe(config, workload, graph, 1);
+        for lanes in 2..=dvm_accel::MAX_LANES {
+            let laned = observe(config, workload, graph, lanes);
+            assert_matches(&serial, &laned, &format!("{config} @ {lanes} lanes"));
+        }
     }
 }
 
@@ -153,4 +176,60 @@ fn cf_is_lane_invariant_on_all_schemes() {
         },
         &graph,
     );
+}
+
+/// Chunk-boundary and backpressure edges: a transport squeezed down to
+/// 3-record chunks and a single chunk in flight forces constant flushes,
+/// free-list recycling, and producer blocking — and must still be
+/// bit-identical to serial at both pipelined lane counts.
+#[test]
+fn tiny_chunks_and_minimum_depth_stay_bit_identical() {
+    let tiny = LaneTuning {
+        chunk_records: 3,
+        depth: 1,
+    };
+    let graph = rmat(8, 8, RmatParams::default(), 44);
+    let workload = Workload::Bfs { root: 0 };
+    for config in [SchemeId::CONV_4K, SchemeId::DVM_PE_PLUS, SchemeId::DVM_BM] {
+        let serial = observe(config, &workload, &graph, 1);
+        for lanes in 2..=dvm_accel::MAX_LANES {
+            let laned = observe_tuned(config, &workload, &graph, lanes, tiny);
+            assert_matches(
+                &serial,
+                &laned,
+                &format!("{config} @ {lanes} lanes, tiny transport"),
+            );
+        }
+    }
+}
+
+/// `run_pipelined` (the dynamic-dispatch entry) honours the lane count.
+#[test]
+fn dynamic_entry_runs_three_lanes() {
+    let graph = rmat(8, 8, RmatParams::default(), 45);
+    let workload = Workload::PageRank { iterations: 1 };
+    let config = SchemeId::CONV_2M;
+    let serial = observe(config, &workload, &graph, 1);
+
+    let mut os = os_for(config);
+    let pid = os.spawn().unwrap();
+    let g = layout::load_graph(&mut os, pid, &graph, workload.prop_stride()).unwrap();
+    let mut iommu = Iommu::new(config, EnergyParams::default());
+    let mut dram = Dram::new(DramConfig::default());
+    let pt = os.process(pid).unwrap().page_table;
+    let result = run_pipelined(
+        &workload,
+        &g,
+        LaneParts {
+            iommu: &mut iommu,
+            pt: &pt,
+            bitmap: None,
+            mem: &mut os.machine.mem,
+            dram: &mut dram,
+        },
+        &AccelConfig::default(),
+        3,
+    )
+    .unwrap();
+    assert_eq!(serial.result, format!("{result:?}"));
 }

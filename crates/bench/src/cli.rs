@@ -79,11 +79,13 @@ pub struct BenchArgs {
     pub schemes: Option<Vec<String>>,
     /// Sweep worker threads per process: `0` = all cores, `1` = serial.
     pub jobs: usize,
-    /// Intra-unit lanes: `1` = the fused serial path (default), `2`+ =
-    /// the functional/timing pipeline, `0` = auto. Output is
-    /// byte-identical either way; this flag only trades threads for
-    /// wall-clock within a unit. Rejected by the grid binaries
-    /// (tables, fig10, virt), which do not run the sweep engine.
+    /// Intra-unit lanes: `1` = the fused serial path (default), `2` =
+    /// the functional/timing pipeline, `3` = functional/translate/memory
+    /// (higher clamps), `0` = auto (divides the host's cores among the
+    /// `--jobs` workers). Output is byte-identical either way; this flag
+    /// only trades threads for wall-clock within a unit. Rejected by the
+    /// grid binaries (tables, fig10, virt), which do not run the sweep
+    /// engine.
     pub lanes: u32,
     /// Where to write the machine-readable results, if anywhere.
     pub json: Option<PathBuf>,
@@ -143,8 +145,9 @@ pub const USAGE: &str = "usage: [--scale smoke|quick|paper|full] [--datasets FR,
                  spell those with '-': e.g. 4K-TLB+PWC, or just 4K)
   --jobs         worker threads per process (0 = all cores, default 1)
   --lanes        intra-unit lanes: 1 = fused serial path (default),
-                 2 = functional/timing pipeline, 0 = auto; results are
-                 byte-identical regardless (sweep binaries only)
+                 2 = functional/timing pipeline, 3 = functional/
+                 translate/memory, 0 = auto (cores / --jobs); results
+                 are byte-identical regardless (sweep binaries only)
   --json         also write the machine-readable document to PATH
   --progress     per-cell progress lines on stderr (stdout is untouched)
   --cache-dir    load/store generated datasets in an on-disk cache

@@ -26,10 +26,12 @@ pub struct ExperimentConfig {
     pub dram: DramConfig,
     /// Energy parameters.
     pub energy: EnergyParams,
-    /// Intra-unit lanes: `1` runs the fused serial path, `2` (or more —
-    /// clamped) the functional/timing pipeline, `0` picks automatically
-    /// (see [`dvm_accel::effective_lanes`]). Lane choice never changes
-    /// results — reports are byte-identical by construction.
+    /// Intra-unit lanes: `1` runs the fused serial path, `2` the
+    /// functional/timing pipeline, `3` (or more — clamped) additionally
+    /// splits timing into translate and memory lanes, `0` picks
+    /// automatically (see [`dvm_accel::effective_lanes`]). Lane choice
+    /// never changes results — reports are byte-identical by
+    /// construction.
     pub lanes: u32,
 }
 
@@ -147,6 +149,7 @@ impl Unit<'_> {
                     dram: self.dram,
                 },
                 self.accel,
+                self.lanes,
             )
         } else {
             let mut sys = MemSystem::new(self.iommu, self.pt, self.bitmap, self.mem, self.dram);

@@ -15,8 +15,9 @@
 //! accelerator instances), which is what makes the grid embarrassingly
 //! parallel; the only cross-cell state is the read-only input graph.
 //! Inside one unit, [`SweepRunner::lanes`] can additionally split
-//! execution into a functional/timing pipeline — orthogonal to `jobs`,
-//! and equally invisible in the results.
+//! execution into a functional/timing pipeline (or, at three lanes,
+//! functional/translate/memory) — orthogonal to `jobs`, and equally
+//! invisible in the results.
 //!
 //! Both optional stores ([`SweepRunner::cache`] for datasets,
 //! [`SweepRunner::report_store`] for finished cell reports) are
@@ -364,10 +365,14 @@ impl<'a> SweepRunner<'a> {
     }
 
     /// Intra-unit lanes (`0` = auto, `1` = fused serial, `2` = the
-    /// functional/timing pipeline; higher values clamp). Lanes compose
-    /// with [`jobs`](Self::jobs): each worker thread splits its unit into
-    /// lanes. Reports are byte-identical whatever the lane count, so lane
-    /// choice is — deliberately — absent from [`UnitKey`].
+    /// functional/timing pipeline, `3` = functional/translate/memory;
+    /// higher values clamp). Lanes compose with [`jobs`](Self::jobs):
+    /// each worker thread splits its unit into lanes, and auto mode
+    /// divides the host's cores among the resolved workers first (see
+    /// [`dvm_accel::effective_lanes_with_jobs`]) so the product never
+    /// oversubscribes the machine. Reports are byte-identical whatever
+    /// the lane count, so lane choice is — deliberately — absent from
+    /// [`UnitKey`].
     pub fn lanes(mut self, lanes: u32) -> Self {
         self.lanes = lanes;
         self
@@ -459,6 +464,12 @@ impl<'a> SweepRunner<'a> {
 
         let total = units.len();
         let done = AtomicUsize::new(0);
+        // Resolve lanes against the worker count that will actually run:
+        // auto lane mode divides the host's cores among the workers so
+        // `jobs × lanes` never oversubscribes the machine. Explicit lane
+        // counts pass through (clamped).
+        let workers = effective_jobs(self.jobs).min(units.len().max(1));
+        let lanes = dvm_accel::effective_lanes_with_jobs(self.lanes, workers as u32);
         let outcomes = parallel_map_ordered(&units, self.jobs, |unit| {
             // The cache key deliberately excludes `lanes` (and `jobs`):
             // neither affects the report, so a report computed at any
@@ -476,7 +487,7 @@ impl<'a> SweepRunner<'a> {
                     let report = run_graph_experiment(
                         &unit.workload,
                         &graph,
-                        &ExperimentConfig::for_mmu(unit.mmu).with_lanes(self.lanes),
+                        &ExperimentConfig::for_mmu(unit.mmu).with_lanes(lanes),
                     );
                     if let (Some(store), Ok(report)) = (self.reports, &report) {
                         store.store(&unit_key, report);

@@ -48,13 +48,16 @@ fn repeated_serial_sweeps_are_stable() {
 fn laned_sweep_matches_serial_bit_for_bit() {
     let spec = small_spec();
     let serial = SweepRunner::new(&spec).run().expect("serial sweep");
-    // Lanes and jobs compose; 2 workers × 2 lanes still byte-identical.
-    let laned = SweepRunner::new(&spec)
-        .jobs(2)
-        .lanes(2)
-        .run()
-        .expect("laned sweep");
-    for (s, p) in serial.iter().zip(&laned) {
-        assert_eq!(format!("{s:?}"), format!("{p:?}"));
+    // Lanes and jobs compose; N workers × N lanes still byte-identical,
+    // on both the two-lane and three-lane pipelines.
+    for lanes in [2, 3] {
+        let laned = SweepRunner::new(&spec)
+            .jobs(2)
+            .lanes(lanes)
+            .run()
+            .expect("laned sweep");
+        for (s, p) in serial.iter().zip(&laned) {
+            assert_eq!(format!("{s:?}"), format!("{p:?}"), "lanes={lanes}");
+        }
     }
 }

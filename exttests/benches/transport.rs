@@ -1,0 +1,104 @@
+//! Criterion benchmarks of the lane-to-lane chunk transport
+//! (`dvm_accel::transport`): throughput of the recycling pooled channel
+//! versus a naive allocate-per-chunk baseline, plus an allocation-count
+//! check that the free list really eliminates steady-state allocations.
+//! The pooled transport carries every record the functional lane ships
+//! to the timing lanes (`--lanes 2`/`--lanes 3`), so per-chunk overhead
+//! multiplies across whole sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dvm_accel::transport::{channel, LaneTuning, Received};
+use std::sync::mpsc;
+
+/// Records per benchmark iteration — enough chunks (≥64 at production
+/// tuning) for steady-state behaviour to dominate warm-up.
+const RECORDS: u64 = 1 << 18;
+
+/// A trace-record-sized payload (matches the functional lane's stream).
+#[derive(Clone, Copy)]
+struct Rec {
+    _va: u64,
+    _kind: u8,
+    _engine: u8,
+}
+
+fn pooled_roundtrip(tuning: LaneTuning) -> u64 {
+    let (mut tx, rx) = channel::<Rec, u64>(tuning);
+    let consumer = std::thread::spawn(move || {
+        let mut n = 0u64;
+        loop {
+            match rx.recv() {
+                Some(Received::Chunk(chunk)) => n += chunk.len() as u64,
+                Some(Received::Finish(sent)) => return (n, sent),
+                None => panic!("producer aborted"),
+            }
+        }
+    });
+    for i in 0..RECORDS {
+        tx.push(Rec {
+            _va: i * 64,
+            _kind: 0,
+            _engine: (i % 8) as u8,
+        });
+    }
+    let allocs = tx.finish(RECORDS);
+    let (n, sent) = consumer.join().unwrap();
+    assert_eq!(n, sent);
+    allocs
+}
+
+/// The pre-pool design: a fresh `Vec` per chunk, sent over a bounded
+/// channel, dropped by the consumer.
+fn naive_roundtrip(tuning: LaneTuning) {
+    let (tx, rx) = mpsc::sync_channel::<Vec<Rec>>(tuning.depth);
+    let consumer = std::thread::spawn(move || {
+        let mut n = 0u64;
+        for chunk in rx {
+            n += chunk.len() as u64;
+        }
+        n
+    });
+    let mut buf = Vec::with_capacity(tuning.chunk_records);
+    for i in 0..RECORDS {
+        buf.push(Rec {
+            _va: i * 64,
+            _kind: 0,
+            _engine: (i % 8) as u8,
+        });
+        if buf.len() >= tuning.chunk_records {
+            let full = std::mem::replace(&mut buf, Vec::with_capacity(tuning.chunk_records));
+            tx.send(full).unwrap();
+        }
+    }
+    if !buf.is_empty() {
+        tx.send(buf).unwrap();
+    }
+    drop(tx);
+    assert_eq!(consumer.join().unwrap(), RECORDS);
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let tuning = LaneTuning::default();
+
+    // The recycling invariant, asserted once outside the timing loop:
+    // a quarter-million records may allocate at most depth + 3 chunks.
+    let allocs = pooled_roundtrip(tuning);
+    assert!(
+        allocs <= tuning.alloc_bound(),
+        "pooled transport allocated {allocs} chunks (bound {})",
+        tuning.alloc_bound()
+    );
+
+    let mut group = c.benchmark_group("transport");
+    group.throughput(Throughput::Elements(RECORDS));
+    group.bench_function("pooled_roundtrip", |b| {
+        b.iter(|| pooled_roundtrip(tuning));
+    });
+    group.bench_function("naive_alloc_roundtrip", |b| {
+        b.iter(|| naive_roundtrip(tuning));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);
