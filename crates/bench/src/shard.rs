@@ -178,6 +178,65 @@ impl ShardValue for dvm_core::PageTableStudy {
     }
 }
 
+/// A churn unit's whole trajectory crosses the fragment boundary as an
+/// array of per-epoch counter objects. Only integers are carried —
+/// derived rates are computed at format time on the coordinator, so no
+/// float round-trip (or 0/0 rate) can perturb merged output.
+impl ShardValue for Vec<dvm_core::ChurnEpoch> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(churn_epoch_json).collect())
+    }
+    fn from_json(value: &Json) -> Result<Self, String> {
+        let arr = value
+            .as_arr()
+            .ok_or_else(|| format!("expected an epoch array, got {value}"))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, e)| churn_epoch_from_json(e).map_err(|err| format!("epoch {i}: {err}")))
+            .collect()
+    }
+}
+
+fn churn_epoch_json(e: &dvm_core::ChurnEpoch) -> Json {
+    Json::obj([
+        ("epoch", Json::UInt(u64::from(e.epoch))),
+        ("live_procs", Json::UInt(e.live_procs)),
+        ("identity_maps", Json::UInt(e.identity_maps)),
+        ("identity_fallbacks", Json::UInt(e.identity_fallbacks)),
+        (
+            "identity_bytes_requested",
+            Json::UInt(e.identity_bytes_requested),
+        ),
+        ("identity_bytes_padded", Json::UInt(e.identity_bytes_padded)),
+        ("demand_bytes", Json::UInt(e.demand_bytes)),
+        ("cow_breaks", Json::UInt(e.cow_breaks)),
+        ("oom_events", Json::UInt(e.oom_events)),
+        ("free_frames", Json::UInt(e.free_frames)),
+        ("free_runs", Json::UInt(e.free_runs)),
+        ("largest_run", Json::UInt(e.largest_run)),
+        ("sub_granule_runs", Json::UInt(e.sub_granule_runs)),
+    ])
+}
+
+fn churn_epoch_from_json(value: &Json) -> Result<dvm_core::ChurnEpoch, String> {
+    Ok(dvm_core::ChurnEpoch {
+        epoch: u32::try_from(value.expect_u64("epoch")?)
+            .map_err(|_| "epoch out of range".to_string())?,
+        live_procs: value.expect_u64("live_procs")?,
+        identity_maps: value.expect_u64("identity_maps")?,
+        identity_fallbacks: value.expect_u64("identity_fallbacks")?,
+        identity_bytes_requested: value.expect_u64("identity_bytes_requested")?,
+        identity_bytes_padded: value.expect_u64("identity_bytes_padded")?,
+        demand_bytes: value.expect_u64("demand_bytes")?,
+        cow_breaks: value.expect_u64("cow_breaks")?,
+        oom_events: value.expect_u64("oom_events")?,
+        free_frames: value.expect_u64("free_frames")?,
+        free_runs: value.expect_u64("free_runs")?,
+        largest_run: value.expect_u64("largest_run")?,
+        sub_granule_runs: value.expect_u64("sub_granule_runs")?,
+    })
+}
+
 /// Rebuild a [`GraphRunReport`] from its [`report_json`] serialization,
 /// in the context of the cell (`mmu`, `workload`) the coordinator's own
 /// spec says the unit belongs to — the names stored in the fragment are

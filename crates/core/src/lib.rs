@@ -51,8 +51,8 @@ pub use experiment::{
     flavor_for, run_graph_experiment, run_paper_configs, ExperimentConfig, GraphRunReport,
 };
 pub use sweep::{
-    effective_jobs, parallel_map_ordered, CellReports, ReportStore, SweepCell, SweepProgress,
-    SweepRunner, SweepSpec, UnitKey,
+    effective_jobs, parallel_map_ordered, CellReports, EpochGrid, ReportStore, SweepCell,
+    SweepProgress, SweepRunner, SweepSpec, UnitKey,
 };
 #[allow(deprecated)]
 pub use sweep::{run_sweep, run_sweep_opts, SweepOptions};
@@ -66,5 +66,7 @@ pub use dvm_energy::{EnergyAccount, EnergyParams, MmEvent};
 pub use dvm_graph::{Dataset, DatasetCache};
 pub use dvm_mem::{DramConfig, MachineConfig};
 pub use dvm_mmu::{register_scheme, SchemeId, SchemeStructures, TranslationScheme};
-pub use dvm_os::{MapFlavor, Os, OsConfig, ShbenchConfig, ShbenchResult};
+pub use dvm_os::{
+    ChurnConfig, ChurnEpoch, ChurnResult, MapFlavor, Os, OsConfig, ShbenchConfig, ShbenchResult,
+};
 pub use dvm_types::{AccessKind, DvmError, Fault, PageSize, Permission, PhysAddr, VirtAddr};

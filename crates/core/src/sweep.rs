@@ -111,6 +111,69 @@ impl SweepSpec {
     }
 }
 
+/// A (configuration × epoch) grid for *time-series* experiments — the
+/// churn scenarios' shape, where each simulation unit is one scheme
+/// configuration producing a whole trajectory rather than one scalar.
+///
+/// The distinction matters for sharding: units (what `run_grid`
+/// distributes across shards and jobs) are the **configs**, while output
+/// rows are the configs × epochs cross product. `EpochGrid` pins the row
+/// order and labels so every parallelism level formats the identical
+/// document: config-major, epoch-minor, with zero-padded epoch tags
+/// (`DVM-PE/e07`) that sort lexicographically in epoch order.
+#[derive(Debug, Clone)]
+pub struct EpochGrid {
+    /// Configuration labels, in unit (and output-column-group) order.
+    pub configs: Vec<String>,
+    /// Epochs each configuration is simulated for.
+    pub epochs: u32,
+}
+
+impl EpochGrid {
+    /// Build a grid from configuration labels and an epoch horizon.
+    pub fn new(configs: impl IntoIterator<Item = impl Into<String>>, epochs: u32) -> Self {
+        Self {
+            configs: configs.into_iter().map(Into::into).collect(),
+            epochs,
+        }
+    }
+
+    /// Simulation units — one per configuration (each yields a series).
+    pub fn unit_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Output rows: configs × epochs.
+    pub fn row_count(&self) -> usize {
+        self.configs.len() * self.epochs as usize
+    }
+
+    /// Digits needed so epoch tags sort lexicographically in epoch order.
+    fn epoch_digits(&self) -> usize {
+        self.epochs.saturating_sub(1).max(1).ilog10() as usize + 1
+    }
+
+    /// The stable row label for `(config, epoch)`, e.g. `DVM-PE/e07`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` or `epoch` is out of the grid's bounds.
+    pub fn row_label(&self, config: usize, epoch: u32) -> String {
+        assert!(epoch < self.epochs, "epoch {epoch} out of {}", self.epochs);
+        format!(
+            "{}/e{epoch:0width$}",
+            self.configs[config],
+            width = self.epoch_digits()
+        )
+    }
+
+    /// All `(config index, epoch)` pairs in output order — config-major,
+    /// epoch-minor, matching one row group per simulation unit.
+    pub fn rows(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        (0..self.configs.len()).flat_map(move |c| (0..self.epochs).map(move |e| (c, e)))
+    }
+}
+
 /// Progress snapshot handed to [`SweepRunner::progress`] after each
 /// (cell, scheme) unit completes.
 #[derive(Debug, Clone, Copy)]
@@ -562,6 +625,34 @@ pub fn run_sweep_opts(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn epoch_grid_orders_and_labels_rows() {
+        let grid = EpochGrid::new(["DVM-PE", "Paged-4K"], 12);
+        assert_eq!(grid.unit_count(), 2);
+        assert_eq!(grid.row_count(), 24);
+        assert_eq!(grid.row_label(0, 0), "DVM-PE/e00");
+        assert_eq!(grid.row_label(1, 11), "Paged-4K/e11");
+        let rows: Vec<(usize, u32)> = grid.rows().collect();
+        assert_eq!(rows.len(), 24);
+        assert_eq!(rows[0], (0, 0));
+        assert_eq!(rows[11], (0, 11));
+        assert_eq!(rows[12], (1, 0));
+        // Labels sort lexicographically in row order within a config.
+        let labels: Vec<String> = rows.iter().map(|&(c, e)| grid.row_label(c, e)).collect();
+        let mut sorted = labels[..12].to_vec();
+        sorted.sort();
+        assert_eq!(sorted, labels[..12]);
+        // Three digits once the horizon passes 100 epochs.
+        let long = EpochGrid::new(["x"], 120);
+        assert_eq!(long.row_label(0, 7), "x/e007");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn epoch_grid_rejects_out_of_range_epoch() {
+        EpochGrid::new(["x"], 4).row_label(0, 4);
+    }
 
     #[test]
     fn parallel_map_preserves_order() {

@@ -30,7 +30,7 @@ pub mod buddy;
 pub mod dram;
 pub mod physmem;
 
-pub use buddy::{BuddyAllocator, BuddyStats, FrameRange};
+pub use buddy::{BuddyAllocator, BuddyStats, FrameRange, FreeSpanHistogram};
 pub use dram::{Dram, DramClass, DramConfig, DramEvent};
 pub use physmem::PhysMem;
 

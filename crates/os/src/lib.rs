@@ -29,12 +29,14 @@
 //! # }
 //! ```
 
+pub mod churn;
 pub mod malloc;
 pub mod os;
 pub mod process;
 pub mod shbench;
 pub mod swap;
 
+pub use churn::{ChurnConfig, ChurnEpoch, ChurnResult};
 pub use malloc::{Malloc, MMAP_THRESHOLD, POOL_BYTES};
 pub use os::{MapFlavor, Os, OsConfig, OsStats};
 pub use process::{Backing, Pid, Process, Vma, VmaKind};

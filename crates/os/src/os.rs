@@ -81,11 +81,21 @@ impl Default for OsConfig {
 pub struct OsStats {
     /// Successful identity mappings.
     pub identity_maps: u64,
-    /// Bytes mapped identity (padded size).
-    pub identity_bytes: u64,
+    /// Bytes *requested* (page-aligned `mmap` length) that ended up
+    /// identity mapped. Success-*rate* metrics (the churn time-series)
+    /// must use this: comparing padded numerators against unpadded
+    /// requests over-counts identity coverage by up to the padding
+    /// granule per mapping.
+    pub identity_bytes_requested: u64,
+    /// Bytes actually reserved for identity mappings after padding to the
+    /// flavour granule ([`MapFlavor::identity_granule`]). This is the
+    /// physical-memory footprint; Table 4's percentage uses the padded
+    /// VMA lengths (via [`Process::identity_bytes`]) for both numerator
+    /// and denominator, so it stays consistent.
+    pub identity_bytes_padded: u64,
     /// `mmap`s that fell back to demand paging.
     pub identity_fallbacks: u64,
-    /// Bytes mapped by the fallback path.
+    /// Bytes mapped by the fallback path (padded to the backing granule).
     pub demand_bytes: u64,
     /// Copy-on-write faults resolved.
     pub cow_faults: u64,
@@ -308,7 +318,8 @@ impl Os {
             },
         );
         self.stats.identity_maps += 1;
-        self.stats.identity_bytes += padded;
+        self.stats.identity_bytes_requested += len;
+        self.stats.identity_bytes_padded += padded;
         Ok(Some(va))
     }
 
@@ -509,8 +520,14 @@ impl Os {
                             ps,
                         )?,
                     }
-                    // Re-point pages that the parent had already privatized.
-                    for (&page, &frame) in &vma.cow_pages {
+                    // Re-point pages that the parent had already privatized
+                    // — in page order: the remap sequence allocates table
+                    // frames, and HashMap iteration order would make the
+                    // allocator layout differ run to run.
+                    let mut privatized: Vec<(u64, u64)> =
+                        vma.cow_pages.iter().map(|(&p, &f)| (p, f)).collect();
+                    privatized.sort_unstable();
+                    for (page, frame) in privatized {
                         child_proc.page_table.remap_page(
                             &mut self.machine.mem,
                             &mut self.machine.allocator,
@@ -831,5 +848,45 @@ impl Os {
             access: AccessKind::Write,
             kind: FaultKind::Protection,
         }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn os_with(flavor: MapFlavor) -> Os {
+        Os::new(OsConfig {
+            machine: MachineConfig {
+                mem_bytes: 256 << 20,
+            },
+            flavor,
+            ..OsConfig::default()
+        })
+    }
+
+    /// Pins the requested/padded accounting split: a success-rate metric
+    /// must divide like with like, so the two quantities are tracked
+    /// separately instead of the old padded-only `identity_bytes`.
+    #[test]
+    fn identity_bytes_requested_vs_padded() {
+        let mut os = os_with(MapFlavor::DvmPe);
+        let pid = os.spawn().unwrap();
+        os.mmap(pid, 5000, Permission::ReadWrite).unwrap();
+        // The request rounds up to whole pages (2); the physical
+        // reservation pads to the 128 KiB PE slot span.
+        assert_eq!(os.stats.identity_maps, 1);
+        assert_eq!(os.stats.identity_bytes_requested, 2 * PAGE_SIZE);
+        assert_eq!(os.stats.identity_bytes_padded, dvm_pagetable::slot_span(2));
+        assert!(os.stats.identity_bytes_padded > os.stats.identity_bytes_requested);
+
+        let mut os = os_with(MapFlavor::Paged(PageSize::Size2M));
+        let pid = os.spawn().unwrap();
+        os.mmap(pid, PAGE_SIZE, Permission::ReadWrite).unwrap();
+        assert_eq!(os.stats.identity_bytes_requested, PAGE_SIZE);
+        assert_eq!(os.stats.identity_bytes_padded, 2 << 20);
+        // The padded footprint is also what the VMA view reports (the
+        // Table 4 numerator).
+        assert_eq!(os.process(pid).unwrap().identity_bytes(), 2 << 20);
     }
 }

@@ -289,3 +289,76 @@ fn vfork_shares_the_address_space_without_copying() {
     assert_eq!(os.machine.allocator.free_frames_count(), free_before);
     assert_eq!(os.read_u64(parent, buf).unwrap(), 2);
 }
+
+#[test]
+fn fork_exit_storm_reclaims_every_cow_frame() {
+    // Multi-generation fork storm with writes from every generation and
+    // exits in both orders (parent-first and child-first): after the last
+    // process exits, the allocator must be back at its boot state — no
+    // CoW frame may leak through the refcount bookkeeping.
+    let mut os = small_os();
+    let free_at_boot = os.machine.allocator.free_frames_count();
+    let mut rng = dvm_sim::DetRng::new(0x57012);
+
+    for round in 0..8u64 {
+        let root = os.spawn().unwrap();
+        let buf = os.mmap(root, 2 << 20, Permission::ReadWrite).unwrap();
+        let pages = (2 << 20) / PAGE_SIZE;
+        os.write_u64(root, buf, round).unwrap();
+
+        // Three generations: root -> children -> grandchildren.
+        let mut family = vec![root];
+        for _ in 0..3 {
+            let parent = family[rng.below(family.len() as u64) as usize];
+            let child = os.fork(parent).unwrap();
+            // The child privatizes a scattered set of pages.
+            for k in 0..8 {
+                let page = (k * 5 + round) % pages;
+                os.write_u64(child, buf + page * PAGE_SIZE, child.into())
+                    .unwrap();
+            }
+            family.push(child);
+        }
+        // Parent writes break CoW from the other side too.
+        os.write_u64(root, buf + PAGE_SIZE, round).unwrap();
+
+        // Exit in a round-dependent order so both parent-before-child and
+        // child-before-parent paths are exercised.
+        if round % 2 == 0 {
+            family.reverse();
+        }
+        for pid in family {
+            os.exit(pid).unwrap();
+        }
+        assert_eq!(
+            os.machine.allocator.free_frames_count(),
+            free_at_boot,
+            "round {round}: CoW frames leaked after full-family exit"
+        );
+    }
+    assert_eq!(os.machine.mem.resident_frames(), 0);
+    assert!(os.stats.cow_faults > 0, "storm never exercised CoW");
+}
+
+#[test]
+fn churn_scenario_drains_without_leaks() {
+    // The long-horizon churn driver is itself a fork/exec/exit storm;
+    // its end-of-run drain must return the allocator to boot state.
+    let result = dvm_os::churn::run(&dvm_os::ChurnConfig {
+        mem_bytes: 128 << 20,
+        epochs: 12,
+        arrivals_per_epoch: 5,
+        cow_fork_fraction: 0.5,
+        mean_lifetime_epochs: 3,
+        regions_per_proc: 2,
+        min_region_bytes: 64 << 10,
+        max_region_bytes: 2 << 20,
+        ..dvm_os::ChurnConfig::default()
+    })
+    .unwrap();
+    assert_eq!(result.leaked_frames, 0, "drain left frames allocated");
+    assert!(
+        result.epochs.iter().map(|e| e.cow_breaks).sum::<u64>() > 0,
+        "scenario never broke a CoW page"
+    );
+}

@@ -46,10 +46,16 @@ def lanes_row(serial_ms: int, lanes2_ms: int, lanes3_ms: int) -> int:
     }
     doc["entries"].append(entry)
     path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    # A 0 ms wall time (fast machine, coarse clock) keeps a null speedup
+    # in the JSON row but must not print as "xNone".
+    def show(speedup) -> str:
+        return "n/a" if speedup is None else f"x{speedup}"
+
     print(
         f"bench-trend: lanes row — serial {serial_ms} ms, "
-        f"2 lanes {lanes2_ms} ms (x{entry['lanes2_speedup']}), "
-        f"3 lanes {lanes3_ms} ms (x{entry['lanes3_speedup']})"
+        f"2 lanes {lanes2_ms} ms ({show(entry['lanes2_speedup'])}), "
+        f"3 lanes {lanes3_ms} ms ({show(entry['lanes3_speedup'])})"
     )
     return 0
 

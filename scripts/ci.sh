@@ -201,6 +201,24 @@ cmp "$SHARD_TMP/fig11_serial.txt" "$SHARD_TMP/fig11_jobs2.txt"
 cmp "$SHARD_TMP/fig11_serial.json" "$SHARD_TMP/fig11_jobs2.json"
 echo "fig11 sharded and threaded outputs are byte-identical to serial"
 
+echo "== churn time-series (quick scale: golden diff + determinism)"
+# The churn trajectory is a pure function of its config: the quick-scale
+# document must match its committed golden exactly, and a 2-shard or
+# 2-thread run must be byte-identical to serial (each config is one unit,
+# so sharding splits the three configs across workers).
+target/release/churn --scale quick --jobs 1 \
+    --json "$SHARD_TMP/churn_quick.json" > "$SHARD_TMP/churn_serial.txt"
+scripts/diff_results.sh "$SHARD_TMP" churn
+target/release/churn --scale quick --jobs 1 --shards 2 \
+    --json "$SHARD_TMP/churn_sharded.json" > "$SHARD_TMP/churn_sharded.txt"
+cmp "$SHARD_TMP/churn_serial.txt" "$SHARD_TMP/churn_sharded.txt"
+cmp "$SHARD_TMP/churn_quick.json" "$SHARD_TMP/churn_sharded.json"
+target/release/churn --scale quick --jobs 2 \
+    --json "$SHARD_TMP/churn_jobs2.json" > "$SHARD_TMP/churn_jobs2.txt"
+cmp "$SHARD_TMP/churn_serial.txt" "$SHARD_TMP/churn_jobs2.txt"
+cmp "$SHARD_TMP/churn_quick.json" "$SHARD_TMP/churn_jobs2.json"
+echo "churn sharded and threaded outputs are byte-identical to serial"
+
 python3 scripts/bench_trend.py ci "$FIG8_MS" "$FIG9_MS" "$FIG11_MS"
 
 echo "ci: all green"

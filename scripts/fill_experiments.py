@@ -14,6 +14,7 @@ SLOTS = {
     "<!-- FIG10 -->": ["results/fig10_paper.txt"],
     "<!-- FIG11 -->": ["results/fig11_paper.txt", "results/fig11_quick.txt"],
     "<!-- VIRT -->": ["results/virt_paper.txt", "results/virt_quick.txt", "results/virt.txt"],
+    "<!-- CHURN -->": ["results/churn_paper.txt", "results/churn_quick.txt"],
 }
 
 

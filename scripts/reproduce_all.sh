@@ -118,6 +118,7 @@ run fig9 "${RC_ARGS[@]}" --lanes 0
 run fig11 "${RC_ARGS[@]}" --lanes 0
 run table5
 run virt
+run churn
 
 # Timing + cache summary for this sweep (not diffed against goldens).
 {
